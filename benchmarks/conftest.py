@@ -1,0 +1,73 @@
+"""Shared benchmark fixtures: one cached optimize cycle per application.
+
+Several tables/figures view the same experiment from different angles
+(Table II reads speedups, Fig. 8 memory, Fig. 2 the profile bundle), so
+cycles run once per session and are memoized here.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.apps import benchmark_apps
+from repro.apps.catalog import APP_DEFINITIONS
+from repro.apps.model import BenchmarkApp, bench_platform_config
+from repro.core.pipeline import PipelineConfig, SimCycleResult, SlimStart
+from repro.faas.sim import SimPlatform
+from repro.workloads.arrival import poisson_schedule
+
+#: The paper's measurement protocol.
+COLD_STARTS = 500
+RUNS = 5
+PROFILE_RATE_PER_S = 0.3
+PROFILE_DURATION_S = 3600.0
+PROFILE_SEED = 7
+
+
+@pytest.fixture(scope="session")
+def suite() -> dict[str, BenchmarkApp]:
+    return {app.key: app for app in benchmark_apps()}
+
+
+class CycleRunner:
+    """Runs and memoizes one full optimize cycle per application key."""
+
+    def __init__(self, suite: dict[str, BenchmarkApp]) -> None:
+        self._suite = suite
+        self._results: dict[str, SimCycleResult] = {}
+        self.tool = SlimStart(
+            PipelineConfig(measure_cold_starts=COLD_STARTS, measure_runs=RUNS)
+        )
+
+    def app(self, key: str) -> BenchmarkApp:
+        return self._suite[key]
+
+    def result(self, key: str) -> SimCycleResult:
+        if key not in self._results:
+            app = self._suite[key]
+            platform = SimPlatform(config=bench_platform_config())
+            schedule = poisson_schedule(
+                app.mix,
+                rate_per_s=PROFILE_RATE_PER_S,
+                duration_s=PROFILE_DURATION_S,
+                seed=PROFILE_SEED,
+            )
+            self._results[key] = self.tool.run_simulated_cycle(
+                app.sim_config(), schedule, app.mix, platform=platform
+            )
+        return self._results[key]
+
+    def all_keys(self) -> list[str]:
+        return [definition.key for definition in APP_DEFINITIONS]
+
+
+@pytest.fixture(scope="session")
+def cycles(suite) -> CycleRunner:
+    return CycleRunner(suite)
+
+
+def print_header(title: str) -> None:
+    print()
+    print("=" * 78)
+    print(title)
+    print("=" * 78)

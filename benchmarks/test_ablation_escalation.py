@@ -1,0 +1,72 @@
+"""Ablation — CCT sample escalation (§III TC-2, Fig. 5).
+
+SLIMSTART attributes a sample to *every* library frame on its stack, so an
+orchestrator that delegates all heavy work to callees still registers as
+used.  The ablation replaces escalation with naive leaf-only attribution
+(what a flat profiler reports) and shows that orchestrator-style clusters
+fall below the rare threshold and would be wrongly deferred.
+"""
+
+from benchmarks.conftest import print_header
+from repro.core.analyzer import Analyzer
+from repro.core.samples import RUNTIME
+
+
+def leaf_only_utilization(bundle, attributor):
+    """Naive attribution: only the sample's leaf frame gets credit."""
+    touched = {}
+    denominator = 0.0
+    for sample in bundle.samples:
+        if sample.kind != RUNTIME:
+            continue
+        module = attributor.module_of(sample.path[-1])
+        if module is None:
+            continue
+        denominator += sample.weight
+        touched[module] = touched.get(module, 0.0) + sample.weight
+    if denominator <= 0:
+        return {}
+    return {module: weight / denominator for module, weight in touched.items()}
+
+
+def run_ablation(cycles):
+    app = cycles.app("R-SA")
+    result = cycles.result("R-SA")
+    attributor = cycles.tool.sim_attributor(app.sim_config())
+    analyzer = Analyzer()
+    escalated = analyzer.module_utilization(result.bundle, attributor)
+    leaf_only = leaf_only_utilization(result.bundle, attributor)
+    return app, result, escalated, leaf_only
+
+
+def test_ablation_cct_escalation(benchmark, cycles):
+    app, result, escalated, leaf_only = benchmark.pedantic(
+        run_ablation, args=(cycles,), rounds=1, iterations=1
+    )
+
+    analyzer = Analyzer()
+    # Orchestrator modules: cluster roots of clusters the plan keeps.
+    kept_clusters = [
+        f"slnltk.{cluster}"
+        for cluster in ("tokenize", "corpus", "data", "chunk", "metrics")
+    ]
+    print_header("Ablation — CCT escalation vs leaf-only attribution (R-SA)")
+    print(f"{'cluster root (orchestrator)':32s} {'escalated':>10s} {'leaf-only':>10s}")
+    degraded = 0
+    for module in kept_clusters:
+        esc = analyzer.subtree_utilization(escalated, module)
+        leaf = analyzer.subtree_utilization(leaf_only, module)
+        print(f"{module:32s} {esc:>9.2%} {leaf:>9.2%}")
+        # Orchestrator roots themselves barely appear as leaves.
+        esc_root = escalated.get(module, 0.0)
+        leaf_root = leaf_only.get(module, 0.0)
+        if leaf_root < esc_root:
+            degraded += 1
+
+    # Escalation gives every kept cluster comfortable utilization.
+    for module in kept_clusters:
+        assert analyzer.subtree_utilization(escalated, module) > 0.0, module
+    # Leaf-only systematically under-credits orchestrator roots.
+    assert degraded >= len(kept_clusters) - 1
+    # And the overall plan (with escalation) never deferred a hot cluster.
+    assert "slnltk.tokenize" not in result.plan.all_deferred

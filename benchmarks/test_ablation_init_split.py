@@ -1,0 +1,80 @@
+"""Ablation — separating initialization from runtime samples (§III TC-2).
+
+SLIMSTART filters samples caught inside module top-level code out of the
+utilization metric.  Disabling the filter makes purely-cold-start libraries
+look "used" (their import burn IS CPU activity), which hides exactly the
+inefficiencies the tool exists to find — Fig. 5's Lib-4 case.
+"""
+
+from benchmarks.conftest import print_header
+from repro.core.analyzer import Analyzer
+from repro.core.profiles import ProfileBundle
+from repro.core.samples import RUNTIME, Sample, SampleSet
+
+
+def without_init_split(bundle: ProfileBundle) -> ProfileBundle:
+    """Relabel every init sample as runtime (the ablated metric)."""
+    conflated = SampleSet(
+        Sample(path=sample.path, weight=sample.weight, kind=RUNTIME)
+        for sample in bundle.samples
+    )
+    return ProfileBundle(
+        app=bundle.app,
+        import_profile=bundle.import_profile,
+        samples=conflated,
+        entry_counts=bundle.entry_counts,
+        handler_imports=bundle.handler_imports,
+        mean_cold_e2e_ms=bundle.mean_cold_e2e_ms,
+        mean_cold_init_ms=bundle.mean_cold_init_ms,
+        cold_starts=bundle.cold_starts,
+    )
+
+
+def run_ablation(cycles):
+    """Profile under cold-start-heavy traffic (every arrival beyond the
+    keep-alive), where init samples dominate the stream — the regime in
+    which conflating them with runtime usage does the most damage."""
+    from repro.apps.model import bench_platform_config
+    from repro.faas.sim import SimPlatform
+
+    app = cycles.app("R-SA")
+    config = app.sim_config()
+    platform = SimPlatform(config=bench_platform_config())
+    platform.deploy(config)
+    sparse_schedule = [
+        (float(index) * 700.0, entry)
+        for index, entry in enumerate(app.mix.sample_sequence(40, seed=3))
+    ]
+    bundle = cycles.tool.profile_simulated(platform, config, sparse_schedule)
+    attributor = cycles.tool.sim_attributor(config)
+    analyzer = Analyzer()
+    proper = analyzer.analyze(bundle, attributor)
+    conflated = analyzer.analyze(without_init_split(bundle), attributor)
+    return proper, conflated
+
+
+def test_ablation_init_runtime_split(benchmark, cycles):
+    proper, conflated = benchmark.pedantic(
+        run_ablation, args=(cycles,), rounds=1, iterations=1
+    )
+
+    print_header("Ablation — init/runtime sample separation (R-SA)")
+    print(f"{'metric':34s} {'with split':>12s} {'without':>12s}")
+    print(
+        f"{'units deferred':34s} {len(proper.plan.all_deferred):>12d} "
+        f"{len(conflated.plan.all_deferred):>12d}"
+    )
+    proper_flags = {flag.module for flag in proper.subtree_flags}
+    conflated_flags = {flag.module for flag in conflated.subtree_flags}
+    for cluster in sorted(proper_flags):
+        status = "still found" if cluster in conflated_flags else "MISSED"
+        print(f"  {cluster:32s} without split: {status}")
+
+    # With the split, the Table IV nltk subtrees are flagged.
+    for cluster in ("slnltk.sem", "slnltk.stem", "slnltk.parse"):
+        assert cluster in proper.plan.deferred_library_edges, cluster
+    # Conflating init samples makes dead import-time-only code look used
+    # (its import burn IS CPU activity): the analysis misses findings.
+    missed = proper_flags - conflated_flags
+    assert missed, "conflated analysis should miss at least one subtree"
+    assert len(conflated.plan.all_deferred) < len(proper.plan.all_deferred)

@@ -1,0 +1,77 @@
+"""Ablation — the 2 % utilization threshold (§IV-A).
+
+Sweeps the rare-utilization threshold and reports the trade-off: a higher
+threshold defers more init cost (faster cold starts) but pushes more load
+onto first-use lazy loading (heavier rare-path execution).
+"""
+
+import pytest
+
+from benchmarks.conftest import COLD_STARTS, RUNS, print_header
+from repro.apps.model import bench_platform_config
+from repro.core.analyzer import AnalyzerConfig
+from repro.core.pipeline import PipelineConfig, SlimStart
+from repro.faas.sim import SimPlatform
+from repro.workloads.arrival import poisson_schedule
+
+THRESHOLDS = (0.005, 0.02, 0.05, 0.20)
+
+
+def run_sweep(cycles):
+    app = cycles.app("CVE")
+    schedule = poisson_schedule(app.mix, rate_per_s=0.3, duration_s=3600, seed=7)
+    rows = []
+    for threshold in THRESHOLDS:
+        tool = SlimStart(
+            PipelineConfig(
+                analyzer=AnalyzerConfig(rare_utilization_threshold=threshold),
+                measure_cold_starts=COLD_STARTS // 2,
+                measure_runs=2,
+            )
+        )
+        platform = SimPlatform(config=bench_platform_config())
+        result = tool.run_simulated_cycle(
+            app.sim_config(), schedule, app.mix, platform=platform
+        )
+        rare_after = [
+            r for r in result.after_records if r.entry.startswith("aux_")
+        ]
+        rare_exec = sum(r.exec_ms for r in rare_after) / max(1, len(rare_after))
+        rows.append(
+            (
+                threshold,
+                len(result.plan.all_deferred),
+                result.speedups.init_speedup,
+                rare_exec,
+            )
+        )
+    return rows
+
+
+def test_ablation_utilization_threshold(benchmark, cycles):
+    rows = benchmark.pedantic(run_sweep, args=(cycles,), rounds=1, iterations=1)
+
+    print_header("Ablation — utilization threshold sweep (CVE analyzer)")
+    print(
+        f"{'threshold':>9s} {'deferred':>9s} {'init speedup':>13s} "
+        f"{'rare-path exec (ms)':>20s}"
+    )
+    for threshold, deferred, init_speedup, rare_exec in rows:
+        print(
+            f"{threshold:>9.3f} {deferred:>9d} {init_speedup:>12.2f}x "
+            f"{rare_exec:>20.1f}"
+        )
+
+    deferred_counts = [row[1] for row in rows]
+    init_speedups = [row[2] for row in rows]
+    # More aggressive thresholds never defer less, never speed up less.
+    assert deferred_counts == sorted(deferred_counts)
+    assert all(
+        later >= earlier - 0.02
+        for earlier, later in zip(init_speedups, init_speedups[1:])
+    )
+    # The paper's 2 % default already captures the xmlschema win...
+    default_row = rows[1]
+    assert default_row[2] == pytest.approx(1.36, rel=0.15)
+    # ...while the most aggressive setting trades rare-path latency for it.
+    assert rows[-1][3] >= rows[0][3]

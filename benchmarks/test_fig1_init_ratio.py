@@ -1,0 +1,39 @@
+"""Fig. 1 — ratio of library initialization time to end-to-end time.
+
+Paper's finding: for the majority of the serverless applications, library
+initialization contributes more than 70 % of cold end-to-end time.
+"""
+
+from benchmarks.conftest import print_header
+from repro.faas.events import InvocationStats
+
+
+def compute_ratios(cycles):
+    ratios = {}
+    for key in cycles.all_keys():
+        result = cycles.result(key)
+        cold = [record for record in result.before_records if record.cold]
+        stats = InvocationStats.from_records(cold)
+        ratios[key] = (stats.init.mean_ms, stats.e2e.mean_ms, stats.init_ratio)
+    return ratios
+
+
+def test_fig1_init_to_e2e_ratio(benchmark, cycles):
+    ratios = benchmark.pedantic(
+        compute_ratios, args=(cycles,), rounds=1, iterations=1
+    )
+
+    print_header("Fig. 1 — library initialization : end-to-end time (cold starts)")
+    print(f"{'App':10s} {'Init (ms)':>10s} {'E2E (ms)':>10s} {'Ratio':>7s}")
+    above_70 = 0
+    for key, (init_ms, e2e_ms, ratio) in ratios.items():
+        marker = " *" if ratio > 0.70 else ""
+        print(f"{key:10s} {init_ms:10.1f} {e2e_ms:10.1f} {ratio:6.1%}{marker}")
+        if ratio > 0.70:
+            above_70 += 1
+    print(f"\napps with init ratio > 70 %: {above_70}/{len(ratios)}")
+
+    # Paper shape: the majority of applications sit above 70 %.
+    assert above_70 >= len(ratios) / 2
+    # And every app passes a sanity band.
+    assert all(0.0 < ratio <= 1.0 for _, _, ratio in ratios.values())

@@ -1,0 +1,37 @@
+"""Fig. 3 — production-trace shape: handler-count PDF and invocation CDF.
+
+Paper: 54 % of serverless applications expose more than one entry function,
+and the top few handlers account for over 80 % of cumulative invocations.
+"""
+
+from benchmarks.conftest import print_header
+from repro.workloads.trace import TraceGenerator
+
+
+def generate_trace():
+    return TraceGenerator(app_count=119, seed=2025).generate()
+
+
+def test_fig3_handler_pdf_and_invocation_cdf(benchmark):
+    trace = benchmark.pedantic(generate_trace, rounds=1, iterations=1)
+
+    print_header("Fig. 3 (left) — PDF of apps by number of handler functions")
+    pdf = trace.handler_count_pdf()
+    for count, fraction in pdf.items():
+        bar = "#" * int(fraction * 120)
+        print(f"{count:3d} handlers: {fraction:6.1%} {bar}")
+    multi = trace.multi_entry_fraction()
+    print(f"\nmulti-entry applications: {multi:.1%} (paper: 54 %)")
+
+    print_header("Fig. 3 (right) — CDF of invocation share by handler rank")
+    mean_cdf, min_cdf, max_cdf = trace.invocation_cdf_by_rank()
+    print(f"{'rank':>4s} {'mean':>7s} {'min':>7s} {'max':>7s}")
+    for rank in range(min(10, len(mean_cdf))):
+        print(
+            f"{rank + 1:4d} {mean_cdf[rank]:7.1%} {min_cdf[rank]:7.1%} "
+            f"{max_cdf[rank]:7.1%}"
+        )
+
+    assert 0.44 <= multi <= 0.64  # 54 % +- band
+    assert mean_cdf[min(2, len(mean_cdf) - 1)] > 0.80  # top handlers dominate
+    assert abs(mean_cdf[-1] - 1.0) < 1e-9

@@ -1,0 +1,38 @@
+"""Fig. 8 — memory reduction achieved by SLIMSTART.
+
+Paper: up to 1.51x reduction in peak runtime memory.
+"""
+
+import pytest
+
+from benchmarks.conftest import print_header
+from repro.apps.catalog import OPTIMIZABLE_KEYS
+
+
+def collect_memory(cycles):
+    return {
+        key: (
+            cycles.result(key).before.memory.peak_mb,
+            cycles.result(key).after.memory.peak_mb,
+            cycles.result(key).speedups.memory_reduction,
+        )
+        for key in OPTIMIZABLE_KEYS
+    }
+
+
+def test_fig8_memory_reduction(benchmark, cycles):
+    rows = benchmark.pedantic(collect_memory, args=(cycles,), rounds=1, iterations=1)
+
+    print_header("Fig. 8 — peak memory reduction")
+    print(f"{'App':10s} {'Before MB':>10s} {'After MB':>10s} {'Reduction':>10s}")
+    for key, (before_mb, after_mb, reduction) in rows.items():
+        bar = "#" * int((reduction - 1.0) * 40)
+        print(f"{key:10s} {before_mb:10.1f} {after_mb:10.1f} {reduction:9.2f}x {bar}")
+
+    reductions = [r for _, _, r in rows.values()]
+    # Every optimized app saves memory; the best saves ~1.5x or more.
+    assert all(reduction >= 1.0 for reduction in reductions)
+    assert max(reductions) >= 1.4
+    assert max(reductions) == pytest.approx(1.51, abs=0.35)
+    # Most apps show a tangible (>= 5 %) reduction.
+    assert sum(1 for r in reductions if r >= 1.05) >= len(reductions) * 0.7

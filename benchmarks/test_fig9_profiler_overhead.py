@@ -1,0 +1,69 @@
+"""Fig. 9 — runtime overhead of the SLIMSTART profiler.
+
+Measures really-executing applications with and without the sampling
+profiler attached.  Paper: most applications stay within ~10 % overhead.
+
+This is the one experiment that must run on the real testbed (overhead of
+a real sampler cannot be simulated), so it uses a representative subset of
+the suite at reduced cost scale.
+"""
+
+import time
+
+import pytest
+
+from benchmarks.conftest import print_header
+from repro.apps import benchmark_apps
+from repro.core.profiler import ThreadSampler
+from repro.faas.local import LocalPlatform
+
+APPS = ("R-GB", "R-SA", "FWB-CML", "R-FC", "FWB-UP", "FWB-JS")
+INVOCATIONS = 30
+SCALE = 0.02
+
+
+def measure_app(app, tmp_base, profiled: bool) -> float:
+    deployment = app.build_real_workspace(
+        tmp_base / f"{app.name}_{'p' if profiled else 'b'}", scale=SCALE
+    )
+    platform = LocalPlatform()
+    platform.deploy(deployment)
+    entry = app.entries[0].name
+    sampler = ThreadSampler(interval_ms=5.0) if profiled else None
+    if sampler:
+        sampler.start()
+    start = time.perf_counter()
+    platform.invoke(app.name, entry)  # cold
+    for _ in range(INVOCATIONS - 1):
+        platform.invoke(app.name, entry)
+    elapsed = time.perf_counter() - start
+    if sampler:
+        sampler.stop()
+    return elapsed
+
+
+def run_overhead_study(tmp_base):
+    ratios = {}
+    for app in benchmark_apps(APPS):
+        baseline = measure_app(app, tmp_base, profiled=False)
+        profiled = measure_app(app, tmp_base, profiled=True)
+        ratios[app.key] = profiled / baseline
+    return ratios
+
+
+def test_fig9_profiler_overhead(benchmark, tmp_path):
+    ratios = benchmark.pedantic(
+        run_overhead_study, args=(tmp_path,), rounds=1, iterations=1
+    )
+
+    print_header("Fig. 9 — profiler runtime overhead (real execution)")
+    print(f"{'App':10s} {'overhead':>9s}")
+    for key, ratio in ratios.items():
+        print(f"{key:10s} {ratio - 1.0:8.1%}")
+    print(f"\nmax overhead: {max(ratios.values()) - 1.0:.1%} (paper: <= ~10 %)")
+
+    # Sampling keeps overhead modest on every app.  Real-machine noise on
+    # a shared box warrants a generous bound; the paper's claim is <=10 %.
+    assert all(ratio < 1.25 for ratio in ratios.values())
+    median = sorted(ratios.values())[len(ratios) // 2]
+    assert median < 1.15

@@ -1,0 +1,66 @@
+"""Table II — per-application performance improvements.
+
+Runs the paper's full protocol on every optimizable application: profile a
+typical workload, optimize, then measure 500 concurrent cold starts x 5
+runs before and after.  Prints the paper's columns side by side with the
+measured values; asserts the *shape* (who wins, by roughly what factor).
+"""
+
+import pytest
+
+from benchmarks.conftest import print_header
+from repro.apps.catalog import OPTIMIZABLE_KEYS
+
+
+def run_all_cycles(cycles):
+    return {key: cycles.result(key) for key in cycles.all_keys()}
+
+
+def test_table2_summary_of_performance_improvement(benchmark, cycles):
+    results = benchmark.pedantic(
+        run_all_cycles, args=(cycles,), rounds=1, iterations=1
+    )
+
+    print_header("Table II — summary of performance improvement")
+    print(
+        f"{'App':10s} {'Libs':>4s} {'Mods':>5s} {'Depth':>5s} "
+        f"{'Init x':>7s} {'(paper)':>8s} {'E2E x':>6s} {'(paper)':>8s} "
+        f"{'p99I x':>6s} {'(paper)':>8s} {'p99E x':>6s} {'(paper)':>8s}"
+    )
+    for key in OPTIMIZABLE_KEYS:
+        app = cycles.app(key)
+        paper = app.definition.paper
+        s = results[key].speedups
+        print(
+            f"{key:10s} {app.library_count:4d} {app.module_count:5d} "
+            f"{app.average_depth:5.2f} "
+            f"{s.init_speedup:7.2f} {paper.init_speedup:8.2f} "
+            f"{s.e2e_speedup:6.2f} {paper.e2e_speedup:8.2f} "
+            f"{s.p99_init_speedup:6.2f} {paper.p99_init_speedup:8.2f} "
+            f"{s.p99_e2e_speedup:6.2f} {paper.p99_e2e_speedup:8.2f}"
+        )
+    clean = [k for k in results if k not in OPTIMIZABLE_KEYS]
+    print(f"\napps with no inefficiency found: {clean} "
+          f"({len(OPTIMIZABLE_KEYS)}/{len(results)} optimized, paper: 17/22)")
+
+    # -- shape assertions ---------------------------------------------------
+    for key in OPTIMIZABLE_KEYS:
+        app = cycles.app(key)
+        paper = app.definition.paper
+        s = results[key].speedups
+        assert s.init_speedup == pytest.approx(paper.init_speedup, rel=0.15), key
+        assert s.e2e_speedup == pytest.approx(paper.e2e_speedup, rel=0.15), key
+        assert s.init_speedup >= s.e2e_speedup - 0.05, key  # init leads e2e
+    # Program information matches the paper exactly.
+    for key in OPTIMIZABLE_KEYS:
+        app = cycles.app(key)
+        assert app.library_count == app.definition.paper.lib_count
+        assert app.module_count == app.definition.paper.module_count
+    # Headline numbers: best init speedup near 2.30x, best e2e near 2.26x.
+    best_init = max(results[k].speedups.init_speedup for k in OPTIMIZABLE_KEYS)
+    best_e2e = max(results[k].speedups.e2e_speedup for k in OPTIMIZABLE_KEYS)
+    assert best_init == pytest.approx(2.30, rel=0.15)
+    assert best_e2e == pytest.approx(2.26, rel=0.15)
+    # The five clean apps stay untouched.
+    for key in clean:
+        assert results[key].plan.is_empty, key

@@ -1,0 +1,69 @@
+#!/usr/bin/env python
+"""Adaptive CI/CD loop (Fig. 4): re-optimizing under workload drift.
+
+Simulates a graph-processing service whose traffic shifts from BFS queries
+to rendering requests.  The workload monitor (Eqs. 5-7) watches per-entry
+invocation probabilities; when the aggregate shift exceeds ε it triggers
+re-profiling and redeployment with a refreshed deferral plan.
+
+Run:  python examples/adaptive_cicd.py
+"""
+
+from repro.apps import benchmark_apps
+from repro.apps.model import bench_platform_config
+from repro.core.adaptive import WorkloadMonitor
+from repro.core.pipeline import CICDPipeline, PipelineConfig, SlimStart
+from repro.faas.sim import SimPlatform
+from repro.workloads.arrival import poisson_schedule
+from repro.workloads.popularity import EntryMix
+
+WINDOW_S = 900.0
+
+
+def main() -> None:
+    app = benchmark_apps(("R-GB",))[0]
+    config = app.sim_config()
+    platform = SimPlatform(config=bench_platform_config())
+    platform.deploy(config)
+    tool = SlimStart(PipelineConfig(measure_cold_starts=50, measure_runs=1))
+    monitor = WorkloadMonitor(window_s=WINDOW_S, epsilon=0.002)
+    pipeline = CICDPipeline(tool, platform, config, monitor)
+
+    render_entry = next(
+        entry.name for entry in app.entries if entry.name.startswith("admin_")
+    )
+    phases = [
+        ("BFS-dominated", EntryMix(("handle", "process"), (0.9, 0.1)), 0),
+        ("render takeover", EntryMix((render_entry, "handle"), (0.85, 0.15)), 4),
+        ("render steady state", EntryMix((render_entry,), (1.0,)), 8),
+    ]
+
+    print(f"{'phase':22s} {'windows':>8s} {'re-profiled':>12s} {'plan size':>10s}")
+    for label, mix, start_window in phases:
+        schedule = poisson_schedule(
+            mix,
+            rate_per_s=0.02,
+            duration_s=4 * WINDOW_S,
+            seed=5 + start_window,
+            start_s=start_window * WINDOW_S,
+        )
+        events = []
+        for arrival, entry in schedule:
+            at = max(arrival, platform.clock.now())
+            record = platform.invoke(config.name, entry, at=at)
+            events.extend(pipeline.observe([record]))
+        reprofiled = sum(1 for event in events if event.reprofiled)
+        plan = platform.plan_for(config.name)
+        print(
+            f"{label:22s} {len(events):>8d} {reprofiled:>12d} "
+            f"{len(plan.all_deferred):>10d}"
+        )
+        if reprofiled:
+            print(f"{'':22s} new plan: {sorted(plan.all_deferred)}")
+
+    print(f"\ntotal fine-grained profiling runs: {pipeline.profile_count}")
+    print("(a periodic policy would have profiled every window)")
+
+
+if __name__ == "__main__":
+    main()

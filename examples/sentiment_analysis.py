@@ -1,0 +1,87 @@
+#!/usr/bin/env python
+"""The Table IV case study on real execution: Sentiment Analysis (R-SA).
+
+Materializes the R-SA application (nltk/TextBlob stand-ins) as a real
+Python workspace, executes it on the in-process FaaS testbed with the
+sampling profiler and import-time recorder attached, applies the generated
+optimization by actually rewriting source files, and measures real cold
+starts before and after.
+
+Run:  python examples/sentiment_analysis.py
+"""
+
+import tempfile
+from pathlib import Path
+
+from repro.apps import benchmark_apps
+from repro.core.pipeline import SlimStart
+from repro.core.report import render_report
+from repro.faas.local import FunctionDeployment, LocalPlatform
+
+#: Real-execution cost scale: the nltk stand-in's 650 ms import runs in
+#: ~160 ms so the example finishes quickly; every *ratio* is unaffected.
+SCALE = 0.25
+
+
+def main() -> None:
+    base = Path(tempfile.mkdtemp(prefix="slimstart_rsa_"))
+    app = benchmark_apps(("R-SA",))[0]
+    deployment = app.build_real_workspace(base / "v1", scale=SCALE)
+    print(f"workspace: {deployment.workspace}")
+    print(f"libraries: {', '.join(app.loaded_libraries())} "
+          f"({app.module_count} modules)")
+
+    platform = LocalPlatform()
+    platform.deploy(deployment)
+    tool = SlimStart()
+
+    # Typical workload: tokenization + sentiment; the semantic-parsing
+    # entries exist but are never invoked.
+    entries = ["handle"] * 40 + ["process"] * 8
+    libraries = set(app.loaded_libraries())
+    print(f"\nprofiling {len(entries)} real invocations ...")
+    bundle = tool.profile_real_invocations(
+        platform, deployment, entries, libraries, interval_ms=1.0
+    )
+    attributor = tool.workspace_attributor(deployment.workspace, libraries)
+    report = tool.analyze(bundle, attributor)
+    print()
+    print(render_report(report))
+
+    print("\napplying the optimization (rewriting source files) ...")
+    optimized = tool.optimize_workspace(
+        deployment.workspace, report.plan, base / "v2"
+    )
+    for file, statement in optimized.stub_result.commented_edges[:6]:
+        print(f"  {file}: '{statement}' -> lazy")
+    if len(optimized.stub_result.commented_edges) > 6:
+        print(f"  ... and {len(optimized.stub_result.commented_edges) - 6} more")
+
+    new_deployment = FunctionDeployment(
+        name=app.name, workspace=optimized.workspace, entries=deployment.entries
+    )
+    platform.redeploy(new_deployment)
+    platform.force_cold(app.name)
+    after = platform.invoke(app.name, "handle")
+
+    before_platform = LocalPlatform()
+    before_platform.deploy(
+        FunctionDeployment(
+            name="baseline",
+            workspace=deployment.workspace,
+            entries=deployment.entries,
+        )
+    )
+    before = before_platform.invoke("baseline", "handle")
+
+    print()
+    print(f"real cold-start init : {before.init_ms:7.1f} ms -> "
+          f"{after.init_ms:7.1f} ms ({before.init_ms / after.init_ms:.2f}x, "
+          f"paper: 1.35x)")
+    print(f"real memory          : {before.memory_mb:7.1f} MB -> "
+          f"{after.memory_mb:7.1f} MB "
+          f"({before.memory_mb / after.memory_mb:.2f}x, paper: 1.07x)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,19 @@
+"""SlimStart reproduction: profile-guided serverless cold-start optimization.
+
+Reproduces "Efficient Serverless Cold Start: Reducing Library Loading
+Overhead by Profile-guided Optimization" (ICDCS 2025).  Public surface:
+
+* :class:`repro.core.pipeline.SlimStart` — the tool (profile → analyze →
+  optimize → redeploy) for both back ends.
+* :mod:`repro.faas` — the local FaaS testbed (real execution + simulator).
+* :mod:`repro.synthlib` — the synthetic library ecosystem.
+* :mod:`repro.apps` — the 22-application evaluation suite.
+* :mod:`repro.staticbase` — the FaaSLight static-analysis baseline.
+* :mod:`repro.workloads` — popularity mixes, arrivals, production traces.
+"""
+
+from repro.plan import DeferralPlan
+
+__version__ = "1.0.0"
+
+__all__ = ["DeferralPlan", "__version__"]

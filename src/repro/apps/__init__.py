@@ -1,0 +1,21 @@
+"""The 22-application benchmark suite of the paper's evaluation.
+
+Applications come from four groups — RainbowCake, FaaSLight,
+FaaSWorkbench, and four real-world applications — each defined as an
+:class:`~repro.apps.model.BenchmarkApp`: a synthetic-library ecosystem
+whose module counts match Table II, entry points wired to library clusters,
+and a workload mix that reproduces the paper's workload-dependent usage
+(hot / rarely-invoked / never-invoked / statically-orphaned clusters).
+"""
+
+from repro.apps.model import BenchmarkApp, instantiate
+from repro.apps.catalog import APP_DEFINITIONS, AppDefinition, app_by_key, benchmark_apps
+
+__all__ = [
+    "BenchmarkApp",
+    "instantiate",
+    "APP_DEFINITIONS",
+    "AppDefinition",
+    "app_by_key",
+    "benchmark_apps",
+]

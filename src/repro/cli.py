@@ -1,0 +1,185 @@
+"""``slimstart`` command-line interface.
+
+Sub-commands mirror the tool's workflow plus the evaluation harness:
+
+* ``slimstart apps``                      — list the 22 benchmark apps
+* ``slimstart report --app R-SA``         — profile one app on the
+  simulator and print its SLIMSTART summary (Tables IV/V shape)
+* ``slimstart cycle --app R-GB``          — full optimize cycle + speedups
+* ``slimstart table2``                    — regenerate Table II
+* ``slimstart optimize --workspace DIR``  — rewrite a real workspace from
+  a plan JSON file
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+from repro.apps import benchmark_apps
+from repro.apps.catalog import APP_DEFINITIONS, app_by_key
+from repro.apps.model import bench_platform_config, instantiate
+from repro.core.pipeline import PipelineConfig, SlimStart
+from repro.core.report import render_report
+from repro.faas.sim import SimPlatform
+from repro.plan import DeferralPlan
+from repro.workloads.arrival import poisson_schedule
+
+
+def _build_tool(args: argparse.Namespace) -> SlimStart:
+    return SlimStart(
+        PipelineConfig(
+            measure_cold_starts=args.cold_starts,
+            measure_runs=args.runs,
+        )
+    )
+
+
+def _profile_app(tool: SlimStart, key: str):
+    app = instantiate(app_by_key(key))
+    platform = SimPlatform(config=bench_platform_config())
+    schedule = poisson_schedule(app.mix, rate_per_s=0.3, duration_s=3600.0, seed=7)
+    config = app.sim_config()
+    platform.deploy(config)
+    bundle = tool.profile_simulated(platform, config, schedule)
+    report = tool.analyze(bundle, tool.sim_attributor(config))
+    return app, platform, config, report
+
+
+def cmd_apps(args: argparse.Namespace) -> int:
+    print(f"{'key':10s} {'suite':14s} {'libs':>5s} {'modules':>8s} {'depth':>6s}  name")
+    for definition in APP_DEFINITIONS:
+        app = instantiate(definition)
+        print(
+            f"{app.key:10s} {definition.suite:14s} {app.library_count:5d} "
+            f"{app.module_count:8d} {app.average_depth:6.2f}  {app.name}"
+        )
+    return 0
+
+
+def cmd_report(args: argparse.Namespace) -> int:
+    tool = _build_tool(args)
+    _, _, _, report = _profile_app(tool, args.app)
+    print(render_report(report))
+    if args.plan_out:
+        payload = {
+            "app": report.plan.app,
+            "deferred_handler_imports": sorted(report.plan.deferred_handler_imports),
+            "deferred_library_edges": sorted(report.plan.deferred_library_edges),
+        }
+        with open(args.plan_out, "w") as handle:
+            json.dump(payload, handle, indent=2)
+        print(f"\nplan written to {args.plan_out}")
+    return 0
+
+
+def cmd_cycle(args: argparse.Namespace) -> int:
+    tool = _build_tool(args)
+    app = instantiate(app_by_key(args.app))
+    platform = SimPlatform(config=bench_platform_config())
+    schedule = poisson_schedule(app.mix, rate_per_s=0.3, duration_s=3600.0, seed=7)
+    result = tool.run_simulated_cycle(
+        app.sim_config(), schedule, app.mix, platform=platform
+    )
+    print(render_report(result.report))
+    speedups = result.speedups
+    print()
+    print(f"initialization speedup : {speedups.init_speedup:5.2f}x")
+    print(f"end-to-end speedup     : {speedups.e2e_speedup:5.2f}x")
+    print(f"p99 init speedup       : {speedups.p99_init_speedup:5.2f}x")
+    print(f"p99 end-to-end speedup : {speedups.p99_e2e_speedup:5.2f}x")
+    print(f"memory reduction       : {speedups.memory_reduction:5.2f}x")
+    return 0
+
+
+def cmd_table2(args: argparse.Namespace) -> int:
+    tool = _build_tool(args)
+    header = (
+        f"{'App':10s} {'Libs':>4s} {'Mods':>5s} {'Depth':>5s} "
+        f"{'Init x':>7s} {'E2E x':>6s} {'p99 Init':>8s} {'p99 E2E':>8s}"
+    )
+    print(header)
+    print("-" * len(header))
+    for app in benchmark_apps():
+        if app.definition.paper is None:
+            continue
+        platform = SimPlatform(config=bench_platform_config())
+        schedule = poisson_schedule(
+            app.mix, rate_per_s=0.3, duration_s=3600.0, seed=7
+        )
+        result = tool.run_simulated_cycle(
+            app.sim_config(), schedule, app.mix, platform=platform
+        )
+        s = result.speedups
+        print(
+            f"{app.key:10s} {app.library_count:4d} {app.module_count:5d} "
+            f"{app.average_depth:5.2f} {s.init_speedup:7.2f} {s.e2e_speedup:6.2f} "
+            f"{s.p99_init_speedup:8.2f} {s.p99_e2e_speedup:8.2f}"
+        )
+    return 0
+
+
+def cmd_optimize(args: argparse.Namespace) -> int:
+    with open(args.plan) as handle:
+        payload = json.load(handle)
+    plan = DeferralPlan(
+        app=payload["app"],
+        deferred_handler_imports=frozenset(payload["deferred_handler_imports"]),
+        deferred_library_edges=frozenset(payload["deferred_library_edges"]),
+    )
+    tool = SlimStart()
+    result = tool.optimize_workspace(args.workspace, plan, args.out)
+    print(f"optimized workspace written to {result.workspace}")
+    for deferred in result.handler_result.deferred:
+        print(f"  handler: deferred {deferred.import_statement}")
+    for file, statement in result.stub_result.commented_edges:
+        print(f"  library: {file}: {statement} -> lazy")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="slimstart",
+        description="SlimStart reproduction: profile-guided cold-start optimization.",
+    )
+    parser.add_argument(
+        "--cold-starts", type=int, default=500, help="requests per measurement run"
+    )
+    parser.add_argument(
+        "--runs", type=int, default=5, help="measurement repetitions to average"
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("apps", help="list the benchmark applications")
+
+    report = sub.add_parser("report", help="profile one app, print its summary")
+    report.add_argument("--app", required=True, help="application key, e.g. R-SA")
+    report.add_argument("--plan-out", help="write the deferral plan as JSON")
+
+    cycle = sub.add_parser("cycle", help="full optimize cycle on one app")
+    cycle.add_argument("--app", required=True, help="application key, e.g. R-GB")
+
+    sub.add_parser("table2", help="regenerate Table II on the simulator")
+
+    optimize = sub.add_parser("optimize", help="apply a plan to a real workspace")
+    optimize.add_argument("--workspace", required=True)
+    optimize.add_argument("--plan", required=True, help="plan JSON file")
+    optimize.add_argument("--out", required=True, help="destination workspace")
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    handlers = {
+        "apps": cmd_apps,
+        "report": cmd_report,
+        "cycle": cmd_cycle,
+        "table2": cmd_table2,
+        "optimize": cmd_optimize,
+    }
+    return handlers[args.command](args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

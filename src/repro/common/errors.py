@@ -1,0 +1,34 @@
+"""Exception hierarchy for the repro package.
+
+All library-raised exceptions derive from :class:`ReproError` so callers can
+catch everything from this package with a single except clause while still
+letting programming errors (``TypeError`` etc.) propagate.
+"""
+
+
+class ReproError(Exception):
+    """Base class for every error raised by the repro package."""
+
+
+class SpecError(ReproError):
+    """A library/application specification is malformed or inconsistent."""
+
+
+class ProfilingError(ReproError):
+    """The profiler could not be installed, started, or stopped."""
+
+
+class OptimizationError(ReproError):
+    """The code optimizer could not safely transform a source file."""
+
+
+class DeploymentError(ReproError):
+    """A function package could not be built, deployed, or invoked."""
+
+
+class WorkloadError(ReproError):
+    """A workload/trace definition is invalid or exhausted."""
+
+
+class StorageError(ReproError):
+    """The emulated cloud storage rejected an operation."""

@@ -1,0 +1,37 @@
+"""Tiny JSON persistence helpers shared by profiles, reports, and traces."""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+from pathlib import Path
+from typing import Any
+
+
+def to_jsonable(value: Any) -> Any:
+    """Recursively convert dataclasses/tuples/sets into JSON-friendly types."""
+    if dataclasses.is_dataclass(value) and not isinstance(value, type):
+        return {
+            field.name: to_jsonable(getattr(value, field.name))
+            for field in dataclasses.fields(value)
+        }
+    if isinstance(value, dict):
+        return {str(key): to_jsonable(item) for key, item in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [to_jsonable(item) for item in value]
+    if isinstance(value, (set, frozenset)):
+        return sorted(to_jsonable(item) for item in value)
+    return value
+
+
+def dump_json(value: Any, path: str | Path, indent: int = 2) -> Path:
+    """Serialize ``value`` to ``path`` and return the path."""
+    target = Path(path)
+    target.parent.mkdir(parents=True, exist_ok=True)
+    target.write_text(json.dumps(to_jsonable(value), indent=indent, sort_keys=True))
+    return target
+
+
+def load_json(path: str | Path) -> Any:
+    """Load JSON from ``path``."""
+    return json.loads(Path(path).read_text())

@@ -1,0 +1,10 @@
+"""SLIMSTART itself: profiler, analyzer, optimizer, adaptive monitor.
+
+Import submodules directly (``from repro.core.analyzer import Analyzer``);
+this package intentionally re-exports only the small, stable facade.
+"""
+
+from repro.core.samples import Frame, Sample, SampleSet
+from repro.core.cct import CallingContextTree
+
+__all__ = ["Frame", "Sample", "SampleSet", "CallingContextTree"]

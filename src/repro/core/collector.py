@@ -1,0 +1,137 @@
+"""Profile collection: local buffering + asynchronous batch transfer.
+
+Implements Fig. 7 steps 4-5: function instances buffer profile bundles
+locally and a background uploader ships them in batches to cloud storage,
+so profiling never adds synchronous network time to an invocation.  The
+analyzer later fetches and merges everything under the app's prefix.
+"""
+
+from __future__ import annotations
+
+import queue
+import threading
+from typing import Iterable
+
+from repro.common.errors import ProfilingError
+from repro.core.profiles import ProfileBundle
+from repro.faas.storage import CloudStorage
+
+_PREFIX = "profiles"
+_STOP = object()
+
+
+def bundle_key(app: str, sequence: int) -> str:
+    return f"{_PREFIX}/{app}/{sequence:06d}"
+
+
+class ProfileCollector:
+    """Buffers bundles per function instance and uploads them in batches."""
+
+    def __init__(
+        self,
+        storage: CloudStorage,
+        app: str,
+        batch_size: int = 8,
+        asynchronous: bool = True,
+    ) -> None:
+        if batch_size < 1:
+            raise ProfilingError(f"batch size must be >= 1: {batch_size}")
+        self.storage = storage
+        self.app = app
+        self.batch_size = batch_size
+        self.asynchronous = asynchronous
+        self._buffer: list[ProfileBundle] = []
+        self._sequence = 0
+        self._uploads: "queue.Queue[object]" = queue.Queue()
+        self._worker: threading.Thread | None = None
+        self._closed = False
+        if asynchronous:
+            self._worker = threading.Thread(
+                target=self._upload_loop, name="slimstart-uploader", daemon=True
+            )
+            self._worker.start()
+
+    # -- producer side -------------------------------------------------------
+
+    def record(self, bundle: ProfileBundle) -> None:
+        """Buffer one invocation's profile; flushes on a full batch."""
+        if self._closed:
+            raise ProfilingError("collector is closed")
+        if bundle.app != self.app:
+            raise ProfilingError(
+                f"collector for {self.app!r} got bundle for {bundle.app!r}"
+            )
+        self._buffer.append(bundle)
+        if len(self._buffer) >= self.batch_size:
+            self.flush()
+
+    def flush(self) -> None:
+        """Merge the buffer into one object and hand it to the uploader."""
+        if not self._buffer:
+            return
+        merged = self._buffer[0]
+        for bundle in self._buffer[1:]:
+            merged = merged.merged_with(bundle)
+        self._buffer = []
+        key = bundle_key(self.app, self._sequence)
+        self._sequence += 1
+        if self.asynchronous:
+            self._uploads.put((key, merged.to_dict()))
+        else:
+            self.storage.put(key, merged.to_dict())
+
+    def close(self) -> None:
+        """Flush remaining data and stop the uploader thread."""
+        if self._closed:
+            return
+        self.flush()
+        self._closed = True
+        if self._worker is not None:
+            self._uploads.put(_STOP)
+            self._worker.join(timeout=10.0)
+            self._worker = None
+
+    def __enter__(self) -> "ProfileCollector":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # -- uploader thread ---------------------------------------------------------
+
+    def _upload_loop(self) -> None:
+        while True:
+            item = self._uploads.get()
+            if item is _STOP:
+                return
+            key, payload = item
+            self.storage.put(key, payload)
+
+
+def fetch_bundles(storage: CloudStorage, app: str) -> list[ProfileBundle]:
+    """All uploaded bundles for one app, in upload order."""
+    keys = storage.list_keys(prefix=f"{_PREFIX}/{app}/")
+    return [ProfileBundle.from_dict(storage.get(key)) for key in keys]
+
+
+def fetch_merged(storage: CloudStorage, app: str) -> ProfileBundle:
+    """Merge every uploaded bundle for ``app`` into one analyzer input."""
+    bundles = fetch_bundles(storage, app)
+    if not bundles:
+        raise ProfilingError(f"no profiles uploaded for app {app!r}")
+    merged = bundles[0]
+    for bundle in bundles[1:]:
+        merged = merged.merged_with(bundle)
+    return merged
+
+
+def merge_all(bundles: Iterable[ProfileBundle]) -> ProfileBundle:
+    """Merge an in-memory bundle sequence (multi-instance aggregation)."""
+    iterator = iter(bundles)
+    try:
+        merged = next(iterator)
+    except StopIteration:
+        raise ProfilingError("cannot merge zero bundles") from None
+    for bundle in iterator:
+        merged = merged.merged_with(bundle)
+    return merged

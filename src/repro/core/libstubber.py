@@ -1,0 +1,226 @@
+"""Library-level lazy loading via PEP 562 module ``__getattr__`` stubs.
+
+The optimizer in :mod:`repro.core.optimizer` handles *application* imports.
+Some inefficiencies, however, live inside library code: igraph's
+``__init__`` eagerly imports its drawing stack, nltk's root imports
+``sem``/``stem``/``parse``/``tag`` (Table IV).  This module rewrites the
+*library* side of a workspace:
+
+1. every module-level ``import <target>`` edge into a deferred module is
+   commented out, and
+2. the deferred module's parent package gains a ``__getattr__`` stub that
+   imports it on first attribute access,
+
+so ``lib.subpkg.fn()`` still works — the subpackage just loads when first
+touched instead of at cold start.  Top-level deferred libraries (a library
+imported eagerly by *another* library) need no stub: commenting the edge
+suffices, because any runtime access goes through ``importlib`` anyway.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.common.errors import OptimizationError
+
+COMMENT_PREFIX = "# [slimstart] lazy edge: "
+STUB_BEGIN = "# [slimstart] lazy-stub-begin"
+STUB_END = "# [slimstart] lazy-stub-end"
+
+
+@dataclass
+class StubResult:
+    """What the stubber changed."""
+
+    commented_edges: list[tuple[str, str]] = field(default_factory=list)
+    # (file, import statement)
+    stubbed_packages: dict[str, list[str]] = field(default_factory=dict)
+    # package dotted name -> lazily provided attribute names
+
+    @property
+    def changed(self) -> bool:
+        return bool(self.commented_edges) or bool(self.stubbed_packages)
+
+
+def _iter_python_files(workspace: Path):
+    for path in sorted(workspace.rglob("*.py")):
+        if "__pycache__" in path.parts:
+            continue
+        yield path
+
+
+def _drop_stale_bytecode(path: Path) -> None:
+    cache = path.parent / "__pycache__"
+    if cache.is_dir():
+        for stale in cache.glob(f"{path.stem}.*.pyc"):
+            stale.unlink()
+
+
+def _comment_import_edges(path: Path, targets: frozenset[str]) -> list[str]:
+    """Comment module-level imports of exactly the target modules.
+
+    Only exact-name edges count: ``import lib.sub`` is an edge into
+    ``lib.sub``; ``import lib.sub.child`` is an edge into the child (it
+    would load ``lib.sub`` implicitly, so deferring the parent while such
+    an edge survives simply yields a partial deferral, mirroring CPython).
+    """
+    source = path.read_text()
+    try:
+        tree = ast.parse(source)
+    except SyntaxError as error:
+        raise OptimizationError(f"cannot parse {path}: {error}") from error
+    lines = source.splitlines()
+    commented: list[str] = []
+    ranges: list[tuple[int, int, str]] = []
+    for node in tree.body:
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                if alias.name in targets:
+                    statement = f"import {alias.name}" + (
+                        f" as {alias.asname}" if alias.asname else ""
+                    )
+                    ranges.append(
+                        (node.lineno, node.end_lineno or node.lineno, statement)
+                    )
+        elif isinstance(node, ast.ImportFrom) and not node.level:
+            module = node.module or ""
+            for alias in node.names:
+                if alias.name == "*":
+                    continue
+                if f"{module}.{alias.name}" in targets:
+                    statement = f"from {module} import {alias.name}"
+                    ranges.append(
+                        (node.lineno, node.end_lineno or node.lineno, statement)
+                    )
+    if not ranges:
+        return []
+    for start, end, statement in sorted(ranges, key=lambda item: -item[0]):
+        for index in range(start - 1, end):
+            if not lines[index].startswith(COMMENT_PREFIX):
+                lines[index] = COMMENT_PREFIX + lines[index]
+        commented.append(statement)
+    new_source = "\n".join(lines)
+    if source.endswith("\n"):
+        new_source += "\n"
+    path.write_text(new_source)
+    _drop_stale_bytecode(path)
+    return commented
+
+
+def _stub_block(lazy_map: dict[str, str]) -> str:
+    entries = ",\n".join(
+        f"    {attribute!r}: {module!r}" for attribute, module in sorted(lazy_map.items())
+    )
+    return (
+        f"{STUB_BEGIN}\n"
+        "_SLIMSTART_LAZY = {\n"
+        f"{entries},\n"
+        "}\n"
+        "\n"
+        "\n"
+        "def __getattr__(name):\n"
+        "    if name in _SLIMSTART_LAZY:\n"
+        "        import importlib\n"
+        "\n"
+        "        return importlib.import_module(_SLIMSTART_LAZY[name])\n"
+        "    raise AttributeError(\n"
+        '        f"module {__name__!r} has no attribute {name!r}"\n'
+        "    )\n"
+        f"{STUB_END}\n"
+    )
+
+
+def _existing_lazy_map(source: str) -> dict[str, str]:
+    """Parse a previously written stub block's mapping (idempotence)."""
+    if STUB_BEGIN not in source:
+        return {}
+    try:
+        tree = ast.parse(source)
+    except SyntaxError:
+        return {}
+    for node in tree.body:
+        if (
+            isinstance(node, ast.Assign)
+            and len(node.targets) == 1
+            and isinstance(node.targets[0], ast.Name)
+            and node.targets[0].id == "_SLIMSTART_LAZY"
+        ):
+            try:
+                value = ast.literal_eval(node.value)
+            except ValueError:
+                return {}
+            if isinstance(value, dict):
+                return {str(k): str(v) for k, v in value.items()}
+    return {}
+
+
+def _remove_stub_block(source: str) -> str:
+    if STUB_BEGIN not in source:
+        return source
+    lines = source.splitlines()
+    try:
+        begin = next(i for i, line in enumerate(lines) if line.strip() == STUB_BEGIN)
+        end = next(i for i, line in enumerate(lines) if line.strip() == STUB_END)
+    except StopIteration:
+        raise OptimizationError("corrupt lazy-stub block markers") from None
+    del lines[begin : end + 1]
+    new_source = "\n".join(lines)
+    if source.endswith("\n"):
+        new_source += "\n"
+    return new_source
+
+
+def _write_stub(package_init: Path, additions: dict[str, str]) -> list[str]:
+    source = package_init.read_text()
+    lazy_map = _existing_lazy_map(source)
+    lazy_map.update(additions)
+    source = _remove_stub_block(source)
+    if not source.endswith("\n"):
+        source += "\n"
+    source += "\n\n" + _stub_block(lazy_map)
+    package_init.write_text(source)
+    _drop_stale_bytecode(package_init)
+    return sorted(lazy_map)
+
+
+def apply_library_deferrals(
+    workspace: str | Path, targets: set[str] | frozenset[str]
+) -> StubResult:
+    """Defer ``targets`` (dotted module names) across a whole workspace.
+
+    Idempotent: re-applying with the same or additional targets extends
+    existing stub blocks instead of duplicating them.
+    """
+    workspace_path = Path(workspace)
+    if not workspace_path.is_dir():
+        raise OptimizationError(f"workspace does not exist: {workspace_path}")
+    target_set = frozenset(targets)
+    result = StubResult()
+    if not target_set:
+        return result
+
+    for path in _iter_python_files(workspace_path):
+        if path.name == "handler.py" and path.parent == workspace_path:
+            continue  # application code belongs to the app-level optimizer
+        for statement in _comment_import_edges(path, target_set):
+            result.commented_edges.append(
+                (str(path.relative_to(workspace_path)), statement)
+            )
+
+    by_parent: dict[str, dict[str, str]] = {}
+    for dotted in sorted(target_set):
+        parent, _, attribute = dotted.rpartition(".")
+        if not parent:
+            continue  # top-level library: commenting the edge is enough
+        by_parent.setdefault(parent, {})[attribute] = dotted
+
+    for parent, additions in by_parent.items():
+        init_path = workspace_path.joinpath(*parent.split(".")) / "__init__.py"
+        if not init_path.is_file():
+            raise OptimizationError(
+                f"cannot stub {parent!r}: no package __init__ at {init_path}"
+            )
+        result.stubbed_packages[parent] = _write_stub(init_path, additions)
+    return result

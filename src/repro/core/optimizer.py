@@ -1,0 +1,369 @@
+"""Automated code optimizer: global imports become deferred imports.
+
+Given the analyzer's plan, this module rewrites *application* source: each
+flagged global import is commented out and re-inserted at the top of every
+function that uses the imported name, so the library loads on the first
+request that needs it instead of on every cold start (§IV-B).
+
+Correctness-preserving by construction: an import is only deferred when the
+bound name is provably safe to bind late —
+
+* never referenced at module level (including class bodies, decorators,
+  default argument values and annotations, all of which execute at import
+  time),
+* never re-assigned or deleted anywhere in the module, and
+* not introduced by a star import.
+
+Anything unsafe is skipped and reported, never silently transformed.
+Rewrites are line-surgical (comment + insert) so surrounding formatting and
+line-oriented tooling survive.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+
+from repro.common.errors import OptimizationError
+
+COMMENT_PREFIX = "# [slimstart] deferred: "
+
+
+@dataclass(frozen=True)
+class DeferredImport:
+    """One import binding moved from module level into functions."""
+
+    bound_name: str
+    import_statement: str  # e.g. "import sligraph" / "from x import y as z"
+    target: str  # the plan module that matched
+    lineno: int
+    inserted_into: tuple[str, ...]  # function names that received the import
+
+
+@dataclass(frozen=True)
+class SkippedImport:
+    """An import the optimizer refused to touch, with the reason."""
+
+    lineno: int
+    text: str
+    reason: str
+
+
+@dataclass
+class OptimizationResult:
+    source: str
+    deferred: list[DeferredImport] = field(default_factory=list)
+    skipped: list[SkippedImport] = field(default_factory=list)
+
+    @property
+    def changed(self) -> bool:
+        return bool(self.deferred)
+
+
+@dataclass
+class _Binding:
+    node: ast.stmt
+    alias: ast.alias
+    bound_name: str
+    import_statement: str
+    target: str
+
+
+def _matches(module_name: str, targets: frozenset[str]) -> str | None:
+    """Return the matching target when ``module_name`` is it or inside it."""
+    for target in targets:
+        if module_name == target or module_name.startswith(target + "."):
+            return target
+    return None
+
+
+def _statement_bindings(
+    node: ast.stmt, targets: frozenset[str]
+) -> tuple[list[_Binding], list[ast.alias], str | None]:
+    """Split an import statement into deferred bindings and kept aliases.
+
+    Returns ``(bindings, kept_aliases, skip_reason)``; a non-None skip
+    reason means the whole statement must be left alone.
+    """
+    bindings: list[_Binding] = []
+    kept: list[ast.alias] = []
+    if isinstance(node, ast.Import):
+        for alias in node.names:
+            target = _matches(alias.name, targets)
+            if target is None:
+                kept.append(alias)
+                continue
+            statement = f"import {alias.name}"
+            if alias.asname:
+                statement += f" as {alias.asname}"
+            bound = alias.asname or alias.name.partition(".")[0]
+            bindings.append(_Binding(node, alias, bound, statement, target))
+        return bindings, kept, None
+    if isinstance(node, ast.ImportFrom):
+        if node.level and node.level > 0:
+            return [], list(node.names), "relative import"
+        module = node.module or ""
+        target = _matches(module, targets)
+        if target is None:
+            return [], list(node.names), None
+        for alias in node.names:
+            if alias.name == "*":
+                return [], list(node.names), "star import cannot be deferred"
+        for alias in node.names:
+            statement = f"from {module} import {alias.name}"
+            if alias.asname:
+                statement += f" as {alias.asname}"
+            bound = alias.asname or alias.name
+            bindings.append(_Binding(node, alias, bound, statement, target))
+        return bindings, kept, None
+    return [], [], None
+
+
+class _NameUsage(ast.NodeVisitor):
+    """Collects loaded/stored names, separating module level from functions.
+
+    "Module level" here means everything that executes at import time:
+    plain statements, class bodies, decorators, default values, and
+    annotations — the regions where a deferred name would be missing.
+    """
+
+    def __init__(self) -> None:
+        self.module_loads: set[str] = set()
+        self.stores: set[str] = set()
+        self.function_loads: dict[str, set[str]] = {}
+        self._function_stack: list[str] = []
+
+    # -- names -----------------------------------------------------------
+
+    def visit_Name(self, node: ast.Name) -> None:
+        if isinstance(node.ctx, ast.Load):
+            if self._function_stack:
+                self.function_loads[self._function_stack[0]].add(node.id)
+            else:
+                self.module_loads.add(node.id)
+        else:
+            self.stores.add(node.id)
+        self.generic_visit(node)
+
+    def visit_Global(self, node: ast.Global) -> None:
+        self.stores.update(node.names)
+
+    def visit_Nonlocal(self, node: ast.Nonlocal) -> None:
+        self.stores.update(node.names)
+
+    # -- function scoping ---------------------------------------------------
+
+    def _visit_function(self, node) -> None:
+        # Decorators, defaults and annotations evaluate at definition time,
+        # i.e. in the enclosing scope.
+        for decorator in node.decorator_list:
+            self.visit(decorator)
+        if node.args:
+            for default in list(node.args.defaults) + [
+                d for d in node.args.kw_defaults if d is not None
+            ]:
+                self.visit(default)
+            for argument in (
+                node.args.posonlyargs
+                + node.args.args
+                + node.args.kwonlyargs
+                + ([node.args.vararg] if node.args.vararg else [])
+                + ([node.args.kwarg] if node.args.kwarg else [])
+            ):
+                if argument.annotation is not None:
+                    self.visit(argument.annotation)
+        if node.returns is not None:
+            self.visit(node.returns)
+        if not self._function_stack:
+            self.function_loads.setdefault(node.name, set())
+        self._function_stack.append(
+            self._function_stack[0] if self._function_stack else node.name
+        )
+        for statement in node.body:
+            self.visit(statement)
+        self._function_stack.pop()
+
+    def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
+        self._visit_function(node)
+
+    def visit_AsyncFunctionDef(self, node: ast.AsyncFunctionDef) -> None:
+        self._visit_function(node)
+
+    def visit_Lambda(self, node: ast.Lambda) -> None:
+        # A lambda body does not execute at import time, but treating its
+        # loads as belonging to the enclosing region keeps the analysis
+        # conservative when the lambda sits at module level.
+        self.generic_visit(node)
+
+
+def _top_level_functions(tree: ast.Module) -> list[ast.FunctionDef]:
+    """Module functions plus methods of module-level classes."""
+    functions: list = []
+    for node in tree.body:
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            functions.append(node)
+        elif isinstance(node, ast.ClassDef):
+            for sub in node.body:
+                if isinstance(sub, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                    functions.append(sub)
+    return functions
+
+
+def _insert_line_for(function: ast.FunctionDef) -> tuple[int, str]:
+    """(1-based line to insert before, indentation) for a function body."""
+    body = function.body
+    first = body[0]
+    if (
+        isinstance(first, ast.Expr)
+        and isinstance(first.value, ast.Constant)
+        and isinstance(first.value.value, str)
+        and len(body) > 1
+    ):
+        first = body[1]
+    indent = " " * first.col_offset
+    return first.lineno, indent
+
+
+def optimize_source(source: str, targets: frozenset[str] | set[str]) -> OptimizationResult:
+    """Defer global imports of ``targets`` in ``source``.
+
+    Returns the rewritten source plus a record of what was deferred and
+    what was skipped (with reasons).  Raises :class:`OptimizationError`
+    only when the input does not parse.
+    """
+    targets = frozenset(targets)
+    try:
+        tree = ast.parse(source)
+    except SyntaxError as error:
+        raise OptimizationError(f"cannot parse source: {error}") from error
+
+    usage = _NameUsage()
+    usage.visit(tree)
+    functions = _top_level_functions(tree)
+    lines = source.splitlines()
+    result = OptimizationResult(source=source)
+
+    # Collect rewrite operations first, apply bottom-up afterwards.
+    comment_ranges: list[tuple[int, int, str | None]] = []  # (start, end, kept stmt)
+    insertions: dict[int, list[str]] = {}  # lineno -> lines to insert before
+    deferred_bindings: list[tuple[_Binding, tuple[str, ...]]] = []
+
+    for node in tree.body:
+        if not isinstance(node, (ast.Import, ast.ImportFrom)):
+            continue
+        bindings, kept, skip_reason = _statement_bindings(node, targets)
+        if skip_reason is not None and _matches(
+            getattr(node, "module", None) or "", targets
+        ):
+            result.skipped.append(
+                SkippedImport(
+                    lineno=node.lineno,
+                    text=ast.get_source_segment(source, node) or "",
+                    reason=skip_reason,
+                )
+            )
+            continue
+        if not bindings:
+            continue
+
+        safe_bindings: list[_Binding] = []
+        for binding in bindings:
+            reason = _safety_reason(binding, usage)
+            if reason is None:
+                safe_bindings.append(binding)
+            else:
+                result.skipped.append(
+                    SkippedImport(
+                        lineno=node.lineno,
+                        text=binding.import_statement,
+                        reason=reason,
+                    )
+                )
+        if not safe_bindings:
+            continue
+
+        kept_aliases = kept + [
+            binding.alias for binding in bindings if binding not in safe_bindings
+        ]
+        kept_statement = None
+        if kept_aliases and isinstance(node, ast.Import):
+            kept_statement = "import " + ", ".join(
+                alias.name + (f" as {alias.asname}" if alias.asname else "")
+                for alias in kept_aliases
+            )
+        elif kept_aliases and isinstance(node, ast.ImportFrom):
+            kept_statement = f"from {node.module} import " + ", ".join(
+                alias.name + (f" as {alias.asname}" if alias.asname else "")
+                for alias in kept_aliases
+            )
+        comment_ranges.append(
+            (node.lineno, node.end_lineno or node.lineno, kept_statement)
+        )
+
+        for binding in safe_bindings:
+            receivers = []
+            for function in functions:
+                loads = usage.function_loads.get(function.name, set())
+                if binding.bound_name in loads:
+                    insert_at, indent = _insert_line_for(function)
+                    insertions.setdefault(insert_at, []).append(
+                        f"{indent}{binding.import_statement}"
+                    )
+                    receivers.append(function.name)
+            deferred_bindings.append((binding, tuple(receivers)))
+
+    if not deferred_bindings:
+        return result
+
+    # Apply edits bottom-up so line numbers stay valid.
+    edits: list[tuple[int, str, object]] = []
+    for start, end, kept_statement in comment_ranges:
+        edits.append((start, "comment", (start, end, kept_statement)))
+    for lineno, new_lines in insertions.items():
+        edits.append((lineno, "insert", new_lines))
+    edits.sort(key=lambda item: -item[0])
+
+    for lineno, action, payload in edits:
+        if action == "comment":
+            start, end, kept_statement = payload  # type: ignore[misc]
+            for index in range(start - 1, end):
+                lines[index] = COMMENT_PREFIX + lines[index]
+            if kept_statement is not None:
+                lines.insert(end, kept_statement)
+        else:
+            unique = list(dict.fromkeys(payload))  # type: ignore[arg-type]
+            for offset, text in enumerate(unique):
+                lines.insert(lineno - 1 + offset, text)
+
+    new_source = "\n".join(lines)
+    if source.endswith("\n"):
+        new_source += "\n"
+    try:
+        ast.parse(new_source)
+    except SyntaxError as error:  # pragma: no cover - defensive
+        raise OptimizationError(
+            f"optimizer produced invalid source (bug): {error}"
+        ) from error
+
+    result.source = new_source
+    result.deferred = [
+        DeferredImport(
+            bound_name=binding.bound_name,
+            import_statement=binding.import_statement,
+            target=binding.target,
+            lineno=binding.node.lineno,
+            inserted_into=receivers,
+        )
+        for binding, receivers in deferred_bindings
+    ]
+    return result
+
+
+def _safety_reason(binding: _Binding, usage: _NameUsage) -> str | None:
+    """None when deferring is safe, else a human-readable refusal reason."""
+    name = binding.bound_name
+    if name in usage.module_loads:
+        return f"name {name!r} is used at module level"
+    if name in usage.stores:
+        return f"name {name!r} is re-assigned in the module"
+    return None

@@ -1,0 +1,82 @@
+"""Rendering of SLIMSTART summary reports (the shape of Tables IV and V).
+
+The analyzer produces structured data; this module formats it for humans:
+a package table (utilization vs. initialization overhead) followed by the
+representative call paths of every flagged package.
+"""
+
+from __future__ import annotations
+
+from repro.core.analyzer import InefficiencyReport
+
+_RULE = "-" * 72
+
+
+def render_report(report: InefficiencyReport) -> str:
+    """Render one application's inefficiency report as text."""
+    lines = [
+        "SLIMSTART Summary",
+        f"Application: {report.app}",
+        f"Initialization ratio: {report.init_ratio:.1%}"
+        + ("" if report.profiled else "  (below threshold; not profiled)"),
+        f"Total library initialization: {report.total_init_ms:.1f} ms",
+        _RULE,
+    ]
+    if not report.profiled:
+        lines.append("No optimization performed.")
+        return "\n".join(lines)
+
+    lines.append(
+        f"{'':2}{'Package':<34}{'Util.':>8}{'Init.Overhead':>15}  Class"
+    )
+    for row in report.rows:
+        marker = "-" if row.deferral == "none" else "+"
+        lines.append(
+            f"{marker:2}{row.library:<34}{row.utilization:>7.2%}"
+            f"{row.init_share:>14.2%}  {row.classification}"
+            + (f" [{row.deferral}]" if row.deferral != "none" else "")
+        )
+        for flag in report.subtree_flags:
+            if flag.module.partition(".")[0] != row.library:
+                continue
+            lines.append(
+                f"{'+':2}{'  ' + flag.module:<34}{flag.utilization:>7.2%}"
+                f"{flag.init_share:>14.2%}  deferred subtree"
+            )
+    if report.plan.is_empty:
+        lines.append(_RULE)
+        lines.append("No inefficiencies found; plan is empty.")
+        return "\n".join(lines)
+
+    lines.append(_RULE)
+    lines.append("Deferral plan:")
+    for dotted in sorted(report.plan.deferred_handler_imports):
+        lines.append(f"  handler-level lazy import: {dotted}")
+    for dotted in sorted(report.plan.deferred_library_edges):
+        lines.append(f"  library-level lazy stub:   {dotted}")
+
+    if report.call_paths:
+        lines.append(_RULE)
+        lines.append("Call paths:")
+        for dotted, paths in sorted(report.call_paths.items()):
+            lines.append(f"  Package: {dotted}")
+            for path in paths:
+                lines.append(f"    {path}")
+    return "\n".join(lines)
+
+
+def render_comparison_row(
+    label: str,
+    before_memory_mb: float,
+    after_memory_mb: float,
+    before_e2e_ms: float,
+    after_e2e_ms: float,
+) -> str:
+    """One before/after line in the Table III layout."""
+    memory_ratio = before_memory_mb / after_memory_mb if after_memory_mb else 0.0
+    latency_ratio = before_e2e_ms / after_e2e_ms if after_e2e_ms else 0.0
+    return (
+        f"{label:<28} mem {before_memory_mb:8.2f} -> {after_memory_mb:8.2f} MB"
+        f" ({memory_ratio:4.2f}x)   e2e {before_e2e_ms:9.2f} -> "
+        f"{after_e2e_ms:9.2f} ms ({latency_ratio:4.2f}x)"
+    )

@@ -1,0 +1,224 @@
+"""Sample records and library attribution.
+
+A :class:`Sample` is one observation of the application's call stack, root
+(handler) first.  Samples carry a ``kind``: ``"runtime"`` for ordinary
+execution and ``"init"`` for stacks caught inside module top-level code —
+the distinction §III (TC-2) requires so initialization activity never
+inflates a library's runtime-utilization metric.
+
+Attribution maps stack frames to synthetic-library modules via file paths,
+which works identically for frames captured from real execution (files live
+under a workspace directory) and frames synthesized by the simulator (files
+live under the virtual ``<sim>`` prefix).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator
+
+RUNTIME = "runtime"
+INIT = "init"
+
+#: Function name CPython gives to module top-level code.
+MODULE_TOPLEVEL = "<module>"
+
+#: Substrings identifying interpreter import machinery frames.
+_IMPORT_MACHINERY_MARKERS = ("importlib", "<frozen importlib")
+
+
+@dataclass(frozen=True, order=True)
+class Frame:
+    """One stack frame: file path, function name, line number."""
+
+    file: str
+    function: str
+    line: int = 0
+
+
+@dataclass(frozen=True)
+class Sample:
+    """One stack observation, root-first, with a statistical weight.
+
+    Real profilers emit weight-1 samples; the simulator emits fractional
+    expected weights (self-time divided by the sampling interval), which
+    makes simulated profiles deterministic instead of merely unbiased.
+    """
+
+    path: tuple[Frame, ...]
+    weight: float = 1.0
+    kind: str = RUNTIME
+
+    def __post_init__(self) -> None:
+        if not self.path:
+            raise ValueError("sample must contain at least one frame")
+        if self.weight <= 0:
+            raise ValueError(f"sample weight must be positive: {self.weight}")
+        if self.kind not in (RUNTIME, INIT):
+            raise ValueError(f"unknown sample kind: {self.kind!r}")
+
+
+def is_import_machinery(frame: Frame) -> bool:
+    """True for CPython's importlib bootstrap frames."""
+    return any(marker in frame.file for marker in _IMPORT_MACHINERY_MARKERS)
+
+
+def classify_stack(path: tuple[Frame, ...]) -> tuple[tuple[Frame, ...], str]:
+    """Clean a raw captured stack and classify it as init or runtime.
+
+    Drops interpreter import-machinery frames (they carry no attribution
+    value) and returns ``kind=INIT`` when any such frame was present: in
+    CPython every executing import statement has importlib bootstrap
+    frames on the stack, so their presence is exactly "module top-level
+    code is running below an import" (§IV-A: samples originating from
+    ``__init__``).  Merely *seeing* a ``<module>`` frame is not enough —
+    process runners (runpy, pytest's ``__main__``) put module-level frames
+    at the bottom of every stack.
+    """
+    cleaned = tuple(frame for frame in path if not is_import_machinery(frame))
+    had_machinery = len(cleaned) != len(path)
+    kind = INIT if had_machinery else RUNTIME
+    if not cleaned:
+        cleaned = (Frame(file="<import>", function=MODULE_TOPLEVEL),)
+    return cleaned, kind
+
+
+class SampleSet:
+    """A weighted collection of samples with aggregate views."""
+
+    def __init__(self, samples: Iterable[Sample] = ()) -> None:
+        self._samples: list[Sample] = list(samples)
+
+    def add(self, sample: Sample) -> None:
+        self._samples.append(sample)
+
+    def extend(self, samples: Iterable[Sample]) -> None:
+        self._samples.extend(samples)
+
+    def __len__(self) -> int:
+        return len(self._samples)
+
+    def __iter__(self) -> Iterator[Sample]:
+        return iter(self._samples)
+
+    @property
+    def total_weight(self) -> float:
+        return sum(sample.weight for sample in self._samples)
+
+    def runtime_weight(self) -> float:
+        return sum(s.weight for s in self._samples if s.kind == RUNTIME)
+
+    def init_weight(self) -> float:
+        return sum(s.weight for s in self._samples if s.kind == INIT)
+
+    def of_kind(self, kind: str) -> "SampleSet":
+        return SampleSet(s for s in self._samples if s.kind == kind)
+
+    def merged_with(self, other: "SampleSet") -> "SampleSet":
+        merged = SampleSet(self._samples)
+        merged.extend(other)
+        return merged
+
+    # -- serialization (for the collector) ---------------------------------
+
+    def to_dict(self) -> dict:
+        return {
+            "samples": [
+                {
+                    "path": [[f.file, f.function, f.line] for f in sample.path],
+                    "weight": sample.weight,
+                    "kind": sample.kind,
+                }
+                for sample in self._samples
+            ]
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "SampleSet":
+        samples = [
+            Sample(
+                path=tuple(
+                    Frame(file=file, function=function, line=line)
+                    for file, function, line in entry["path"]
+                ),
+                weight=entry["weight"],
+                kind=entry["kind"],
+            )
+            for entry in payload["samples"]
+        ]
+        return cls(samples)
+
+
+@dataclass
+class LibraryAttributor:
+    """Maps frames to library modules using file-path structure.
+
+    ``workspace_prefixes`` are directory prefixes under which library code
+    lives (a real workspace path, the simulator's ``<sim>`` prefix, or
+    both); ``library_names`` restricts attribution to known top-level
+    packages so application/handler frames map to ``None``.
+    """
+
+    workspace_prefixes: tuple[str, ...]
+    library_names: frozenset[str]
+    _cache: dict[str, str | None] = field(default_factory=dict, repr=False)
+
+    def module_of(self, frame: Frame) -> str | None:
+        """Dotted module path for a library frame, else ``None``."""
+        cached = self._cache.get(frame.file, "?")
+        if cached != "?":
+            return cached
+        result = self._resolve(frame.file)
+        self._cache[frame.file] = result
+        return result
+
+    def _resolve(self, file: str) -> str | None:
+        relative: str | None = None
+        for prefix in self.workspace_prefixes:
+            normalized = prefix.rstrip("/")
+            if file.startswith(normalized + "/"):
+                relative = file[len(normalized) + 1 :]
+                break
+        if relative is None or not relative.endswith(".py"):
+            return None
+        parts = relative[: -len(".py")].split("/")
+        if parts[-1] == "__init__":
+            parts = parts[:-1]
+        if not parts or parts[0] not in self.library_names:
+            return None
+        return ".".join(parts)
+
+    def library_of(self, frame: Frame) -> str | None:
+        module = self.module_of(frame)
+        if module is None:
+            return None
+        return module.partition(".")[0]
+
+    def libraries_in(self, path: tuple[Frame, ...]) -> set[str]:
+        """Every library touched anywhere in a stack."""
+        return {
+            library
+            for library in (self.library_of(frame) for frame in path)
+            if library is not None
+        }
+
+    def modules_in(self, path: tuple[Frame, ...]) -> set[str]:
+        """Every library module touched anywhere in a stack."""
+        return {
+            module
+            for module in (self.module_of(frame) for frame in path)
+            if module is not None
+        }
+
+    def touches_workspace(self, path: tuple[Frame, ...]) -> bool:
+        """True when any frame's file lives under a workspace prefix.
+
+        Samples that never touch the workspace were caught in platform or
+        profiler plumbing between requests; they are excluded from Eq. 4's
+        denominator (which ranges over "all functions in the application").
+        """
+        for frame in path:
+            for prefix in self.workspace_prefixes:
+                if frame.file.startswith(prefix.rstrip("/") + "/"):
+                    return True
+        return False

@@ -1,0 +1,173 @@
+"""Deterministic profile synthesis from simulator execution traces.
+
+The simulator records exactly what each invocation executed (module init
+segments and call-path segments with self-times).  This module converts
+those traces into the same :class:`ProfileBundle` the real profiler
+produces — with one deliberate difference: instead of drawing random
+samples at a rate, each segment yields a *fractional expected sample
+weight* (``self_ms / interval_ms``).  Profiles are therefore exactly the
+expectation of statistical sampling, which makes every downstream number
+in the evaluation bit-reproducible.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+from repro.common.errors import ProfilingError
+from repro.core.profiles import ImportProfile, ImportRecord, ProfileBundle
+from repro.core.samples import INIT, RUNTIME, Frame, Sample, SampleSet
+from repro.faas.events import InvocationRecord, entry_counts
+from repro.faas.sim import ExecutionTrace, SimAppConfig
+
+#: Virtual path prefix for simulator-synthesized frames.
+SIM_PREFIX = "<sim>"
+
+
+_FRAME_CACHE: dict[tuple[str, str], Frame] = {}
+
+
+def frame_for_ref(qualified: str) -> Frame:
+    """Synthesize a frame for a qualified function ref ``lib.mod:fn``."""
+    cached = _FRAME_CACHE.get((qualified, ""))
+    if cached is not None:
+        return cached
+    dotted, _, function = qualified.partition(":")
+    path = dotted.replace(".", "/")
+    frame = Frame(file=f"{SIM_PREFIX}/{path}.py", function=function, line=1)
+    _FRAME_CACHE[(qualified, "")] = frame
+    return frame
+
+
+def frame_for_module(dotted: str) -> Frame:
+    """Synthesize a module top-level frame for init attribution."""
+    cached = _FRAME_CACHE.get((dotted, "<module>"))
+    if cached is not None:
+        return cached
+    path = dotted.replace(".", "/")
+    frame = Frame(file=f"{SIM_PREFIX}/{path}.py", function="<module>", line=1)
+    _FRAME_CACHE[(dotted, "<module>")] = frame
+    return frame
+
+
+def samples_from_traces(
+    traces: Iterable[ExecutionTrace],
+    interval_ms: float = 5.0,
+) -> SampleSet:
+    """Expected-value samples for every trace segment.
+
+    Identical call paths recur across invocations of the same entry, so
+    self-times are accumulated per unique ``(entry, path)`` first and each
+    unique path becomes one weighted sample — semantically identical to
+    per-trace samples (weights are additive) but orders of magnitude
+    smaller for realistic workloads.
+    """
+    if interval_ms <= 0:
+        raise ProfilingError(f"interval must be positive: {interval_ms}")
+    runtime_ms: dict[tuple, float] = {}
+    init_ms: dict[tuple, float] = {}
+    for trace in traces:
+        entry_key = (trace.app, trace.entry)
+        for segment in trace.call_segments:
+            if segment.self_ms <= 0:
+                continue
+            key = (entry_key, segment.path)
+            runtime_ms[key] = runtime_ms.get(key, 0.0) + segment.self_ms
+        for segment in trace.init_segments:
+            if segment.self_ms > 0:
+                key = (entry_key, segment.module)
+                init_ms[key] = init_ms.get(key, 0.0) + segment.self_ms
+        for segment in trace.lazy_init_segments:
+            if segment.self_ms > 0:
+                key = (entry_key, segment.module)
+                init_ms[key] = init_ms.get(key, 0.0) + segment.self_ms
+
+    samples = SampleSet()
+    for ((app, entry), path), total_ms in runtime_ms.items():
+        handler_frame = Frame(
+            file=f"{SIM_PREFIX}/{app}/handler.py", function=entry, line=1
+        )
+        frames = tuple(frame_for_ref(ref) for ref in path[1:])
+        samples.add(
+            Sample(
+                path=(handler_frame,) + frames,
+                weight=total_ms / interval_ms,
+                kind=RUNTIME,
+            )
+        )
+    for ((app, entry), module), total_ms in init_ms.items():
+        handler_frame = Frame(
+            file=f"{SIM_PREFIX}/{app}/handler.py", function=entry, line=1
+        )
+        samples.add(
+            Sample(
+                path=(handler_frame, frame_for_module(module)),
+                weight=total_ms / interval_ms,
+                kind=INIT,
+            )
+        )
+    return samples
+
+
+def import_profile_from_traces(
+    traces: Sequence[ExecutionTrace],
+) -> ImportProfile:
+    """Average per-module init times over the traces that loaded them.
+
+    Cold-start init segments and runtime lazy-load segments both count:
+    a module deferred by the currently-deployed plan still surfaces in
+    the import profile when some request loads it at first use, so
+    re-profiling an already-optimized application sees its real costs.
+    """
+    cold = [trace for trace in traces if trace.cold]
+    if not cold:
+        raise ProfilingError("no cold-start traces to derive an import profile")
+    totals: dict[str, float] = {}
+    loads: dict[str, int] = {}
+    for trace in traces:
+        segments = list(trace.lazy_init_segments)
+        if trace.cold:
+            segments.extend(trace.init_segments)
+        for segment in segments:
+            totals[segment.module] = totals.get(segment.module, 0.0) + segment.self_ms
+            loads[segment.module] = loads.get(segment.module, 0) + 1
+    profile = ImportProfile()
+    order = 0
+    for module in sorted(totals):
+        order += 1
+        parent, _, _ = module.rpartition(".")
+        self_ms = totals[module] / loads[module]
+        profile.add(
+            ImportRecord(
+                module=module,
+                self_ms=self_ms,
+                cumulative_ms=self_ms,  # refined below
+                parent=parent or None,
+                order=order,
+            )
+        )
+    return profile
+
+
+def bundle_from_simulation(
+    config: SimAppConfig,
+    traces: Sequence[ExecutionTrace],
+    records: Sequence[InvocationRecord],
+    interval_ms: float = 5.0,
+) -> ProfileBundle:
+    """Assemble the full analyzer input from one simulated workload run."""
+    cold_records = [record for record in records if record.cold]
+    if not cold_records:
+        raise ProfilingError("workload produced no cold starts to profile")
+    mean_e2e = sum(r.e2e_ms for r in cold_records) / len(cold_records)
+    mean_init = sum(r.init_ms for r in cold_records) / len(cold_records)
+    return ProfileBundle(
+        app=config.name,
+        import_profile=import_profile_from_traces(traces),
+        samples=samples_from_traces(traces, interval_ms=interval_ms),
+        entry_counts=entry_counts(records),
+        handler_imports=tuple(config.handler_imports),
+        mean_cold_e2e_ms=mean_e2e,
+        mean_cold_init_ms=mean_init,
+        cold_starts=len(cold_records),
+    )

@@ -1,0 +1,33 @@
+"""Local FaaS testbed: the substrate standing in for AWS Lambda.
+
+Two interchangeable back ends share one record schema:
+
+* :class:`~repro.faas.local.LocalPlatform` really imports and executes
+  handler code in-process, with per-container import isolation and real
+  wall-clock timing — used by the case studies and the profiler-overhead
+  experiment.
+* :class:`~repro.faas.sim.SimPlatform` is an event-driven virtual-time
+  simulator driven by the same application/library specifications — used
+  by the 500-cold-start evaluation sweeps, which would take hours of wall
+  time to execute for real.
+"""
+
+from repro.faas.events import InvocationRecord, InvocationStats
+from repro.faas.gateway import Gateway, Route
+from repro.faas.local import FunctionDeployment, LocalPlatform
+from repro.faas.sim import EntryBehavior, SimAppConfig, SimPlatform, SimPlatformConfig
+from repro.faas.storage import CloudStorage
+
+__all__ = [
+    "InvocationRecord",
+    "InvocationStats",
+    "Gateway",
+    "Route",
+    "FunctionDeployment",
+    "LocalPlatform",
+    "EntryBehavior",
+    "SimAppConfig",
+    "SimPlatform",
+    "SimPlatformConfig",
+    "CloudStorage",
+]

@@ -1,0 +1,78 @@
+"""Invocation records and per-application statistics.
+
+Both FaaS back ends emit the same :class:`InvocationRecord`, so the entire
+analysis/benchmark stack is agnostic to whether numbers came from real
+execution or simulation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable
+
+from repro.metrics import LatencySummary, MemorySummary
+
+
+@dataclass(frozen=True)
+class InvocationRecord:
+    """One function invocation as observed by the platform."""
+
+    app: str
+    entry: str
+    timestamp: float  # platform-clock seconds at request arrival
+    cold: bool
+    init_ms: float  # library + handler initialization (0 for warm starts)
+    exec_ms: float  # handler body execution, incl. lazy first-use loading
+    e2e_ms: float  # end-to-end latency: platform overhead + init + exec
+    memory_mb: float  # container resident memory after the invocation
+    container_id: str
+
+    def __post_init__(self) -> None:
+        if self.init_ms < 0 or self.exec_ms < 0 or self.e2e_ms < 0:
+            raise ValueError(f"negative latency in record: {self}")
+        if not self.cold and self.init_ms != 0:
+            raise ValueError("warm start cannot carry init time")
+
+
+@dataclass(frozen=True)
+class InvocationStats:
+    """Aggregate view over a set of records (the evaluation's metrics)."""
+
+    app: str
+    total: int
+    cold_starts: int
+    init: LatencySummary  # over cold starts only
+    e2e: LatencySummary
+    exec: LatencySummary
+    memory: MemorySummary
+    init_ratio: float  # mean cold-start init : mean cold-start e2e (Fig. 1)
+
+    @classmethod
+    def from_records(cls, records: Iterable[InvocationRecord]) -> "InvocationStats":
+        data = list(records)
+        if not data:
+            raise ValueError("cannot compute stats over zero records")
+        app = data[0].app
+        cold = [record for record in data if record.cold]
+        if not cold:
+            raise ValueError(f"no cold starts recorded for {app!r}")
+        cold_e2e = [record.e2e_ms for record in cold]
+        cold_init = [record.init_ms for record in cold]
+        return cls(
+            app=app,
+            total=len(data),
+            cold_starts=len(cold),
+            init=LatencySummary.from_values(cold_init),
+            e2e=LatencySummary.from_values([record.e2e_ms for record in data]),
+            exec=LatencySummary.from_values([record.exec_ms for record in data]),
+            memory=MemorySummary.from_values([record.memory_mb for record in data]),
+            init_ratio=(sum(cold_init) / len(cold_init)) / (sum(cold_e2e) / len(cold_e2e)),
+        )
+
+
+def entry_counts(records: Iterable[InvocationRecord]) -> dict[str, int]:
+    """Invocation count per entry point (feeds the adaptive monitor)."""
+    counts: dict[str, int] = {}
+    for record in records:
+        counts[record.entry] = counts.get(record.entry, 0) + 1
+    return counts

@@ -1,0 +1,87 @@
+"""Request gateway: function-URL routing plus workload observation.
+
+The paper deploys each entry point behind a function URL; requests arrive
+at the gateway, which routes them to the right application/entry and feeds
+the adaptive workload monitor (Fig. 4's invocation arrow into SLIMSTART).
+The gateway is back-end agnostic: it works with both :class:`LocalPlatform`
+and :class:`SimPlatform` since they share the ``invoke`` signature.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Protocol
+
+from repro.common.errors import DeploymentError
+from repro.core.adaptive import WindowDecision, WorkloadMonitor
+from repro.faas.events import InvocationRecord
+
+
+class _InvokingPlatform(Protocol):
+    def invoke(self, name: str, entry: str, *args, **kwargs) -> InvocationRecord:
+        ...  # pragma: no cover - protocol stub
+
+
+@dataclass(frozen=True)
+class Route:
+    """One function URL: path -> (application, entry point)."""
+
+    path: str  # e.g. "/graph_bfs/bfs"
+    app: str
+    entry: str
+
+    def __post_init__(self) -> None:
+        if not self.path.startswith("/"):
+            raise DeploymentError(f"route path must start with '/': {self.path!r}")
+
+
+@dataclass
+class Gateway:
+    """Routes request paths to platform invocations and observes traffic."""
+
+    platform: _InvokingPlatform
+    monitor: WorkloadMonitor | None = None
+    _routes: dict[str, Route] = field(default_factory=dict)
+    _hits: dict[str, int] = field(default_factory=dict)
+
+    def add_route(self, path: str, app: str, entry: str) -> Route:
+        if path in self._routes:
+            raise DeploymentError(f"route already registered: {path!r}")
+        route = Route(path=path, app=app, entry=entry)
+        self._routes[path] = route
+        return route
+
+    def expose(self, app: str, entries: tuple[str, ...]) -> list[Route]:
+        """Create the conventional ``/<app>/<entry>`` URL per entry point."""
+        return [
+            self.add_route(f"/{app}/{entry}", app, entry) for entry in entries
+        ]
+
+    def routes(self) -> list[Route]:
+        return sorted(self._routes.values(), key=lambda route: route.path)
+
+    def hit_counts(self) -> dict[str, int]:
+        return dict(self._hits)
+
+    def request(
+        self, path: str, payload: Any = None, at: float | None = None
+    ) -> tuple[InvocationRecord, list[WindowDecision]]:
+        """Serve one request; returns the record and any closed windows.
+
+        The monitor (when attached) observes the route's *entry point*
+        probabilities — the quantity Eqs. 5-7 are defined over.
+        """
+        route = self._routes.get(path)
+        if route is None:
+            raise DeploymentError(f"no route for path {path!r}")
+        kwargs: dict[str, Any] = {}
+        if at is not None:
+            kwargs["at"] = at
+        elif payload is not None:
+            kwargs["payload"] = payload
+        record = self.platform.invoke(route.app, route.entry, **kwargs)
+        self._hits[path] = self._hits.get(path, 0) + 1
+        decisions: list[WindowDecision] = []
+        if self.monitor is not None:
+            decisions = self.monitor.observe(route.entry, record.timestamp)
+        return record, decisions

@@ -1,0 +1,63 @@
+"""Emulated cloud object storage (the S3/DynamoDB role in Fig. 7).
+
+SLIMSTART's profiler buffers samples locally and batch-transfers them
+asynchronously to external storage, where a background analyzer merges
+them.  This emulation provides exactly the semantics that pipeline needs —
+durable puts, prefix listing, read-back — plus simple operation accounting
+so tests can assert the batching actually reduced transfer counts.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Any
+
+from repro.common.errors import StorageError
+
+
+class CloudStorage:
+    """In-memory key-value store with S3-like prefix listing.
+
+    Thread-safe: the asynchronous uploader in
+    :class:`repro.core.collector.ProfileCollector` writes from a background
+    thread while the analyzer reads from the main thread.
+    """
+
+    def __init__(self) -> None:
+        self._objects: dict[str, Any] = {}
+        self._lock = threading.Lock()
+        self.put_count = 0
+        self.get_count = 0
+
+    def put(self, key: str, value: Any) -> None:
+        if not key:
+            raise StorageError("storage key may not be empty")
+        with self._lock:
+            self._objects[key] = value
+            self.put_count += 1
+
+    def get(self, key: str) -> Any:
+        with self._lock:
+            self.get_count += 1
+            try:
+                return self._objects[key]
+            except KeyError:
+                raise StorageError(f"no such object: {key!r}") from None
+
+    def exists(self, key: str) -> bool:
+        with self._lock:
+            return key in self._objects
+
+    def list_keys(self, prefix: str = "") -> list[str]:
+        with self._lock:
+            return sorted(key for key in self._objects if key.startswith(prefix))
+
+    def delete(self, key: str) -> None:
+        with self._lock:
+            if key not in self._objects:
+                raise StorageError(f"no such object: {key!r}")
+            del self._objects[key]
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._objects)

@@ -1,0 +1,19 @@
+"""Latency and memory statistics used throughout the evaluation harness."""
+
+from repro.metrics.stats import (
+    LatencySummary,
+    MemorySummary,
+    SpeedupReport,
+    mean,
+    percentile,
+    speedup,
+)
+
+__all__ = [
+    "LatencySummary",
+    "MemorySummary",
+    "SpeedupReport",
+    "mean",
+    "percentile",
+    "speedup",
+]

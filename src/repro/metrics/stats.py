@@ -1,0 +1,124 @@
+"""Summary statistics for invocation latency and memory measurements.
+
+The paper reports averages, 99th-percentile latencies, and before/after
+speedup ratios (Tables II and III).  These helpers are dependency-free and
+use the standard "linear interpolation between closest ranks" percentile so
+results match ``numpy.percentile(..., method="linear")``.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+
+def mean(values: Sequence[float]) -> float:
+    """Arithmetic mean; raises ``ValueError`` on empty input."""
+    if not values:
+        raise ValueError("mean of empty sequence")
+    return sum(values) / len(values)
+
+
+def percentile(values: Sequence[float], q: float) -> float:
+    """Linear-interpolation percentile, ``q`` in [0, 100]."""
+    if not values:
+        raise ValueError("percentile of empty sequence")
+    if not 0.0 <= q <= 100.0:
+        raise ValueError(f"percentile out of range: {q}")
+    ordered = sorted(values)
+    if len(ordered) == 1:
+        return ordered[0]
+    rank = (q / 100.0) * (len(ordered) - 1)
+    low = math.floor(rank)
+    high = math.ceil(rank)
+    if low == high:
+        return ordered[low]
+    fraction = rank - low
+    return ordered[low] * (1.0 - fraction) + ordered[high] * fraction
+
+
+def speedup(before: float, after: float) -> float:
+    """Before/after speedup ratio (>1 means improvement)."""
+    if after <= 0:
+        raise ValueError(f"after must be positive: {after}")
+    return before / after
+
+
+def stddev(values: Sequence[float]) -> float:
+    """Population standard deviation (0 for singleton input)."""
+    if not values:
+        raise ValueError("stddev of empty sequence")
+    center = mean(values)
+    return math.sqrt(sum((value - center) ** 2 for value in values) / len(values))
+
+
+@dataclass(frozen=True)
+class LatencySummary:
+    """Latency distribution summary in milliseconds."""
+
+    count: int
+    mean_ms: float
+    p50_ms: float
+    p95_ms: float
+    p99_ms: float
+    max_ms: float
+
+    @classmethod
+    def from_values(cls, values: Iterable[float]) -> "LatencySummary":
+        data = list(values)
+        if not data:
+            raise ValueError("cannot summarize zero latency samples")
+        return cls(
+            count=len(data),
+            mean_ms=mean(data),
+            p50_ms=percentile(data, 50),
+            p95_ms=percentile(data, 95),
+            p99_ms=percentile(data, 99),
+            max_ms=max(data),
+        )
+
+
+@dataclass(frozen=True)
+class MemorySummary:
+    """Peak-memory distribution summary in megabytes."""
+
+    count: int
+    mean_mb: float
+    peak_mb: float
+
+    @classmethod
+    def from_values(cls, values: Iterable[float]) -> "MemorySummary":
+        data = list(values)
+        if not data:
+            raise ValueError("cannot summarize zero memory samples")
+        return cls(count=len(data), mean_mb=mean(data), peak_mb=max(data))
+
+
+@dataclass(frozen=True)
+class SpeedupReport:
+    """Before/after comparison in the shape Table II reports."""
+
+    init_speedup: float
+    e2e_speedup: float
+    p99_init_speedup: float
+    p99_e2e_speedup: float
+    memory_reduction: float
+
+    @classmethod
+    def compare(
+        cls,
+        before_init: LatencySummary,
+        after_init: LatencySummary,
+        before_e2e: LatencySummary,
+        after_e2e: LatencySummary,
+        before_memory: MemorySummary,
+        after_memory: MemorySummary,
+    ) -> "SpeedupReport":
+        return cls(
+            init_speedup=speedup(before_init.mean_ms, after_init.mean_ms),
+            e2e_speedup=speedup(before_e2e.mean_ms, after_e2e.mean_ms),
+            p99_init_speedup=speedup(before_init.p99_ms, after_init.p99_ms),
+            p99_e2e_speedup=speedup(before_e2e.p99_ms, after_e2e.p99_ms),
+            memory_reduction=speedup(before_memory.peak_mb, after_memory.peak_mb),
+        )

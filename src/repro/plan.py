@@ -1,0 +1,64 @@
+"""Deferral plans: the contract between the analyzer/optimizer and the FaaS
+back ends.
+
+A :class:`DeferralPlan` says *which imports become lazy*:
+
+* ``deferred_handler_imports`` — top-level modules the application handler
+  no longer imports globally; the optimizer moves these imports into the
+  function bodies that first use them.
+* ``deferred_library_edges`` — modules whose *eager import edges inside
+  library code* are replaced with PEP 562 lazy stubs (e.g. deferring
+  ``sligraph.drawing`` inside igraph's ``__init__``).
+
+Both the really-executing testbed (where the plan is applied by actually
+rewriting source files) and the virtual-time simulator (where the plan
+parameterizes import-closure computation) consume this one type, which is
+what keeps the two back ends semantically aligned.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class DeferralPlan:
+    """An immutable set of lazy-loading decisions for one application."""
+
+    app: str
+    deferred_handler_imports: frozenset[str] = field(default_factory=frozenset)
+    deferred_library_edges: frozenset[str] = field(default_factory=frozenset)
+
+    def __post_init__(self) -> None:
+        for dotted in self.deferred_handler_imports | self.deferred_library_edges:
+            if not dotted or not all(part.isidentifier() for part in dotted.split(".")):
+                raise ValueError(f"invalid dotted module name in plan: {dotted!r}")
+
+    @property
+    def is_empty(self) -> bool:
+        return not self.deferred_handler_imports and not self.deferred_library_edges
+
+    @property
+    def all_deferred(self) -> frozenset[str]:
+        """Every module the plan touches, regardless of mechanism."""
+        return self.deferred_handler_imports | self.deferred_library_edges
+
+    def merged_with(self, other: "DeferralPlan") -> "DeferralPlan":
+        """Union of two plans for the same application."""
+        if other.app != self.app:
+            raise ValueError(
+                f"cannot merge plans for different apps: {self.app!r} vs {other.app!r}"
+            )
+        return DeferralPlan(
+            app=self.app,
+            deferred_handler_imports=(
+                self.deferred_handler_imports | other.deferred_handler_imports
+            ),
+            deferred_library_edges=(
+                self.deferred_library_edges | other.deferred_library_edges
+            ),
+        )
+
+    @classmethod
+    def empty(cls, app: str) -> "DeferralPlan":
+        return cls(app=app)

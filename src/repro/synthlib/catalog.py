@@ -1,0 +1,349 @@
+"""Catalog of stand-in libraries modeled on the paper's dependency stack.
+
+Each factory returns a :class:`LibrarySpec` whose *structure* mirrors the
+real library the paper measured: module counts and import depths follow
+Table II, igraph's drawing stack carries ~37 % of its init cost (Table I),
+nltk's ``sem``/``stem``/``parse``/``tag`` clusters are heavy-but-unused in
+sentiment analysis (Table IV), and xmlschema is an expensive rarely-needed
+dependency of the CVE scanner (Table V).  Absolute costs are defaults in
+milliseconds and may be scaled at materialization time.
+
+Names carry an ``sl`` prefix (``slnumpy``, ``sligraph``, ...) so generated
+packages can never shadow real installed libraries.
+"""
+
+from __future__ import annotations
+
+from repro.common.errors import SpecError
+from repro.synthlib.builder import ClusterPlan, build_library
+from repro.synthlib.spec import LibrarySpec
+
+
+def igraph_like(name: str = "sligraph", seed: int = 7) -> LibrarySpec:
+    """igraph stand-in: 86 modules, visualization ~37 % of init (Table I)."""
+    return build_library(
+        name,
+        category="Graph Processing",
+        total_init_cost_ms=480.0,
+        total_memory_kb=30_000.0,
+        seed=seed,
+        clusters=[
+            ClusterPlan("core", module_count=24, init_share=0.27, depth=4),
+            ClusterPlan("community", module_count=12, init_share=0.12, depth=4),
+            ClusterPlan("io", module_count=10, init_share=0.07, depth=3),
+            ClusterPlan("layout", module_count=8, init_share=0.06, depth=3),
+            ClusterPlan("drawing", module_count=30, init_share=0.37, depth=5),
+            ClusterPlan("utils", module_count=1, init_share=0.04, depth=2),
+        ],
+        shared_utility="utils",
+    )
+
+
+def nltk_like(name: str = "slnltk", seed: int = 11) -> LibrarySpec:
+    """nltk stand-in with the Table IV cluster split (sem ~8.25 % of init)."""
+    return build_library(
+        name,
+        category="Natural Language Processing",
+        total_init_cost_ms=650.0,
+        total_memory_kb=46_000.0,
+        seed=seed,
+        clusters=[
+            ClusterPlan("tokenize", module_count=18, init_share=0.13, depth=4),
+            ClusterPlan("corpus", module_count=25, init_share=0.14, depth=5),
+            ClusterPlan("sem", module_count=20, init_share=0.118, depth=5),
+            ClusterPlan("stem", module_count=15, init_share=0.105, depth=4),
+            ClusterPlan("parse", module_count=22, init_share=0.125, depth=5),
+            ClusterPlan("tag", module_count=18, init_share=0.10, depth=4),
+            ClusterPlan("chunk", module_count=10, init_share=0.06, depth=4),
+            ClusterPlan("metrics", module_count=8, init_share=0.05, depth=3),
+            ClusterPlan("data", module_count=12, init_share=0.13, depth=4),
+            ClusterPlan("utils", module_count=1, init_share=0.02, depth=2),
+        ],
+        shared_utility="utils",
+    )
+
+
+def textblob_like(name: str = "sltextblob", seed: int = 13) -> LibrarySpec:
+    """TextBlob stand-in; depends eagerly on the nltk stand-in."""
+    return build_library(
+        name,
+        category="Natural Language Processing",
+        total_init_cost_ms=130.0,
+        total_memory_kb=9_000.0,
+        seed=seed,
+        root_external_imports=("slnltk",),
+        clusters=[
+            ClusterPlan("blob", module_count=16, init_share=0.45, depth=4),
+            ClusterPlan("sentiments", module_count=12, init_share=0.30, depth=4),
+            ClusterPlan("taggers", module_count=10, init_share=0.20, depth=3),
+        ],
+    )
+
+
+def numpy_like(name: str = "slnumpy", seed: int = 17) -> LibrarySpec:
+    """NumPy stand-in: 190 modules, core-heavy init."""
+    return build_library(
+        name,
+        category="Scientific Computing",
+        total_init_cost_ms=520.0,
+        total_memory_kb=38_000.0,
+        seed=seed,
+        clusters=[
+            ClusterPlan("core", module_count=60, init_share=0.44, depth=5),
+            ClusterPlan("linalg", module_count=25, init_share=0.14, depth=4),
+            ClusterPlan("fft", module_count=15, init_share=0.07, depth=4),
+            ClusterPlan("random", module_count=20, init_share=0.10, depth=4),
+            ClusterPlan("polynomial", module_count=18, init_share=0.06, depth=4),
+            ClusterPlan("ma", module_count=22, init_share=0.08, depth=4),
+            ClusterPlan("lib", module_count=29, init_share=0.09, depth=5),
+        ],
+        shared_utility="lib",
+    )
+
+
+def scipy_like(name: str = "slscipy", seed: int = 19) -> LibrarySpec:
+    """SciPy stand-in: deep module tree, depends on the numpy stand-in."""
+    return build_library(
+        name,
+        category="Scientific Computing",
+        total_init_cost_ms=1_150.0,
+        total_memory_kb=62_000.0,
+        seed=seed,
+        root_external_imports=("slnumpy",),
+        clusters=[
+            ClusterPlan("sparse", module_count=60, init_share=0.18, depth=8),
+            ClusterPlan("stats", module_count=70, init_share=0.20, depth=7),
+            ClusterPlan("optimize", module_count=50, init_share=0.15, depth=7),
+            ClusterPlan("integrate", module_count=30, init_share=0.08, depth=6),
+            ClusterPlan("signal", module_count=45, init_share=0.12, depth=7),
+            ClusterPlan("spatial", module_count=35, init_share=0.09, depth=6),
+            ClusterPlan("io", module_count=25, init_share=0.06, depth=5),
+            ClusterPlan("special", module_count=14, init_share=0.05, depth=5),
+        ],
+    )
+
+
+def pandas_like(name: str = "slpandas", seed: int = 23) -> LibrarySpec:
+    """pandas stand-in: 420 modules; plotting/io are workload-dependent."""
+    return build_library(
+        name,
+        category="Machine Learning",
+        total_init_cost_ms=1_400.0,
+        total_memory_kb=95_000.0,
+        seed=seed,
+        root_external_imports=("slnumpy",),
+        clusters=[
+            ClusterPlan("core", module_count=120, init_share=0.30, depth=8),
+            ClusterPlan("io", module_count=80, init_share=0.22, depth=7),
+            ClusterPlan("tseries", module_count=60, init_share=0.14, depth=7),
+            ClusterPlan("plotting", module_count=50, init_share=0.12, depth=6),
+            ClusterPlan("compat", module_count=40, init_share=0.06, depth=5),
+            ClusterPlan("internals", module_count=69, init_share=0.12, depth=7),
+        ],
+    )
+
+
+def sklearn_like(
+    name: str = "slsklearn",
+    seed: int = 29,
+    dependencies: tuple[str, ...] = ("slnumpy", "slscipy"),
+) -> LibrarySpec:
+    """scikit-learn stand-in; depends on numpy/scipy stand-ins by default."""
+    return build_library(
+        name,
+        category="Machine Learning",
+        total_init_cost_ms=980.0,
+        total_memory_kb=55_000.0,
+        seed=seed,
+        root_external_imports=dependencies,
+        clusters=[
+            ClusterPlan("linear_model", module_count=55, init_share=0.20, depth=6),
+            ClusterPlan("ensemble", module_count=50, init_share=0.18, depth=6),
+            ClusterPlan("preprocessing", module_count=45, init_share=0.15, depth=5),
+            ClusterPlan("model_selection", module_count=40, init_share=0.14, depth=5),
+            ClusterPlan("metrics_", module_count=40, init_share=0.12, depth=5),
+            ClusterPlan("datasets", module_count=35, init_share=0.10, depth=5),
+            ClusterPlan("utils", module_count=34, init_share=0.08, depth=6),
+        ],
+        shared_utility="utils",
+    )
+
+
+def skimage_like(
+    name: str = "slskimage",
+    seed: int = 31,
+    dependencies: tuple[str, ...] = ("slnumpy", "slscipy"),
+) -> LibrarySpec:
+    """scikit-image stand-in; depends on numpy/scipy stand-ins by default."""
+    return build_library(
+        name,
+        category="Image Processing",
+        total_init_cost_ms=720.0,
+        total_memory_kb=42_000.0,
+        seed=seed,
+        root_external_imports=dependencies,
+        clusters=[
+            ClusterPlan("filters", module_count=40, init_share=0.22, depth=6),
+            ClusterPlan("transform", module_count=35, init_share=0.20, depth=5),
+            ClusterPlan("segmentation", module_count=30, init_share=0.16, depth=5),
+            ClusterPlan("feature", module_count=35, init_share=0.16, depth=5),
+            ClusterPlan("io", module_count=25, init_share=0.10, depth=4),
+            ClusterPlan("morphology", module_count=34, init_share=0.12, depth=5),
+        ],
+    )
+
+
+def xmlschema_like(name: str = "slxmlschema", seed: int = 37) -> LibrarySpec:
+    """xmlschema stand-in (Table V): heavy validators, rarely needed."""
+    return build_library(
+        name,
+        category="Security",
+        total_init_cost_ms=310.0,
+        total_memory_kb=21_000.0,
+        seed=seed,
+        root_external_imports=("slelementpath",),
+        clusters=[
+            ClusterPlan("validators", module_count=40, init_share=0.52, depth=5),
+            ClusterPlan("converters", module_count=20, init_share=0.20, depth=4),
+            ClusterPlan("documents", module_count=15, init_share=0.15, depth=4),
+            ClusterPlan("schema", module_count=14, init_share=0.10, depth=4),
+        ],
+    )
+
+
+def elementpath_like(name: str = "slelementpath", seed: int = 41) -> LibrarySpec:
+    """elementpath stand-in: XPath engine pulled in by xmlschema."""
+    return build_library(
+        name,
+        category="Security",
+        total_init_cost_ms=290.0,
+        total_memory_kb=18_000.0,
+        seed=seed,
+        clusters=[
+            ClusterPlan("xpath1", module_count=20, init_share=0.35, depth=4),
+            ClusterPlan("xpath2", module_count=25, init_share=0.40, depth=4),
+            ClusterPlan("datatypes", module_count=14, init_share=0.20, depth=3),
+        ],
+    )
+
+
+def pdfminer_like(name: str = "slpdfminer", seed: int = 43) -> LibrarySpec:
+    """pdfminer stand-in for OCRmyPDF."""
+    return build_library(
+        name,
+        category="Document Processing",
+        total_init_cost_ms=560.0,
+        total_memory_kb=34_000.0,
+        seed=seed,
+        clusters=[
+            ClusterPlan("layout", module_count=30, init_share=0.24, depth=5),
+            ClusterPlan("pdfparser", module_count=28, init_share=0.22, depth=5),
+            ClusterPlan("converter", module_count=22, init_share=0.18, depth=4),
+            ClusterPlan("cmap", module_count=24, init_share=0.20, depth=4),
+            ClusterPlan("image", module_count=15, init_share=0.12, depth=4),
+        ],
+    )
+
+
+def prophet_like(name: str = "slprophet", seed: int = 47) -> LibrarySpec:
+    """Prophet stand-in for the sensor-telemetry app: big model stack."""
+    return build_library(
+        name,
+        category="IoT Predictive Analysis",
+        total_init_cost_ms=1_650.0,
+        total_memory_kb=110_000.0,
+        seed=seed,
+        root_external_imports=("slnumpy", "slpandas"),
+        clusters=[
+            ClusterPlan("models", module_count=45, init_share=0.34, depth=6),
+            ClusterPlan("forecaster", module_count=35, init_share=0.22, depth=5),
+            ClusterPlan("diagnostics", module_count=30, init_share=0.20, depth=5),
+            ClusterPlan("plot", module_count=25, init_share=0.16, depth=5),
+            ClusterPlan("serialize", module_count=14, init_share=0.06, depth=4),
+        ],
+    )
+
+
+def pkg_resources_like(name: str = "slpkgres", seed: int = 53) -> LibrarySpec:
+    """pkg_resources stand-in for FaaSWorkbench's chameleon app."""
+    return build_library(
+        name,
+        category="Package Management",
+        total_init_cost_ms=260.0,
+        total_memory_kb=14_000.0,
+        seed=seed,
+        clusters=[
+            ClusterPlan("working_set", module_count=18, init_share=0.40, depth=4),
+            ClusterPlan("markers", module_count=14, init_share=0.25, depth=4),
+            ClusterPlan("vendor", module_count=27, init_share=0.30, depth=5),
+        ],
+    )
+
+
+def generic_library(
+    name: str,
+    *,
+    module_count: int,
+    depth: int,
+    total_init_cost_ms: float,
+    total_memory_kb: float,
+    seed: int = 0,
+    category: str = "General",
+    dependencies: tuple[str, ...] = (),
+    cluster_count: int = 4,
+) -> LibrarySpec:
+    """Filler library with a given size/depth; used to pad app dependency
+    sets to the library/module counts Table II reports per application."""
+    if module_count < cluster_count + 1:
+        cluster_count = max(1, module_count - 1)
+    if cluster_count < 1:
+        raise SpecError(f"library {name!r} needs at least 2 modules")
+    nested = module_count - 1  # minus the root module
+    base = nested // cluster_count
+    counts = [base] * cluster_count
+    for index in range(nested - base * cluster_count):
+        counts[index % cluster_count] += 1
+    shares = _skewed_shares(cluster_count, reserve=0.05)
+    clusters = [
+        ClusterPlan(
+            f"part{index}",
+            module_count=max(1, counts[index]),
+            init_share=shares[index],
+            depth=max(2 if counts[index] <= 1 else 3, depth),
+        )
+        for index in range(cluster_count)
+    ]
+    return build_library(
+        name,
+        category=category,
+        total_init_cost_ms=total_init_cost_ms,
+        total_memory_kb=total_memory_kb,
+        seed=seed,
+        root_external_imports=dependencies,
+        clusters=clusters,
+    )
+
+
+def _skewed_shares(count: int, reserve: float) -> list[float]:
+    """Mildly skewed init shares summing to ``1 - reserve``."""
+    raw = [1.0 / (rank + 1) for rank in range(count)]
+    total = sum(raw)
+    return [(value / total) * (1.0 - reserve) for value in raw]
+
+
+#: Factories for the flagship stand-ins, keyed by generated library name.
+FLAGSHIP_FACTORIES = {
+    "sligraph": igraph_like,
+    "slnltk": nltk_like,
+    "sltextblob": textblob_like,
+    "slnumpy": numpy_like,
+    "slscipy": scipy_like,
+    "slpandas": pandas_like,
+    "slsklearn": sklearn_like,
+    "slskimage": skimage_like,
+    "slxmlschema": xmlschema_like,
+    "slelementpath": elementpath_like,
+    "slpdfminer": pdfminer_like,
+    "slprophet": prophet_like,
+    "slpkgres": pkg_resources_like,
+}

@@ -1,0 +1,72 @@
+"""Cost model shared by the generator and the virtual-time simulator.
+
+The single source of truth for "how expensive is this" is the library
+specification; this module turns specs into expected costs and holds the
+scale knob that lets the really-executed testbed shrink costs (e.g. run a
+library whose real-world import takes 900 ms in 9 ms by setting
+``scale=0.01``) without changing any *ratio* the paper's evaluation reports.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+from typing import Iterable
+
+from repro.synthlib.spec import Ecosystem, ModuleKey
+
+#: Environment variable read by generated code at import time.
+SCALE_ENV_VAR = "SLIMSTART_COST_SCALE"
+
+
+def env_scale(default: float = 1.0) -> float:
+    """Cost scale taken from the environment, fallback to ``default``."""
+    raw = os.environ.get(SCALE_ENV_VAR)
+    if raw is None:
+        return default
+    try:
+        value = float(raw)
+    except ValueError:
+        raise ValueError(f"{SCALE_ENV_VAR} must be a float, got {raw!r}") from None
+    if value <= 0:
+        raise ValueError(f"{SCALE_ENV_VAR} must be positive, got {value}")
+    return value
+
+
+@dataclass(frozen=True)
+class CostModel:
+    """Expected-cost calculator for an ecosystem.
+
+    ``scale`` multiplies every CPU cost (init and function bodies); memory is
+    intentionally *not* scaled, because shrinking execution time must not
+    change the memory story the evaluation tells.
+    """
+
+    ecosystem: Ecosystem
+    scale: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.scale <= 0:
+            raise ValueError(f"scale must be positive: {self.scale}")
+
+    def init_cost_ms(self, keys: Iterable[ModuleKey]) -> float:
+        """Scaled initialization cost of loading exactly ``keys``."""
+        return self.ecosystem.total_init_cost_ms(keys) * self.scale
+
+    def memory_kb(self, keys: Iterable[ModuleKey]) -> float:
+        """Memory attributed to the loaded set ``keys`` (unscaled)."""
+        return self.ecosystem.total_memory_kb(keys)
+
+    def cold_start_init_ms(
+        self,
+        roots: Iterable[ModuleKey],
+        deferred: frozenset[ModuleKey] = frozenset(),
+    ) -> float:
+        """Scaled import cost of a cold start importing ``roots`` eagerly."""
+        closure = self.ecosystem.import_closure(roots, deferred=deferred)
+        return self.init_cost_ms(closure)
+
+    def function_cost_ms(self, qualified: str) -> float:
+        """Scaled self-cost of one function, excluding callees."""
+        ref = self.ecosystem.parse_function(qualified)
+        return self.ecosystem.function(ref).self_cost_ms * self.scale

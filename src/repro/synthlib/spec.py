@@ -1,0 +1,438 @@
+"""Declarative model of a synthetic library ecosystem.
+
+A :class:`LibrarySpec` is a tree of :class:`ModuleSpec` objects.  Module
+names are dotted paths *relative to the library root*; the empty string
+names the root package itself (``<lib>/__init__.py``).  Each module carries
+
+* ``init_cost_ms`` — CPU time burned when the module is first imported,
+* ``memory_kb``   — resident memory attributed once the module is loaded,
+* ``imports``     — same-library modules imported eagerly at module exec,
+* ``external_imports`` — fully-qualified modules of *other* libraries
+  imported eagerly at module exec, and
+* ``functions``   — callables the module defines, each with a self cost and
+  a list of fully-qualified callees.
+
+Import semantics mirror CPython: importing ``lib.a.b`` first loads the
+ancestor packages ``lib`` and ``lib.a``.  :meth:`Ecosystem.import_closure`
+reproduces this, including the effect of *deferring* modules (lazy loading),
+which is the mechanism both SLIMSTART and the FaaSLight baseline exploit.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator, Mapping
+
+from repro.common.errors import SpecError
+
+_IDENT_OK = str.isidentifier
+
+
+def _check_dotted(name: str, *, allow_empty: bool) -> None:
+    if name == "":
+        if allow_empty:
+            return
+        raise SpecError("module name may not be empty here")
+    for part in name.split("."):
+        if not _IDENT_OK(part):
+            raise SpecError(f"invalid module path component {part!r} in {name!r}")
+
+
+@dataclass(frozen=True, order=True)
+class ModuleKey:
+    """Globally unique module identifier: library name + relative path."""
+
+    library: str
+    module: str  # "" for the library root package
+
+    @property
+    def dotted(self) -> str:
+        """Absolute dotted import path, e.g. ``sligraph.drawing.colors``."""
+        return f"{self.library}.{self.module}" if self.module else self.library
+
+    def is_ancestor_of(self, other: "ModuleKey") -> bool:
+        """True when this module is a package containing ``other``."""
+        if self.library != other.library or self == other:
+            return False
+        if self.module == "":
+            return True
+        return other.module.startswith(self.module + ".")
+
+    def ancestors(self) -> Iterator["ModuleKey"]:
+        """Yield strict package ancestors from the library root downward.
+
+        The library root has no ancestors (and must not yield itself).
+        """
+        if not self.module:
+            return
+        yield ModuleKey(self.library, "")
+        parts = self.module.split(".")
+        for index in range(1, len(parts)):
+            yield ModuleKey(self.library, ".".join(parts[:index]))
+
+
+@dataclass(frozen=True)
+class FunctionRef:
+    """Fully-qualified reference to a function: ``lib.mod.sub:func``."""
+
+    key: ModuleKey
+    function: str
+
+    @property
+    def qualified(self) -> str:
+        return f"{self.key.dotted}:{self.function}"
+
+    @classmethod
+    def parse(cls, text: str, libraries: Iterable[str]) -> "FunctionRef":
+        """Parse ``lib[.module]:function`` given the known library names."""
+        if ":" not in text:
+            raise SpecError(f"function reference missing ':': {text!r}")
+        dotted, _, function = text.partition(":")
+        if not function.isidentifier():
+            raise SpecError(f"invalid function name in reference: {text!r}")
+        first, _, rest = dotted.partition(".")
+        if first not in set(libraries):
+            raise SpecError(f"unknown library {first!r} in reference {text!r}")
+        _check_dotted(rest, allow_empty=True)
+        return cls(key=ModuleKey(first, rest), function=function)
+
+
+@dataclass(frozen=True)
+class FunctionSpec:
+    """A callable defined by a module."""
+
+    name: str
+    self_cost_ms: float = 1.0
+    calls: tuple[str, ...] = ()
+
+    def __post_init__(self) -> None:
+        if not self.name.isidentifier():
+            raise SpecError(f"invalid function name: {self.name!r}")
+        if self.self_cost_ms < 0:
+            raise SpecError(f"negative function cost: {self.name} {self.self_cost_ms}")
+
+
+@dataclass(frozen=True)
+class ModuleSpec:
+    """One module of a synthetic library."""
+
+    name: str  # dotted path relative to the library root; "" is the root
+    init_cost_ms: float = 0.0
+    memory_kb: float = 0.0
+    imports: tuple[str, ...] = ()
+    external_imports: tuple[str, ...] = ()
+    functions: tuple[FunctionSpec, ...] = ()
+
+    def __post_init__(self) -> None:
+        _check_dotted(self.name, allow_empty=True)
+        if self.init_cost_ms < 0:
+            raise SpecError(f"negative init cost for module {self.name!r}")
+        if self.memory_kb < 0:
+            raise SpecError(f"negative memory for module {self.name!r}")
+        seen: set[str] = set()
+        for function in self.functions:
+            if function.name in seen:
+                raise SpecError(
+                    f"duplicate function {function.name!r} in module {self.name!r}"
+                )
+            seen.add(function.name)
+
+    @property
+    def depth(self) -> int:
+        """Dotted depth counting the library root (root itself is 1)."""
+        if not self.name:
+            return 1
+        return 1 + self.name.count(".") + 1
+
+
+@dataclass
+class LibrarySpec:
+    """A complete synthetic library: a validated tree of modules."""
+
+    name: str
+    category: str = "General"
+    modules: tuple[ModuleSpec, ...] = ()
+    _by_name: dict[str, ModuleSpec] = field(init=False, repr=False)
+
+    def __post_init__(self) -> None:
+        if not self.name.isidentifier():
+            raise SpecError(f"invalid library name: {self.name!r}")
+        self._by_name = {}
+        for module in self.modules:
+            if module.name in self._by_name:
+                raise SpecError(f"duplicate module {module.name!r} in {self.name}")
+            self._by_name[module.name] = module
+        self._validate()
+
+    # -- validation ------------------------------------------------------
+
+    def _validate(self) -> None:
+        if "" not in self._by_name:
+            raise SpecError(f"library {self.name!r} is missing its root module")
+        for module in self.modules:
+            self._validate_prefixes(module)
+            self._validate_imports(module)
+        self._validate_acyclic()
+
+    def _validate_prefixes(self, module: ModuleSpec) -> None:
+        if not module.name:
+            return
+        parts = module.name.split(".")
+        for index in range(1, len(parts)):
+            prefix = ".".join(parts[:index])
+            if prefix not in self._by_name:
+                raise SpecError(
+                    f"module {module.name!r} of {self.name!r} has no package "
+                    f"module for prefix {prefix!r}"
+                )
+
+    def _validate_imports(self, module: ModuleSpec) -> None:
+        for target in module.imports:
+            if target == module.name:
+                raise SpecError(f"module {module.name!r} imports itself")
+            if target not in self._by_name:
+                raise SpecError(
+                    f"module {module.name!r} of {self.name!r} imports unknown "
+                    f"module {target!r}"
+                )
+        for target in module.external_imports:
+            _check_dotted(target, allow_empty=False)
+
+    def _validate_acyclic(self) -> None:
+        # Depth-first cycle check over *explicit* intra-library import edges.
+        # The implicit child -> ancestor-package dependency is intentionally
+        # excluded: "package imports its children" is legal in CPython (the
+        # partially-initialized parent already sits in ``sys.modules``) and
+        # is exactly the eager-loading pattern this paper targets.
+        WHITE, GRAY, BLACK = 0, 1, 2
+        color = {name: WHITE for name in self._by_name}
+
+        def edges(name: str) -> Iterator[str]:
+            yield from self._by_name[name].imports
+
+        def visit(name: str, path: list[str]) -> None:
+            color[name] = GRAY
+            path.append(name)
+            for target in edges(name):
+                if color[target] == GRAY:
+                    cycle = " -> ".join(path + [target])
+                    raise SpecError(f"import cycle in {self.name!r}: {cycle}")
+                if color[target] == WHITE:
+                    visit(target, path)
+            path.pop()
+            color[name] = BLACK
+
+        for name in self._by_name:
+            if color[name] == WHITE:
+                visit(name, [])
+
+    # -- accessors -------------------------------------------------------
+
+    def module(self, name: str) -> ModuleSpec:
+        try:
+            return self._by_name[name]
+        except KeyError:
+            raise SpecError(f"library {self.name!r} has no module {name!r}") from None
+
+    def has_module(self, name: str) -> bool:
+        return name in self._by_name
+
+    def module_names(self) -> list[str]:
+        return sorted(self._by_name)
+
+    def keys(self) -> list[ModuleKey]:
+        return [ModuleKey(self.name, name) for name in self.module_names()]
+
+    def children(self, name: str) -> list[str]:
+        """Direct sub-modules of the package ``name``."""
+        prefix = f"{name}." if name else ""
+        result = []
+        for candidate in self._by_name:
+            if not candidate or not candidate.startswith(prefix):
+                continue
+            remainder = candidate[len(prefix):]
+            if remainder and "." not in remainder:
+                result.append(candidate)
+        return sorted(result)
+
+    def subtree(self, name: str) -> list[str]:
+        """``name`` plus every module nested beneath it."""
+        if name == "":
+            return self.module_names()
+        prefix = name + "."
+        return sorted(
+            candidate
+            for candidate in self._by_name
+            if candidate == name or candidate.startswith(prefix)
+        )
+
+    def is_package(self, name: str) -> bool:
+        """True when the module has nested modules (maps to a directory)."""
+        if name == "":
+            return True
+        prefix = name + "."
+        return any(candidate.startswith(prefix) for candidate in self._by_name)
+
+    # -- aggregate metrics (Table II columns) ------------------------------
+
+    @property
+    def module_count(self) -> int:
+        return len(self.modules)
+
+    @property
+    def total_init_cost_ms(self) -> float:
+        return sum(module.init_cost_ms for module in self.modules)
+
+    @property
+    def total_memory_kb(self) -> float:
+        return sum(module.memory_kb for module in self.modules)
+
+    @property
+    def average_depth(self) -> float:
+        return sum(module.depth for module in self.modules) / len(self.modules)
+
+    def subtree_init_cost_ms(self, name: str) -> float:
+        return sum(self._by_name[m].init_cost_ms for m in self.subtree(name))
+
+
+class Ecosystem:
+    """A set of libraries with cross-library references resolved."""
+
+    def __init__(self, libraries: Iterable[LibrarySpec] = ()) -> None:
+        self._libraries: dict[str, LibrarySpec] = {}
+        for library in libraries:
+            self.add(library)
+
+    def add(self, library: LibrarySpec) -> None:
+        if library.name in self._libraries:
+            raise SpecError(f"duplicate library {library.name!r}")
+        self._libraries[library.name] = library
+
+    # -- accessors -------------------------------------------------------
+
+    @property
+    def libraries(self) -> Mapping[str, LibrarySpec]:
+        return dict(self._libraries)
+
+    def library(self, name: str) -> LibrarySpec:
+        try:
+            return self._libraries[name]
+        except KeyError:
+            raise SpecError(f"unknown library {name!r}") from None
+
+    def library_names(self) -> list[str]:
+        return sorted(self._libraries)
+
+    def module(self, key: ModuleKey) -> ModuleSpec:
+        return self.library(key.library).module(key.module)
+
+    def has_module(self, key: ModuleKey) -> bool:
+        library = self._libraries.get(key.library)
+        return library is not None and library.has_module(key.module)
+
+    def all_keys(self) -> list[ModuleKey]:
+        return [key for name in self.library_names() for key in self._libraries[name].keys()]
+
+    def parse_module(self, dotted: str) -> ModuleKey:
+        """Parse an absolute dotted path into a :class:`ModuleKey`."""
+        first, _, rest = dotted.partition(".")
+        if first not in self._libraries:
+            raise SpecError(f"unknown library in module path {dotted!r}")
+        key = ModuleKey(first, rest)
+        if not self.has_module(key):
+            raise SpecError(f"unknown module {dotted!r}")
+        return key
+
+    def parse_function(self, text: str) -> FunctionRef:
+        ref = FunctionRef.parse(text, self._libraries)
+        if not self.has_module(ref.key):
+            raise SpecError(f"reference {text!r} names unknown module")
+        module = self.module(ref.key)
+        if ref.function not in {fn.name for fn in module.functions}:
+            raise SpecError(f"reference {text!r} names unknown function")
+        return ref
+
+    def function(self, ref: FunctionRef) -> FunctionSpec:
+        module = self.module(ref.key)
+        for candidate in module.functions:
+            if candidate.name == ref.function:
+                return candidate
+        raise SpecError(f"unknown function {ref.qualified!r}")
+
+    # -- validation ------------------------------------------------------
+
+    def validate(self) -> None:
+        """Check cross-library references; raises :class:`SpecError`."""
+        for library in self._libraries.values():
+            for module in library.modules:
+                for target in module.external_imports:
+                    key = self.parse_module(target)
+                    if key.library == library.name:
+                        raise SpecError(
+                            f"module {module.name!r} of {library.name!r} lists "
+                            f"a same-library import as external: {target!r}"
+                        )
+                for function in module.functions:
+                    for call in function.calls:
+                        self.parse_function(call)
+
+    # -- import semantics --------------------------------------------------
+
+    def import_edges(self, key: ModuleKey) -> list[ModuleKey]:
+        """Eager import targets of ``key`` (same-library and external)."""
+        module = self.module(key)
+        edges = [ModuleKey(key.library, target) for target in module.imports]
+        edges.extend(self.parse_module(target) for target in module.external_imports)
+        return edges
+
+    def import_closure(
+        self,
+        roots: Iterable[ModuleKey],
+        deferred: frozenset[ModuleKey] | set[ModuleKey] = frozenset(),
+        already_loaded: Iterable[ModuleKey] = (),
+    ) -> list[ModuleKey]:
+        """Modules loaded, in load order, when ``roots`` are imported.
+
+        ``deferred`` models lazy loading: an *import edge into* a deferred
+        module is skipped (a stub takes its place), so the module and
+        anything only reachable through it stay unloaded.  Explicitly
+        importing a deferred module (``roots``) still loads it — that is
+        exactly what happens when a deferred import finally executes at
+        first use.  ``already_loaded`` models a warm container.
+        """
+        deferred = frozenset(deferred)
+        loaded: set[ModuleKey] = set(already_loaded)
+        order: list[ModuleKey] = []
+
+        def load(key: ModuleKey, *, forced: bool) -> None:
+            if key in loaded:
+                return
+            if key in deferred and not forced:
+                return
+            # Python loads ancestor packages before the module itself, and
+            # does so even when the package appears in ``deferred``: lazy
+            # loading only removes *edges into* a module, so any surviving
+            # import of a descendant still executes the package eagerly.
+            for ancestor in key.ancestors():
+                if ancestor not in loaded:
+                    load(ancestor, forced=True)
+            if key in loaded:  # an ancestor's imports may have loaded us
+                return
+            loaded.add(key)
+            for target in self.import_edges(key):
+                load(target, forced=False)
+            order.append(key)
+
+        for root in roots:
+            load(root, forced=True)
+        return order
+
+    def total_init_cost_ms(self, keys: Iterable[ModuleKey]) -> float:
+        return sum(self.module(key).init_cost_ms for key in keys)
+
+    def total_memory_kb(self, keys: Iterable[ModuleKey]) -> float:
+        return sum(self.module(key).memory_kb for key in keys)
+
+    def call_targets(self, ref: FunctionRef) -> list[FunctionRef]:
+        """Direct callees of ``ref`` per the specification."""
+        return [self.parse_function(call) for call in self.function(ref).calls]

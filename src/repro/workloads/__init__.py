@@ -1,0 +1,15 @@
+"""Workload substrate: entry-point popularity, arrivals, production traces."""
+
+from repro.workloads.popularity import EntryMix, zipf_mix
+from repro.workloads.arrival import poisson_schedule, burst_entries
+from repro.workloads.trace import AppTrace, ProductionTrace, TraceGenerator
+
+__all__ = [
+    "EntryMix",
+    "zipf_mix",
+    "poisson_schedule",
+    "burst_entries",
+    "AppTrace",
+    "ProductionTrace",
+    "TraceGenerator",
+]

@@ -1,0 +1,58 @@
+"""Arrival processes for replaying workloads against a platform."""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from repro.common.errors import WorkloadError
+from repro.common.rng import SeededRNG
+from repro.workloads.popularity import EntryMix
+
+
+def poisson_schedule(
+    mix: EntryMix,
+    rate_per_s: float,
+    duration_s: float,
+    seed: int = 0,
+    start_s: float = 0.0,
+) -> list[tuple[float, str]]:
+    """Poisson arrivals with i.i.d. entry choices; ``(time, entry)`` pairs."""
+    if rate_per_s <= 0:
+        raise WorkloadError(f"rate must be positive: {rate_per_s}")
+    if duration_s <= 0:
+        raise WorkloadError(f"duration must be positive: {duration_s}")
+    rng = SeededRNG(seed)
+    now = start_s
+    schedule: list[tuple[float, str]] = []
+    while True:
+        now += rng.expovariate(rate_per_s)
+        if now >= start_s + duration_s:
+            break
+        schedule.append((now, rng.weighted_choice(mix.entries, mix.weights)))
+    return schedule
+
+
+def burst_entries(mix: EntryMix, count: int, seed: int | None = None) -> list[str]:
+    """Entry list for an N-concurrent burst.
+
+    With ``seed=None`` the mix's exact proportional sequence is used
+    (deterministic measurement); otherwise entries are sampled i.i.d.
+    """
+    if seed is None:
+        return mix.proportional_sequence(count)
+    return mix.sample_sequence(count, seed)
+
+
+def idle_gaps(
+    schedule: list[tuple[float, str]], keep_alive_s: float
+) -> Iterator[tuple[float, float]]:
+    """Yield ``(gap_start, gap_length)`` for gaps exceeding the keep-alive.
+
+    Every such gap forces the next request into a cold start; useful for
+    asserting cold-start counts in tests.
+    """
+    previous: float | None = None
+    for timestamp, _ in schedule:
+        if previous is not None and timestamp - previous > keep_alive_s:
+            yield previous, timestamp - previous
+        previous = timestamp

@@ -1,0 +1,60 @@
+"""Tests for handler source generation."""
+
+import ast
+
+from repro.apps.codegen import generate_handler
+from repro.faas.sim import EntryBehavior
+
+
+def test_generated_handler_parses():
+    source = generate_handler(
+        "myapp",
+        ("sligraph",),
+        (EntryBehavior("handle", calls=("sligraph.core:run",)),),
+    )
+    ast.parse(source)
+
+
+def test_global_imports_at_module_level():
+    source = generate_handler(
+        "myapp",
+        ("sligraph", "slnumpy"),
+        (EntryBehavior("handle", calls=()),),
+    )
+    tree = ast.parse(source)
+    imports = [
+        alias.name
+        for node in tree.body
+        if isinstance(node, ast.Import)
+        for alias in node.names
+    ]
+    assert "sligraph" in imports
+    assert "slnumpy" in imports
+
+
+def test_entries_call_attribute_chains():
+    source = generate_handler(
+        "myapp",
+        ("sligraph",),
+        (EntryBehavior("handle", calls=("sligraph.drawing:run",)),),
+    )
+    assert "sligraph.drawing.run()" in source
+
+
+def test_handler_self_cost_embedded():
+    source = generate_handler(
+        "myapp",
+        (),
+        (EntryBehavior("handle", calls=(), handler_self_ms=12.5),),
+    )
+    assert "_busy(12.5)" in source
+
+
+def test_every_entry_gets_a_function():
+    entries = tuple(
+        EntryBehavior(f"entry{i}", calls=()) for i in range(4)
+    )
+    source = generate_handler("myapp", (), entries)
+    tree = ast.parse(source)
+    defs = {n.name for n in tree.body if isinstance(n, ast.FunctionDef)}
+    assert {f"entry{i}" for i in range(4)} <= defs

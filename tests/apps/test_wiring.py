@@ -1,0 +1,44 @@
+"""Tests for cluster wiring helpers."""
+
+import pytest
+
+from repro.apps.wiring import entry_exec_ms, expand_cluster_refs, subtree_init_ms
+from repro.common.errors import SpecError
+
+
+class TestExpandClusterRefs:
+    def test_single_cluster(self, small_ecosystem):
+        calls = expand_cluster_refs(small_ecosystem, ("libx.core",))
+        assert calls == ["libx.core:run"]
+
+    def test_whole_library_expands_to_clusters(self, small_ecosystem):
+        calls = expand_cluster_refs(small_ecosystem, ("libx",))
+        assert calls == ["libx.core:run", "libx.extra:run"]
+
+    def test_deduplication(self, small_ecosystem):
+        calls = expand_cluster_refs(small_ecosystem, ("libx", "libx.core"))
+        assert calls.count("libx.core:run") == 1
+
+    def test_unknown_cluster_rejected(self, small_ecosystem):
+        with pytest.raises(SpecError):
+            expand_cluster_refs(small_ecosystem, ("libx.ghost",))
+
+
+class TestExecEstimation:
+    def test_entry_exec_walks_call_graph(self, small_ecosystem):
+        # core:run (1.0) -> fast:work (2.0)
+        assert entry_exec_ms(small_ecosystem, ("libx.core:run",)) == pytest.approx(3.0)
+
+    def test_multiple_calls_sum(self, small_ecosystem):
+        cost = entry_exec_ms(
+            small_ecosystem, ("libx.core:run", "libx.extra:run")
+        )
+        assert cost == pytest.approx(3.0 + 4.0)
+
+
+class TestSubtreeInit:
+    def test_cluster(self, small_ecosystem):
+        assert subtree_init_ms(small_ecosystem, "libx.extra") == 65.0
+
+    def test_whole_library(self, small_ecosystem):
+        assert subtree_init_ms(small_ecosystem, "libx") == 100.0

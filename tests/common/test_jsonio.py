@@ -1,0 +1,38 @@
+"""Tests for JSON persistence helpers."""
+
+from dataclasses import dataclass
+
+from repro.common.jsonio import dump_json, load_json, to_jsonable
+
+
+@dataclass
+class _Point:
+    x: int
+    label: str
+
+
+def test_dataclass_roundtrip(tmp_path):
+    path = dump_json(_Point(x=3, label="hi"), tmp_path / "point.json")
+    assert load_json(path) == {"x": 3, "label": "hi"}
+
+
+def test_nested_structures():
+    payload = to_jsonable({"points": [_Point(1, "a"), _Point(2, "b")]})
+    assert payload == {"points": [{"x": 1, "label": "a"}, {"x": 2, "label": "b"}]}
+
+
+def test_sets_become_sorted_lists():
+    assert to_jsonable({"s": {3, 1, 2}}) == {"s": [1, 2, 3]}
+
+
+def test_tuples_become_lists():
+    assert to_jsonable((1, 2)) == [1, 2]
+
+
+def test_dump_creates_parent_dirs(tmp_path):
+    path = dump_json({"a": 1}, tmp_path / "deep" / "dir" / "f.json")
+    assert path.is_file()
+
+
+def test_non_string_keys_coerced():
+    assert to_jsonable({1: "x"}) == {"1": "x"}

@@ -1,0 +1,119 @@
+"""Tests for profile collection and batch transfer."""
+
+import pytest
+
+from repro.common.errors import ProfilingError
+from repro.core.collector import (
+    ProfileCollector,
+    bundle_key,
+    fetch_bundles,
+    fetch_merged,
+    merge_all,
+)
+from repro.core.profiles import ImportProfile, ImportRecord, ProfileBundle
+from repro.core.samples import Frame, Sample, SampleSet
+from repro.faas.storage import CloudStorage
+
+
+def make_bundle(app="app", weight=1.0) -> ProfileBundle:
+    return ProfileBundle(
+        app=app,
+        import_profile=ImportProfile(
+            [ImportRecord("libx", 10.0, 10.0, None, 1)]
+        ),
+        samples=SampleSet(
+            [Sample(path=(Frame("/ws/handler.py", "h", 1),), weight=weight)]
+        ),
+        entry_counts={"h": 1},
+        handler_imports=("libx",),
+        mean_cold_e2e_ms=100.0,
+        mean_cold_init_ms=50.0,
+        cold_starts=1,
+    )
+
+
+class TestCollector:
+    def test_batch_upload_reduces_put_count(self):
+        storage = CloudStorage()
+        with ProfileCollector(storage, "app", batch_size=4, asynchronous=False) as c:
+            for _ in range(8):
+                c.record(make_bundle())
+        # 8 bundles, batch size 4 -> exactly 2 storage writes.
+        assert storage.put_count == 2
+
+    def test_partial_batch_flushed_on_close(self):
+        storage = CloudStorage()
+        with ProfileCollector(storage, "app", batch_size=10, asynchronous=False) as c:
+            for _ in range(3):
+                c.record(make_bundle())
+        assert storage.put_count == 1
+
+    def test_asynchronous_upload_completes_on_close(self):
+        storage = CloudStorage()
+        collector = ProfileCollector(storage, "app", batch_size=2, asynchronous=True)
+        for _ in range(6):
+            collector.record(make_bundle())
+        collector.close()
+        assert storage.put_count == 3
+
+    def test_wrong_app_rejected(self):
+        collector = ProfileCollector(CloudStorage(), "app", asynchronous=False)
+        with pytest.raises(ProfilingError):
+            collector.record(make_bundle(app="other"))
+        collector.close()
+
+    def test_record_after_close_rejected(self):
+        collector = ProfileCollector(CloudStorage(), "app", asynchronous=False)
+        collector.close()
+        with pytest.raises(ProfilingError):
+            collector.record(make_bundle())
+
+    def test_bad_batch_size(self):
+        with pytest.raises(ProfilingError):
+            ProfileCollector(CloudStorage(), "app", batch_size=0)
+
+    def test_keys_are_ordered(self):
+        assert bundle_key("app", 3) == "profiles/app/000003"
+
+
+class TestFetch:
+    def test_fetch_bundles_roundtrip(self):
+        storage = CloudStorage()
+        with ProfileCollector(storage, "app", batch_size=1, asynchronous=False) as c:
+            c.record(make_bundle(weight=1.0))
+            c.record(make_bundle(weight=2.0))
+        bundles = fetch_bundles(storage, "app")
+        assert len(bundles) == 2
+        assert bundles[0].app == "app"
+
+    def test_fetch_merged(self):
+        storage = CloudStorage()
+        with ProfileCollector(storage, "app", batch_size=1, asynchronous=False) as c:
+            for _ in range(3):
+                c.record(make_bundle())
+        merged = fetch_merged(storage, "app")
+        assert merged.cold_starts == 3
+        assert merged.entry_counts == {"h": 3}
+
+    def test_fetch_merged_empty_rejected(self):
+        with pytest.raises(ProfilingError):
+            fetch_merged(CloudStorage(), "app")
+
+    def test_apps_are_isolated(self):
+        storage = CloudStorage()
+        with ProfileCollector(storage, "a", batch_size=1, asynchronous=False) as c:
+            c.record(make_bundle(app="a"))
+        with ProfileCollector(storage, "b", batch_size=1, asynchronous=False) as c:
+            c.record(make_bundle(app="b"))
+        assert len(fetch_bundles(storage, "a")) == 1
+        assert fetch_merged(storage, "b").app == "b"
+
+
+def test_merge_all():
+    merged = merge_all([make_bundle(), make_bundle(), make_bundle()])
+    assert merged.cold_starts == 3
+
+
+def test_merge_all_empty_rejected():
+    with pytest.raises(ProfilingError):
+        merge_all([])

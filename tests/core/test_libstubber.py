@@ -1,0 +1,136 @@
+"""Tests for library-level lazy stubs (PEP 562)."""
+
+import subprocess
+import sys
+import textwrap
+
+import pytest
+
+from repro.common.errors import OptimizationError
+from repro.core.libstubber import apply_library_deferrals
+from repro.synthlib.generator import materialize_ecosystem
+from repro.synthlib.spec import Ecosystem
+
+from tests.conftest import make_dependent_library, make_small_library
+
+
+@pytest.fixture()
+def workspace(tmp_path):
+    eco = Ecosystem([make_small_library(), make_dependent_library()])
+    materialize_ecosystem(eco, tmp_path, scale=0.01)
+    return tmp_path
+
+
+def run_snippet(workspace, code: str) -> str:
+    result = subprocess.run(
+        [sys.executable, "-c", textwrap.dedent(code)],
+        capture_output=True,
+        text=True,
+        cwd=workspace,
+    )
+    assert result.returncode == 0, result.stderr
+    return result.stdout.strip()
+
+
+class TestEdgeCommenting:
+    def test_edge_commented_in_parent(self, workspace):
+        result = apply_library_deferrals(workspace, {"libx.extra"})
+        assert ("libx/__init__.py", "import libx.extra") in result.commented_edges
+        source = (workspace / "libx" / "__init__.py").read_text()
+        assert "# [slimstart] lazy edge: import libx.extra" in source
+
+    def test_stub_added_to_parent_package(self, workspace):
+        result = apply_library_deferrals(workspace, {"libx.extra"})
+        assert result.stubbed_packages == {"libx": ["extra"]}
+        source = (workspace / "libx" / "__init__.py").read_text()
+        assert "_SLIMSTART_LAZY" in source
+        assert "def __getattr__(name):" in source
+
+    def test_deferred_module_not_loaded_at_import(self, workspace):
+        apply_library_deferrals(workspace, {"libx.extra"})
+        out = run_snippet(
+            workspace,
+            """
+            import libx
+            import _slimstart_runtime as rt
+            mods = rt.loaded_modules()
+            print('libx.extra' in mods, 'libx.extra.heavy' in mods, len(mods))
+            """,
+        )
+        assert out == "False False 3"
+
+    def test_attribute_access_triggers_lazy_load(self, workspace):
+        apply_library_deferrals(workspace, {"libx.extra"})
+        out = run_snippet(
+            workspace,
+            """
+            import libx
+            import _slimstart_runtime as rt
+            before = len(rt.loaded_modules())
+            result = libx.use_extra()
+            after = len(rt.loaded_modules())
+            print(before, after, result[0])
+            """,
+        )
+        assert out == "3 5 libx"
+
+    def test_unknown_attribute_still_raises(self, workspace):
+        apply_library_deferrals(workspace, {"libx.extra"})
+        out = run_snippet(
+            workspace,
+            """
+            import libx
+            try:
+                libx.no_such_thing
+                print("no error")
+            except AttributeError:
+                print("attribute error")
+            """,
+        )
+        assert out == "attribute error"
+
+    def test_cross_library_root_edge(self, workspace):
+        result = apply_library_deferrals(workspace, {"libx"})
+        assert ("liby/__init__.py", "import libx") in result.commented_edges
+        out = run_snippet(
+            workspace,
+            """
+            import liby
+            import _slimstart_runtime as rt
+            print('libx' in rt.loaded_modules())
+            print(liby.go()[0])
+            """,
+        )
+        assert out.splitlines() == ["False", "liby"]
+
+    def test_idempotent_reapplication(self, workspace):
+        apply_library_deferrals(workspace, {"libx.extra"})
+        result = apply_library_deferrals(workspace, {"libx.extra", "libx.core"})
+        assert result.stubbed_packages["libx"] == ["core", "extra"]
+        out = run_snippet(
+            workspace,
+            """
+            import libx
+            print(libx.use_core()[0], libx.use_extra()[0])
+            """,
+        )
+        assert out == "libx libx"
+
+    def test_handler_file_left_alone(self, workspace):
+        (workspace / "handler.py").write_text("import libx.extra\n")
+        apply_library_deferrals(workspace, {"libx.extra"})
+        assert (workspace / "handler.py").read_text() == "import libx.extra\n"
+
+
+class TestValidation:
+    def test_missing_workspace(self, tmp_path):
+        with pytest.raises(OptimizationError):
+            apply_library_deferrals(tmp_path / "ghost", {"a.b"})
+
+    def test_empty_targets_noop(self, workspace):
+        result = apply_library_deferrals(workspace, set())
+        assert not result.changed
+
+    def test_missing_parent_package_rejected(self, workspace):
+        with pytest.raises(OptimizationError):
+            apply_library_deferrals(workspace, {"nolib.sub"})

@@ -1,0 +1,335 @@
+"""Tests for the AST import optimizer (global -> deferred)."""
+
+import textwrap
+
+import pytest
+
+from repro.common.errors import OptimizationError
+from repro.core.optimizer import optimize_source
+
+
+def src(text: str) -> str:
+    return textwrap.dedent(text).lstrip("\n")
+
+
+def run_module(source: str, entry: str, *args):
+    """Exec transformed source and call an entry (semantic check)."""
+    namespace: dict = {}
+    exec(compile(source, "<test>", "exec"), namespace)
+    return namespace[entry](*args)
+
+
+class TestBasicDeferral:
+    def test_plain_import_moved_into_function(self):
+        source = src(
+            """
+            import json
+
+            def handle(event):
+                return json.dumps(event)
+            """
+        )
+        result = optimize_source(source, {"json"})
+        assert result.changed
+        assert "# [slimstart] deferred: import json" in result.source
+        body = result.source.split("def handle(event):")[1]
+        assert "import json" in body
+        assert run_module(result.source, "handle", {"a": 1}) == '{"a": 1}'
+
+    def test_import_as_alias(self):
+        source = src(
+            """
+            import json as j
+
+            def handle(event):
+                return j.dumps(event)
+            """
+        )
+        result = optimize_source(source, {"json"})
+        assert result.changed
+        assert run_module(result.source, "handle", [1]) == "[1]"
+
+    def test_from_import(self):
+        source = src(
+            """
+            from json import dumps
+
+            def handle(event):
+                return dumps(event)
+            """
+        )
+        result = optimize_source(source, {"json"})
+        assert result.changed
+        assert run_module(result.source, "handle", 5) == "5"
+
+    def test_from_import_with_alias(self):
+        source = src(
+            """
+            from json import dumps as d
+
+            def handle(event):
+                return d(event)
+            """
+        )
+        result = optimize_source(source, {"json"})
+        assert run_module(result.source, "handle", 5) == "5"
+
+    def test_submodule_import_matches_parent_target(self):
+        source = src(
+            """
+            import os.path
+
+            def handle(event):
+                return os.path.join("a", event)
+            """
+        )
+        result = optimize_source(source, {"os"})
+        assert result.changed
+        assert run_module(result.source, "handle", "b") == "a/b"
+
+    def test_only_functions_using_name_get_import(self):
+        source = src(
+            """
+            import json
+
+            def uses(event):
+                return json.dumps(event)
+
+            def ignores(event):
+                return event
+            """
+        )
+        result = optimize_source(source, {"json"})
+        uses_body = result.source.split("def uses(event):")[1].split("def ")[0]
+        ignores_body = result.source.split("def ignores(event):")[1]
+        assert "import json" in uses_body
+        assert "import json" not in ignores_body
+
+    def test_docstring_preserved_import_after_it(self):
+        source = src(
+            '''
+            import json
+
+            def handle(event):
+                """Docstring stays first."""
+                return json.dumps(event)
+            '''
+        )
+        result = optimize_source(source, {"json"})
+        body = result.source.split("def handle(event):")[1]
+        assert body.splitlines()[1].strip().startswith('"""')
+        assert run_module(result.source, "handle", 1) == "1"
+
+    def test_multiple_targets(self):
+        source = src(
+            """
+            import json
+            import base64
+
+            def handle(event):
+                return json.dumps(event), base64.b64encode(b"x")
+            """
+        )
+        result = optimize_source(source, {"json", "base64"})
+        assert len(result.deferred) == 2
+        out = run_module(result.source, "handle", 1)
+        assert out[0] == "1"
+
+    def test_nested_function_usage_covered_by_outer_import(self):
+        source = src(
+            """
+            import json
+
+            def outer(event):
+                def inner():
+                    return json.dumps(event)
+                return inner()
+            """
+        )
+        result = optimize_source(source, {"json"})
+        assert result.changed
+        assert run_module(result.source, "outer", 7) == "7"
+
+    def test_method_in_class_gets_import(self):
+        source = src(
+            """
+            import json
+
+            class Handler:
+                def handle(self, event):
+                    return json.dumps(event)
+            """
+        )
+        result = optimize_source(source, {"json"})
+        assert result.changed
+        namespace: dict = {}
+        exec(compile(result.source, "<t>", "exec"), namespace)
+        assert namespace["Handler"]().handle(2) == "2"
+
+
+class TestSafety:
+    def test_module_level_use_skipped(self):
+        source = src(
+            """
+            import json
+
+            VERSION = json.dumps({})
+
+            def handle(event):
+                return json.dumps(event)
+            """
+        )
+        result = optimize_source(source, {"json"})
+        assert not result.changed
+        assert any("module level" in s.reason for s in result.skipped)
+
+    def test_reassigned_name_skipped(self):
+        source = src(
+            """
+            import json
+
+            def handle(event):
+                global json
+                json = None
+            """
+        )
+        result = optimize_source(source, {"json"})
+        assert not result.changed
+
+    def test_star_import_skipped(self):
+        source = src(
+            """
+            from json import *
+
+            def handle(event):
+                return dumps(event)
+            """
+        )
+        result = optimize_source(source, {"json"})
+        assert not result.changed
+        assert any("star" in s.reason for s in result.skipped)
+
+    def test_decorator_usage_is_module_level(self):
+        source = src(
+            """
+            import functools
+
+            @functools.lru_cache
+            def handle(event):
+                return event
+            """
+        )
+        result = optimize_source(source, {"functools"})
+        assert not result.changed
+
+    def test_default_argument_usage_is_module_level(self):
+        source = src(
+            """
+            import json
+
+            def handle(event, encoder=json.dumps):
+                return encoder(event)
+            """
+        )
+        result = optimize_source(source, {"json"})
+        assert not result.changed
+
+    def test_class_body_usage_is_module_level(self):
+        source = src(
+            """
+            import json
+
+            class Config:
+                serializer = json.dumps
+            """
+        )
+        result = optimize_source(source, {"json"})
+        assert not result.changed
+
+    def test_unrelated_imports_untouched(self):
+        source = src(
+            """
+            import os
+            import json
+
+            def handle(event):
+                return json.dumps(event), os.getcwd()
+            """
+        )
+        result = optimize_source(source, {"json"})
+        assert "# [slimstart] deferred: import json" in result.source
+        lines = result.source.splitlines()
+        assert "import os" in lines
+
+    def test_partial_multi_alias_statement(self):
+        source = src(
+            """
+            import os, json
+
+            def handle(event):
+                return json.dumps(event), os.sep
+            """
+        )
+        result = optimize_source(source, {"json"})
+        assert result.changed
+        # os must survive as a module-level import.
+        out = run_module(result.source, "handle", 3)
+        assert out == ("3", "/")
+
+    def test_dead_import_just_commented(self):
+        source = src(
+            """
+            import json
+
+            def handle(event):
+                return event
+            """
+        )
+        result = optimize_source(source, {"json"})
+        assert result.changed
+        assert result.deferred[0].inserted_into == ()
+        assert run_module(result.source, "handle", 4) == 4
+
+
+class TestRobustness:
+    def test_unparseable_source_raises(self):
+        with pytest.raises(OptimizationError):
+            optimize_source("def broken(:\n", {"json"})
+
+    def test_no_targets_noop(self):
+        source = "import json\n"
+        result = optimize_source(source, set())
+        assert not result.changed
+        assert result.source == source
+
+    def test_output_parses(self):
+        source = src(
+            """
+            import json
+            import base64
+
+            def a(x):
+                return json.dumps(x)
+
+            def b(x):
+                return base64.b64encode(x)
+            """
+        )
+        result = optimize_source(source, {"json", "base64"})
+        import ast
+
+        ast.parse(result.source)  # must not raise
+
+    def test_idempotent_on_already_optimized(self):
+        source = src(
+            """
+            import json
+
+            def handle(event):
+                return json.dumps(event)
+            """
+        )
+        once = optimize_source(source, {"json"})
+        twice = optimize_source(once.source, {"json"})
+        # The global import is commented out; nothing left to defer.
+        assert not twice.changed

@@ -1,0 +1,134 @@
+"""Tests for import profiles and bundles."""
+
+import pytest
+
+from repro.common.errors import ProfilingError
+from repro.core.profiles import ImportProfile, ImportRecord, ProfileBundle
+from repro.core.samples import Frame, Sample, SampleSet
+
+
+def record(module: str, self_ms: float, parent=None, order=1) -> ImportRecord:
+    return ImportRecord(
+        module=module,
+        self_ms=self_ms,
+        cumulative_ms=self_ms,
+        parent=parent,
+        order=order,
+    )
+
+
+@pytest.fixture()
+def profile() -> ImportProfile:
+    return ImportProfile(
+        [
+            record("libx", 10.0),
+            record("libx.core", 20.0, parent="libx", order=2),
+            record("libx.core.fast", 5.0, parent="libx.core", order=3),
+            record("libx.extra", 40.0, parent="libx", order=4),
+            record("liby", 8.0, order=5),
+        ]
+    )
+
+
+class TestImportProfile:
+    def test_duplicate_rejected(self):
+        profile = ImportProfile([record("m", 1.0)])
+        with pytest.raises(ProfilingError):
+            profile.add(record("m", 2.0))
+
+    def test_negative_time_rejected(self):
+        with pytest.raises(ProfilingError):
+            record("m", -1.0)
+
+    def test_total_init_eq1(self, profile):
+        assert profile.total_init_ms == 83.0
+
+    def test_library_init_eq2(self, profile):
+        assert profile.library_init_ms("libx") == 75.0
+        assert profile.library_init_ms("liby") == 8.0
+
+    def test_subtree_init_eq3(self, profile):
+        assert profile.subtree_init_ms("libx.core") == 25.0
+
+    def test_subtree_prefix_no_false_match(self):
+        profile = ImportProfile([record("libx.core", 5.0), record("libx.core2", 7.0)])
+        assert profile.subtree_init_ms("libx.core") == 5.0
+
+    def test_children_of(self, profile):
+        assert profile.children_of("libx") == ["libx.core", "libx.extra"]
+        assert profile.children_of("libx.core") == ["libx.core.fast"]
+
+    def test_children_of_skips_grandchildren(self):
+        profile = ImportProfile([record("a", 1.0), record("a.b.c", 1.0)])
+        assert profile.children_of("a") == ["a.b"]
+
+    def test_library_names(self, profile):
+        assert profile.library_names() == ["libx", "liby"]
+
+    def test_scaled(self, profile):
+        scaled = profile.scaled(2.0)
+        assert scaled.total_init_ms == 166.0
+
+    def test_average(self):
+        one = ImportProfile([record("m", 10.0)])
+        two = ImportProfile([record("m", 30.0), record("n", 4.0)])
+        merged = ImportProfile.average([one, two])
+        assert merged.record("m").self_ms == 20.0
+        assert merged.record("n").self_ms == 4.0  # averaged over loads only
+
+    def test_average_empty_rejected(self):
+        with pytest.raises(ProfilingError):
+            ImportProfile.average([])
+
+    def test_serialization_roundtrip(self, profile):
+        restored = ImportProfile.from_dict(profile.to_dict())
+        assert restored.total_init_ms == profile.total_init_ms
+        assert restored.record("libx.core").parent == "libx"
+
+
+class TestProfileBundle:
+    def _bundle(self, app="app", cold_e2e=100.0, cold_init=80.0, colds=2):
+        samples = SampleSet(
+            [Sample(path=(Frame("/ws/handler.py", "h", 1),), weight=1.0)]
+        )
+        return ProfileBundle(
+            app=app,
+            import_profile=ImportProfile([record("libx", 10.0)]),
+            samples=samples,
+            entry_counts={"h": 5},
+            handler_imports=("libx",),
+            mean_cold_e2e_ms=cold_e2e,
+            mean_cold_init_ms=cold_init,
+            cold_starts=colds,
+        )
+
+    def test_init_ratio(self):
+        assert self._bundle().init_ratio == pytest.approx(0.8)
+
+    def test_init_ratio_zero_e2e(self):
+        assert self._bundle(cold_e2e=0.0).init_ratio == 0.0
+
+    def test_merge_different_apps_rejected(self):
+        with pytest.raises(ProfilingError):
+            self._bundle("a").merged_with(self._bundle("b"))
+
+    def test_merge_accumulates(self):
+        merged = self._bundle().merged_with(self._bundle())
+        assert merged.cold_starts == 4
+        assert merged.entry_counts == {"h": 10}
+        assert len(merged.samples) == 2
+
+    def test_merge_weighted_means(self):
+        a = self._bundle(cold_e2e=100.0, cold_init=80.0, colds=1)
+        b = self._bundle(cold_e2e=200.0, cold_init=160.0, colds=3)
+        merged = a.merged_with(b)
+        assert merged.mean_cold_e2e_ms == pytest.approx(175.0)
+        assert merged.mean_cold_init_ms == pytest.approx(140.0)
+
+    def test_serialization_roundtrip(self):
+        bundle = self._bundle()
+        restored = ProfileBundle.from_dict(bundle.to_dict())
+        assert restored.app == bundle.app
+        assert restored.entry_counts == bundle.entry_counts
+        assert restored.handler_imports == bundle.handler_imports
+        assert restored.init_ratio == bundle.init_ratio

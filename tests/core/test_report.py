@@ -1,0 +1,68 @@
+"""Tests for report rendering."""
+
+from repro.core.analyzer import InefficiencyReport, LibraryRow, SubtreeFlag
+from repro.core.report import render_comparison_row, render_report
+from repro.plan import DeferralPlan
+
+
+def make_report(profiled=True, with_plan=True) -> InefficiencyReport:
+    plan = DeferralPlan(
+        app="app",
+        deferred_handler_imports=frozenset({"libcold"}) if with_plan else frozenset(),
+        deferred_library_edges=frozenset({"libhot.dead"}) if with_plan else frozenset(),
+    )
+    report = InefficiencyReport(
+        app="app",
+        profiled=profiled,
+        init_ratio=0.72,
+        total_init_ms=800.0,
+        total_runtime_weight=100.0,
+        rows=[
+            LibraryRow("libhot", 0.95, 500.0, 0.625, "active", "library"),
+            LibraryRow("libcold", 0.0, 300.0, 0.375, "unused", "handler"),
+        ],
+        subtree_flags=[SubtreeFlag("libhot.dead", 100.0, 0.125, 0.0)],
+        plan=plan,
+        call_paths={"libcold": ["handler.py:handle -> __init__.py:<module>"]},
+    )
+    return report
+
+
+def test_report_contains_table_rows():
+    text = render_report(make_report())
+    assert "libhot" in text
+    assert "libcold" in text
+    assert "95.00%" in text
+    assert "62.50%" in text
+
+
+def test_report_shows_subtree_flags():
+    text = render_report(make_report())
+    assert "libhot.dead" in text
+    assert "deferred subtree" in text
+
+
+def test_report_shows_plan_and_call_paths():
+    text = render_report(make_report())
+    assert "handler-level lazy import: libcold" in text
+    assert "library-level lazy stub:   libhot.dead" in text
+    assert "handler.py:handle" in text
+
+
+def test_unprofiled_report_short_circuits():
+    text = render_report(make_report(profiled=False))
+    assert "not profiled" in text
+    assert "No optimization performed." in text
+
+
+def test_empty_plan_message():
+    report = make_report(with_plan=False)
+    report.call_paths = {}
+    text = render_report(report)
+    assert "plan is empty" in text
+
+
+def test_comparison_row_ratios():
+    row = render_comparison_row("app11", 203.54, 134.72, 4331.43, 2155.61)
+    assert "1.51x" in row
+    assert "2.01x" in row

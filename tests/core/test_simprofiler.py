@@ -1,0 +1,116 @@
+"""Tests for deterministic profile synthesis from simulator traces."""
+
+import pytest
+
+from repro.common.errors import ProfilingError
+from repro.core.samples import INIT, RUNTIME
+from repro.core.simprofiler import (
+    SIM_PREFIX,
+    bundle_from_simulation,
+    frame_for_module,
+    frame_for_ref,
+    import_profile_from_traces,
+    samples_from_traces,
+)
+from repro.faas.sim import EntryBehavior, SimAppConfig, SimPlatform
+
+
+@pytest.fixture()
+def sim_run(small_ecosystem):
+    config = SimAppConfig(
+        name="app",
+        ecosystem=small_ecosystem,
+        handler_imports=("libx",),
+        entries=(
+            EntryBehavior("main", calls=("libx:use_core",), handler_self_ms=2.0),
+        ),
+    )
+    platform = SimPlatform()
+    platform.deploy(config)
+    platform.invoke("app", "main")
+    platform.invoke("app", "main")
+    return config, platform
+
+
+class TestFrames:
+    def test_frame_for_ref(self):
+        frame = frame_for_ref("libx.core:run")
+        assert frame.file == f"{SIM_PREFIX}/libx/core.py"
+        assert frame.function == "run"
+
+    def test_frame_for_root_ref(self):
+        assert frame_for_ref("libx:ping").file == f"{SIM_PREFIX}/libx.py"
+
+    def test_frame_for_module(self):
+        frame = frame_for_module("libx.extra.heavy")
+        assert frame.function == "<module>"
+
+    def test_frames_cached(self):
+        assert frame_for_ref("libx.core:run") is frame_for_ref("libx.core:run")
+
+
+class TestSamples:
+    def test_interval_validated(self, sim_run):
+        _, platform = sim_run
+        with pytest.raises(ProfilingError):
+            samples_from_traces(platform.traces("app"), interval_ms=0)
+
+    def test_runtime_weight_equals_time_over_interval(self, sim_run):
+        _, platform = sim_run
+        samples = samples_from_traces(platform.traces("app"), interval_ms=5.0)
+        # Two invocations x library self-time (use_core 1 + run 1 + work 2).
+        assert samples.runtime_weight() == pytest.approx(2 * 4.0 / 5.0)
+
+    def test_init_weight_equals_cold_init_over_interval(self, sim_run):
+        _, platform = sim_run
+        samples = samples_from_traces(platform.traces("app"), interval_ms=5.0)
+        # One cold start loading the whole 100 ms library.
+        assert samples.init_weight() == pytest.approx(100.0 / 5.0)
+
+    def test_aggregation_reduces_sample_count(self, sim_run):
+        _, platform = sim_run
+        samples = samples_from_traces(platform.traces("app"))
+        # 3 distinct call paths + 5 init modules, despite 2 invocations.
+        assert len(samples) == 8
+
+    def test_kinds_assigned(self, sim_run):
+        _, platform = sim_run
+        samples = samples_from_traces(platform.traces("app"))
+        kinds = {sample.kind for sample in samples}
+        assert kinds == {RUNTIME, INIT}
+
+
+class TestImportProfile:
+    def test_requires_cold_traces(self):
+        with pytest.raises(ProfilingError):
+            import_profile_from_traces([])
+
+    def test_per_module_averaging(self, sim_run):
+        _, platform = sim_run
+        profile = import_profile_from_traces(platform.traces("app"))
+        assert profile.record("libx.extra").self_ms == pytest.approx(40.0)
+        assert profile.total_init_ms == pytest.approx(100.0)
+
+    def test_parent_derived_from_dotted_path(self, sim_run):
+        _, platform = sim_run
+        profile = import_profile_from_traces(platform.traces("app"))
+        assert profile.record("libx.core.fast").parent == "libx.core"
+
+
+class TestBundle:
+    def test_bundle_assembly(self, sim_run):
+        config, platform = sim_run
+        bundle = bundle_from_simulation(
+            config, platform.traces("app"), platform.records("app")
+        )
+        assert bundle.app == "app"
+        assert bundle.cold_starts == 1
+        assert bundle.entry_counts == {"main": 2}
+        assert bundle.handler_imports == ("libx",)
+        assert 0.0 < bundle.init_ratio < 1.0
+
+    def test_bundle_requires_cold_records(self, sim_run):
+        config, platform = sim_run
+        warm_only = [r for r in platform.records("app") if not r.cold]
+        with pytest.raises(ProfilingError):
+            bundle_from_simulation(config, platform.traces("app"), warm_only)

@@ -1,0 +1,96 @@
+"""Tests for import-isolated containers."""
+
+import sys
+import textwrap
+
+import pytest
+
+from repro.common.errors import DeploymentError
+from repro.faas.container import ModuleSandbox, RealContainer
+from repro.faas.deployment import build_workspace
+
+
+@pytest.fixture(scope="module")
+def workspace(tmp_path_factory, session_ecosystem):
+    ws = tmp_path_factory.mktemp("containerws")
+    handler = textwrap.dedent(
+        """
+        import libx
+
+
+        def main(event=None):
+            return libx.ping()
+        """
+    )
+    build_workspace(session_ecosystem, handler, ws, scale=0.01)
+    return ws
+
+
+class TestModuleSandbox:
+    def test_mount_puts_workspace_first(self, workspace):
+        ModuleSandbox.mount(workspace)
+        try:
+            assert sys.path[0] == str(workspace.resolve())
+        finally:
+            ModuleSandbox.unmount(workspace)
+
+    def test_purge_removes_workspace_modules(self, workspace):
+        ModuleSandbox.mount(workspace)
+        try:
+            import importlib
+
+            importlib.import_module("libx")
+            assert "libx" in sys.modules
+            removed = ModuleSandbox.purge()
+            assert removed >= 5
+            assert "libx" not in sys.modules
+            assert "libx.core" not in sys.modules
+        finally:
+            ModuleSandbox.unmount(workspace)
+
+    def test_purge_leaves_stdlib_alone(self, workspace):
+        ModuleSandbox.mount(workspace)
+        try:
+            import json  # noqa: F401 - ensure a stdlib module is loaded
+
+            ModuleSandbox.purge()
+            assert "json" in sys.modules
+        finally:
+            ModuleSandbox.unmount(workspace)
+
+
+class TestRealContainer:
+    def test_cold_start_measures_init(self, workspace):
+        container = RealContainer("c1", workspace, "handler", base_memory_mb=38.0)
+        init_ms = container.cold_start()
+        assert init_ms > 0.0
+        assert container.memory_mb() > 38.0
+        ModuleSandbox.unmount(workspace)
+
+    def test_repeated_cold_starts_reimport(self, workspace):
+        container_a = RealContainer("c1", workspace, "handler", 38.0)
+        container_a.cold_start()
+        first_registry = container_a.runtime
+        container_b = RealContainer("c2", workspace, "handler", 38.0)
+        container_b.cold_start()
+        # The registry module was purged and re-imported: fresh object.
+        assert container_b.runtime is not first_registry
+        ModuleSandbox.unmount(workspace)
+
+    def test_invoke_without_cold_start_rejected(self, workspace):
+        container = RealContainer("c1", workspace, "handler", 38.0)
+        with pytest.raises(DeploymentError):
+            container.invoke("main")
+
+    def test_missing_entry_rejected(self, workspace):
+        container = RealContainer("c1", workspace, "handler", 38.0)
+        container.cold_start()
+        with pytest.raises(DeploymentError):
+            container.invoke("ghost")
+        ModuleSandbox.unmount(workspace)
+
+    def test_bad_handler_module(self, workspace):
+        container = RealContainer("c1", workspace, "no_such_handler", 38.0)
+        with pytest.raises(DeploymentError):
+            container.cold_start()
+        ModuleSandbox.unmount(workspace)

@@ -1,0 +1,56 @@
+"""Tests for workspace packaging helpers."""
+
+import pytest
+
+from repro.common.errors import DeploymentError
+from repro.faas.deployment import (
+    build_workspace,
+    clone_workspace,
+    read_handler,
+    write_handler,
+)
+
+
+def test_build_workspace_writes_handler(tmp_path, session_ecosystem):
+    ws = build_workspace(session_ecosystem, "x = 1\n", tmp_path / "ws", scale=0.01)
+    assert (ws / "handler.py").read_text() == "x = 1\n"
+    assert (ws / "libx" / "__init__.py").is_file()
+
+
+def test_clone_workspace(tmp_path, session_ecosystem):
+    source = build_workspace(session_ecosystem, "x = 1\n", tmp_path / "v1", scale=0.01)
+    clone = clone_workspace(source, tmp_path / "v2")
+    assert (clone / "handler.py").read_text() == "x = 1\n"
+    # Mutating the clone leaves the original intact.
+    write_handler(clone, "x = 2\n")
+    assert read_handler(source) == "x = 1\n"
+    assert read_handler(clone) == "x = 2\n"
+
+
+def test_clone_missing_source(tmp_path):
+    with pytest.raises(DeploymentError):
+        clone_workspace(tmp_path / "ghost", tmp_path / "v2")
+
+
+def test_clone_existing_destination(tmp_path, session_ecosystem):
+    source = build_workspace(session_ecosystem, "", tmp_path / "v1", scale=0.01)
+    (tmp_path / "v2").mkdir()
+    with pytest.raises(DeploymentError):
+        clone_workspace(source, tmp_path / "v2")
+
+
+def test_read_handler_missing(tmp_path):
+    tmp_path.joinpath("empty").mkdir()
+    with pytest.raises(DeploymentError):
+        read_handler(tmp_path / "empty")
+
+
+def test_write_handler_drops_stale_bytecode(tmp_path, session_ecosystem):
+    import py_compile
+
+    ws = build_workspace(session_ecosystem, "x = 1\n", tmp_path / "ws", scale=0.01)
+    py_compile.compile(str(ws / "handler.py"))
+    cache = ws / "__pycache__"
+    assert list(cache.glob("handler.*.pyc"))
+    write_handler(ws, "x = 2\n")
+    assert not list(cache.glob("handler.*.pyc"))

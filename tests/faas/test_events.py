@@ -1,0 +1,76 @@
+"""Tests for invocation records and statistics."""
+
+import pytest
+
+from repro.faas.events import InvocationRecord, InvocationStats, entry_counts
+
+
+def make_record(**overrides):
+    base = dict(
+        app="a",
+        entry="handle",
+        timestamp=0.0,
+        cold=True,
+        init_ms=100.0,
+        exec_ms=20.0,
+        e2e_ms=125.0,
+        memory_mb=64.0,
+        container_id="a-c1",
+    )
+    base.update(overrides)
+    return InvocationRecord(**base)
+
+
+class TestInvocationRecord:
+    def test_negative_latency_rejected(self):
+        with pytest.raises(ValueError):
+            make_record(init_ms=-1.0)
+
+    def test_warm_with_init_rejected(self):
+        with pytest.raises(ValueError):
+            make_record(cold=False, init_ms=5.0)
+
+    def test_warm_record_ok(self):
+        record = make_record(cold=False, init_ms=0.0)
+        assert not record.cold
+
+
+class TestInvocationStats:
+    def test_requires_records(self):
+        with pytest.raises(ValueError):
+            InvocationStats.from_records([])
+
+    def test_requires_cold_start(self):
+        warm = make_record(cold=False, init_ms=0.0)
+        with pytest.raises(ValueError):
+            InvocationStats.from_records([warm])
+
+    def test_init_summary_uses_cold_only(self):
+        records = [
+            make_record(init_ms=100.0, e2e_ms=130.0),
+            make_record(cold=False, init_ms=0.0, e2e_ms=25.0),
+            make_record(init_ms=200.0, e2e_ms=230.0),
+        ]
+        stats = InvocationStats.from_records(records)
+        assert stats.cold_starts == 2
+        assert stats.init.mean_ms == 150.0
+        assert stats.e2e.count == 3
+
+    def test_init_ratio(self):
+        records = [make_record(init_ms=80.0, e2e_ms=100.0)]
+        stats = InvocationStats.from_records(records)
+        assert stats.init_ratio == pytest.approx(0.8)
+
+    def test_memory_summary(self):
+        records = [make_record(memory_mb=50.0), make_record(memory_mb=70.0)]
+        stats = InvocationStats.from_records(records)
+        assert stats.memory.peak_mb == 70.0
+
+
+def test_entry_counts():
+    records = [
+        make_record(entry="a"),
+        make_record(entry="a"),
+        make_record(entry="b"),
+    ]
+    assert entry_counts(records) == {"a": 2, "b": 1}

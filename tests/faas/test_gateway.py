@@ -1,0 +1,88 @@
+"""Tests for the request gateway."""
+
+import pytest
+
+from repro.common.errors import DeploymentError
+from repro.core.adaptive import WorkloadMonitor
+from repro.faas.gateway import Gateway, Route
+from repro.faas.sim import EntryBehavior, SimAppConfig, SimPlatform
+
+
+@pytest.fixture()
+def platform(small_ecosystem):
+    platform = SimPlatform()
+    platform.deploy(
+        SimAppConfig(
+            name="app",
+            ecosystem=small_ecosystem,
+            handler_imports=("libx",),
+            entries=(
+                EntryBehavior("main", calls=("libx:use_core",)),
+                EntryBehavior("heavy", calls=("libx:use_extra",)),
+            ),
+        )
+    )
+    return platform
+
+
+class TestRouting:
+    def test_route_path_validation(self):
+        with pytest.raises(DeploymentError):
+            Route(path="no-slash", app="a", entry="e")
+
+    def test_duplicate_route_rejected(self, platform):
+        gateway = Gateway(platform)
+        gateway.add_route("/app/main", "app", "main")
+        with pytest.raises(DeploymentError):
+            gateway.add_route("/app/main", "app", "main")
+
+    def test_expose_creates_conventional_urls(self, platform):
+        gateway = Gateway(platform)
+        routes = gateway.expose("app", ("main", "heavy"))
+        assert [route.path for route in routes] == ["/app/main", "/app/heavy"]
+
+    def test_unknown_path_rejected(self, platform):
+        gateway = Gateway(platform)
+        with pytest.raises(DeploymentError):
+            gateway.request("/nope")
+
+    def test_request_invokes_platform(self, platform):
+        gateway = Gateway(platform)
+        gateway.expose("app", ("main",))
+        record, decisions = gateway.request("/app/main")
+        assert record.app == "app"
+        assert record.entry == "main"
+        assert record.cold
+        assert decisions == []
+
+    def test_hit_counts(self, platform):
+        gateway = Gateway(platform)
+        gateway.expose("app", ("main", "heavy"))
+        gateway.request("/app/main")
+        gateway.request("/app/main")
+        gateway.request("/app/heavy")
+        assert gateway.hit_counts() == {"/app/main": 2, "/app/heavy": 1}
+
+
+class TestMonitorIntegration:
+    def test_monitor_observes_entries(self, platform):
+        monitor = WorkloadMonitor(window_s=100.0, epsilon=0.5)
+        gateway = Gateway(platform, monitor=monitor)
+        gateway.expose("app", ("main", "heavy"))
+        gateway.request("/app/main", at=0.0)
+        gateway.request("/app/main", at=10.0)
+        # Crossing the window boundary closes window 0.
+        _, decisions = gateway.request("/app/heavy", at=150.0)
+        assert len(decisions) == 1
+        assert decisions[0].probabilities == {"main": 1.0}
+
+    def test_shift_triggers_through_gateway(self, platform):
+        monitor = WorkloadMonitor(window_s=100.0, epsilon=0.5)
+        gateway = Gateway(platform, monitor=monitor)
+        gateway.expose("app", ("main", "heavy"))
+        for t in range(0, 90, 10):
+            gateway.request("/app/main", at=float(t))
+        for t in range(100, 190, 10):
+            gateway.request("/app/heavy", at=float(t))
+        _, decisions = gateway.request("/app/heavy", at=250.0)
+        assert any(decision.triggered for decision in decisions)

@@ -1,0 +1,74 @@
+"""Tests for the emulated cloud storage."""
+
+import threading
+
+import pytest
+
+from repro.common.errors import StorageError
+from repro.faas.storage import CloudStorage
+
+
+def test_put_get_roundtrip():
+    storage = CloudStorage()
+    storage.put("k", {"a": 1})
+    assert storage.get("k") == {"a": 1}
+
+
+def test_get_missing_raises():
+    with pytest.raises(StorageError):
+        CloudStorage().get("missing")
+
+
+def test_empty_key_rejected():
+    with pytest.raises(StorageError):
+        CloudStorage().put("", 1)
+
+
+def test_prefix_listing_sorted():
+    storage = CloudStorage()
+    storage.put("profiles/app/002", 2)
+    storage.put("profiles/app/001", 1)
+    storage.put("other/x", 3)
+    assert storage.list_keys("profiles/app/") == [
+        "profiles/app/001",
+        "profiles/app/002",
+    ]
+
+
+def test_delete():
+    storage = CloudStorage()
+    storage.put("k", 1)
+    storage.delete("k")
+    assert not storage.exists("k")
+    with pytest.raises(StorageError):
+        storage.delete("k")
+
+
+def test_operation_counters():
+    storage = CloudStorage()
+    storage.put("a", 1)
+    storage.put("b", 2)
+    storage.get("a")
+    assert storage.put_count == 2
+    assert storage.get_count == 1
+
+
+def test_len():
+    storage = CloudStorage()
+    storage.put("a", 1)
+    assert len(storage) == 1
+
+
+def test_concurrent_writers_do_not_lose_objects():
+    storage = CloudStorage()
+
+    def write(start: int) -> None:
+        for index in range(start, start + 100):
+            storage.put(f"key/{index}", index)
+
+    threads = [threading.Thread(target=write, args=(i * 100,)) for i in range(4)]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    assert len(storage) == 400

@@ -1,0 +1,84 @@
+"""Property-based tests for the calling context tree."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.cct import CallingContextTree
+from repro.core.samples import Frame, Sample
+
+_functions = st.sampled_from(["a", "b", "c", "d", "orchestrate", "work"])
+_files = st.sampled_from(["/ws/libx/m.py", "/ws/liby/n.py", "/ws/handler.py"])
+
+
+@st.composite
+def samples(draw):
+    depth = draw(st.integers(min_value=1, max_value=6))
+    path = tuple(
+        Frame(file=draw(_files), function=draw(_functions), line=draw(st.integers(1, 3)))
+        for _ in range(depth)
+    )
+    weight = draw(st.floats(min_value=0.01, max_value=100.0, allow_nan=False))
+    kind = draw(st.sampled_from(["runtime", "init"]))
+    return Sample(path=path, weight=weight, kind=kind)
+
+
+sample_lists = st.lists(samples(), min_size=0, max_size=40)
+
+
+@given(sample_lists)
+@settings(max_examples=60)
+def test_total_weight_conserved(sample_list):
+    """Escalated root totals equal the sum of inserted sample weights."""
+    tree = CallingContextTree.from_samples(sample_list)
+    runtime = sum(s.weight for s in sample_list if s.kind == "runtime")
+    init = sum(s.weight for s in sample_list if s.kind == "init")
+    assert abs(tree.total_runtime() - runtime) < 1e-6 * max(1.0, runtime)
+    assert abs(tree.total_init() - init) < 1e-6 * max(1.0, init)
+
+
+@given(sample_lists, sample_lists)
+@settings(max_examples=40)
+def test_merge_is_equivalent_to_combined_construction(list_a, list_b):
+    merged = CallingContextTree.from_samples(list_a)
+    merged.merge(CallingContextTree.from_samples(list_b))
+    combined = CallingContextTree.from_samples(list_a + list_b)
+    assert merged.to_dict() == combined.to_dict()
+
+
+@given(sample_lists, sample_lists)
+@settings(max_examples=40)
+def test_merge_commutes_on_totals(list_a, list_b):
+    ab = CallingContextTree.from_samples(list_a)
+    ab.merge(CallingContextTree.from_samples(list_b))
+    ba = CallingContextTree.from_samples(list_b)
+    ba.merge(CallingContextTree.from_samples(list_a))
+    assert abs(ab.total_runtime() - ba.total_runtime()) < 1e-6
+    assert ab.node_count() == ba.node_count()
+
+
+@given(sample_lists)
+@settings(max_examples=40)
+def test_serialization_roundtrip(sample_list):
+    tree = CallingContextTree.from_samples(sample_list)
+    restored = CallingContextTree.from_dict(tree.to_dict())
+    assert restored.to_dict() == tree.to_dict()
+
+
+@given(sample_lists)
+@settings(max_examples=40)
+def test_node_count_bounded_by_total_frames(sample_list):
+    tree = CallingContextTree.from_samples(sample_list)
+    assert tree.node_count() <= sum(len(s.path) for s in sample_list)
+
+
+@given(sample_lists)
+@settings(max_examples=40)
+def test_escalated_weights_bounded_by_total(sample_list):
+    """No attribution group can exceed the total runtime weight."""
+    tree = CallingContextTree.from_samples(sample_list)
+    weights = tree.escalated_weights(
+        lambda f: f.file if "handler" not in f.file else None
+    )
+    total = tree.total_runtime()
+    for value in weights.values():
+        assert value <= total + 1e-9

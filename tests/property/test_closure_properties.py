@@ -1,0 +1,92 @@
+"""Property-based tests for import-closure semantics."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.synthlib.builder import ClusterPlan, build_library
+from repro.synthlib.spec import Ecosystem, ModuleKey
+
+
+@st.composite
+def ecosystems(draw):
+    cluster_count = draw(st.integers(min_value=1, max_value=3))
+    shares = [0.9 / cluster_count] * cluster_count
+    clusters = [
+        ClusterPlan(
+            f"c{i}",
+            module_count=draw(st.integers(min_value=1, max_value=8)),
+            init_share=shares[i],
+            depth=draw(st.integers(min_value=3, max_value=5)),
+        )
+        for i in range(cluster_count)
+    ]
+    library = build_library(
+        "proplib",
+        total_init_cost_ms=float(draw(st.integers(10, 500))),
+        total_memory_kb=1000.0,
+        seed=draw(st.integers(0, 50)),
+        clusters=clusters,
+    )
+    return Ecosystem([library])
+
+
+@given(ecosystems())
+@settings(max_examples=30, deadline=None)
+def test_root_closure_is_whole_library(eco):
+    library = eco.library("proplib")
+    closure = eco.import_closure([ModuleKey("proplib", "")])
+    assert len(closure) == library.module_count
+
+
+@given(ecosystems(), st.integers(0, 10))
+@settings(max_examples=30, deadline=None)
+def test_deferral_monotone(eco, index):
+    """Deferring any module never grows the closure."""
+    library = eco.library("proplib")
+    names = library.module_names()
+    target = names[index % len(names)]
+    if not target:
+        return
+    full = eco.import_closure([ModuleKey("proplib", "")])
+    deferred = eco.import_closure(
+        [ModuleKey("proplib", "")],
+        deferred=frozenset({ModuleKey("proplib", target)}),
+    )
+    assert set(deferred) <= set(full)
+    assert eco.total_init_cost_ms(deferred) <= eco.total_init_cost_ms(full)
+
+
+@given(ecosystems(), st.integers(0, 10))
+@settings(max_examples=30, deadline=None)
+def test_lazy_then_forced_equals_eager(eco, index):
+    """Cold closure + first-use load of the deferred module covers the
+    same module set as eager loading (lazy loading loses nothing)."""
+    library = eco.library("proplib")
+    names = [n for n in library.module_names() if n]
+    target = names[index % len(names)]
+    key = ModuleKey("proplib", target)
+    deferred = frozenset({key})
+    cold = eco.import_closure([ModuleKey("proplib", "")], deferred=deferred)
+    lazy = eco.import_closure([key], deferred=deferred, already_loaded=cold)
+    eager = eco.import_closure([ModuleKey("proplib", "")])
+    assert set(cold) | set(lazy) == set(eager)
+
+
+@given(ecosystems())
+@settings(max_examples=30, deadline=None)
+def test_closure_has_no_duplicates(eco):
+    closure = eco.import_closure([ModuleKey("proplib", "")])
+    assert len(closure) == len(set(closure))
+
+
+@given(ecosystems())
+@settings(max_examples=30, deadline=None)
+def test_every_module_preceded_by_ancestors(eco):
+    closure = eco.import_closure([ModuleKey("proplib", "")])
+    seen = set()
+    for key in closure:
+        for ancestor in key.ancestors():
+            # Completion order: a package importing its children completes
+            # after them, but every ancestor must appear somewhere.
+            assert ancestor in set(closure)
+        seen.add(key)

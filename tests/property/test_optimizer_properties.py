@@ -1,0 +1,90 @@
+"""Property-based tests: optimizer transformations preserve behaviour."""
+
+import json
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.optimizer import optimize_source
+
+_module_names = st.sampled_from(["json", "base64", "binascii"])
+
+
+@st.composite
+def handler_modules(draw):
+    """Generate small handler modules with known behaviour."""
+    libraries = draw(st.lists(_module_names, min_size=1, max_size=3, unique=True))
+    function_count = draw(st.integers(min_value=1, max_value=3))
+    lines = []
+    for library in libraries:
+        lines.append(f"import {library}")
+    lines.append("")
+    expressions = {
+        "json": "json.dumps([1, 2])",
+        "base64": "base64.b64encode(b'x').decode()",
+        "binascii": "binascii.hexlify(b'y').decode()",
+    }
+    for index in range(function_count):
+        used = draw(
+            st.lists(st.sampled_from(libraries), min_size=0, max_size=2, unique=True)
+        )
+        lines.append("")
+        lines.append(f"def fn{index}(event=None):")
+        if not used:
+            lines.append("    return 'static'")
+        else:
+            parts = " , ".join(expressions[library] for library in used)
+            lines.append(f"    return ({parts},)")
+    source = "\n".join(lines) + "\n"
+    return source, libraries, function_count
+
+
+def run_all(source: str, function_count: int):
+    namespace: dict = {}
+    exec(compile(source, "<gen>", "exec"), namespace)
+    return [namespace[f"fn{i}"]() for i in range(function_count)]
+
+
+@given(handler_modules(), st.data())
+@settings(max_examples=50, deadline=None)
+def test_optimized_module_behaves_identically(case, data):
+    source, libraries, function_count = case
+    targets = set(
+        data.draw(
+            st.lists(st.sampled_from(libraries), min_size=1, unique=True),
+            label="targets",
+        )
+    )
+    result = optimize_source(source, targets)
+    assert run_all(result.source, function_count) == run_all(source, function_count)
+
+
+@given(handler_modules(), st.data())
+@settings(max_examples=30, deadline=None)
+def test_optimization_is_stable(case, data):
+    """Re-optimizing an optimized module changes nothing."""
+    source, libraries, function_count = case
+    targets = set(
+        data.draw(st.lists(st.sampled_from(libraries), min_size=1, unique=True))
+    )
+    once = optimize_source(source, targets)
+    twice = optimize_source(once.source, targets)
+    assert not twice.changed
+
+
+@given(handler_modules(), st.data())
+@settings(max_examples=30, deadline=None)
+def test_all_target_globals_removed(case, data):
+    """After optimization no module-level import of a target remains."""
+    import ast
+
+    source, libraries, function_count = case
+    targets = set(
+        data.draw(st.lists(st.sampled_from(libraries), min_size=1, unique=True))
+    )
+    result = optimize_source(source, targets)
+    tree = ast.parse(result.source)
+    for node in tree.body:
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                assert alias.name.partition(".")[0] not in targets

@@ -1,0 +1,104 @@
+"""Tests for AST call-graph extraction on real workspaces."""
+
+import textwrap
+
+import pytest
+
+from repro.faas.deployment import build_workspace
+from repro.staticbase.ast_analysis import analyze_workspace, extract_call_graph
+
+
+HANDLER = textwrap.dedent(
+    """
+    import libx
+    import liby
+
+
+    def main(event=None):
+        prepare(event)
+        return libx.use_core()
+
+
+    def render(event=None):
+        return libx.use_extra()
+
+
+    def prepare(event):
+        return event
+    """
+)
+
+
+@pytest.fixture(scope="module")
+def workspace(tmp_path_factory, session_ecosystem):
+    ws = tmp_path_factory.mktemp("astws")
+    build_workspace(session_ecosystem, HANDLER, ws, scale=0.01)
+    return ws
+
+
+class TestCallGraph:
+    def test_modules_discovered(self, workspace):
+        graph = extract_call_graph(workspace)
+        assert "libx.core.fast" in graph.modules
+        assert "handler" in graph.modules
+        assert not any(m.startswith("_slimstart") for m in graph.modules)
+
+    def test_functions_discovered(self, workspace):
+        graph = extract_call_graph(workspace)
+        assert "handler:main" in graph.functions
+        assert "libx.core:run" in graph.functions
+
+    def test_attribute_chain_edge(self, workspace):
+        graph = extract_call_graph(workspace)
+        assert "libx:use_core" in graph.callees("handler:main")
+
+    def test_local_call_edge(self, workspace):
+        graph = extract_call_graph(workspace)
+        assert "handler:prepare" in graph.callees("handler:main")
+
+    def test_resolve_pattern_edge(self, workspace):
+        graph = extract_call_graph(workspace)
+        # Generated library code calls via _rt.resolve('...').fn().
+        assert "libx.core.fast:work" in graph.callees("libx.core:run")
+
+    def test_handler_imports_recorded(self, workspace):
+        graph = extract_call_graph(workspace)
+        assert graph.module_imports["handler"] == {"libx", "liby"}
+
+
+class TestWorkspaceAnalysis:
+    def test_unreachable_library_deferred(self, workspace):
+        plan, graph, used = analyze_workspace(workspace, ("main", "render"))
+        # liby is imported but no entry ever calls into it.
+        assert "liby" in plan.deferred_handler_imports
+
+    def test_multi_entry_reachability_keeps_rare_paths(self, workspace):
+        plan, _, used = analyze_workspace(workspace, ("main", "render"))
+        # 'render' statically reaches libx.extra: static keeps it loaded.
+        assert "libx.extra" not in plan.deferred_library_edges
+        assert "libx.extra" in used
+
+    def test_single_entry_prunes_more(self, workspace):
+        plan, _, _ = analyze_workspace(workspace, ("main",))
+        assert "libx.extra" in plan.deferred_library_edges
+
+    def test_agreement_with_spec_analysis(
+        self, workspace, session_ecosystem
+    ):
+        """The AST analyzer reaches the same verdict as the exact one."""
+        from repro.faas.sim import EntryBehavior, SimAppConfig
+        from repro.staticbase.spec_analysis import analyze_sim_app
+
+        config = SimAppConfig(
+            name="app",
+            ecosystem=session_ecosystem,
+            handler_imports=("libx", "liby"),
+            entries=(
+                EntryBehavior("main", calls=("libx:use_core",)),
+                EntryBehavior("render", calls=("libx:use_extra",)),
+            ),
+        )
+        exact = analyze_sim_app(config)
+        ast_plan, _, _ = analyze_workspace(workspace, ("main", "render"))
+        assert ast_plan.deferred_handler_imports == exact.plan.deferred_handler_imports
+        assert ast_plan.deferred_library_edges == exact.plan.deferred_library_edges

@@ -1,0 +1,76 @@
+"""Tests for dead-subtree plan derivation."""
+
+from repro.staticbase.planner import dead_subtree_plan
+
+
+LOADED = [
+    "libx",
+    "libx.core",
+    "libx.core.fast",
+    "libx.extra",
+    "libx.extra.heavy",
+    "liby",
+    "liby.util",
+]
+
+
+def test_whole_handler_library_dead():
+    plan = dead_subtree_plan(
+        app="a",
+        loaded_modules=LOADED,
+        used_modules=["liby.util"],
+        handler_imports=["libx", "liby"],
+    )
+    assert plan.deferred_handler_imports == {"libx"}
+
+
+def test_maximal_dead_subtree_flagged_once():
+    plan = dead_subtree_plan(
+        app="a",
+        loaded_modules=LOADED,
+        used_modules=["libx.core.fast", "liby.util"],
+        handler_imports=["libx", "liby"],
+    )
+    assert plan.deferred_library_edges == {"libx.extra"}
+    # Not libx.extra.heavy separately: maximality.
+
+
+def test_partially_used_subtree_descends():
+    plan = dead_subtree_plan(
+        app="a",
+        loaded_modules=LOADED,
+        used_modules=["libx.extra", "liby.util"],  # extra root used, heavy not
+        handler_imports=["libx", "liby"],
+    )
+    assert plan.deferred_library_edges == {"libx.extra.heavy", "libx.core"}
+
+
+def test_transitively_loaded_dead_library_gets_edge():
+    plan = dead_subtree_plan(
+        app="a",
+        loaded_modules=LOADED,
+        used_modules=["liby.util"],
+        handler_imports=["liby"],  # libx loaded only as liby's dependency
+    )
+    assert "libx" in plan.deferred_library_edges
+    assert plan.deferred_handler_imports == frozenset()
+
+
+def test_everything_used_empty_plan():
+    plan = dead_subtree_plan(
+        app="a",
+        loaded_modules=LOADED,
+        used_modules=LOADED,
+        handler_imports=["libx", "liby"],
+    )
+    assert plan.is_empty
+
+
+def test_usage_at_package_root_keeps_subtree_root():
+    plan = dead_subtree_plan(
+        app="a",
+        loaded_modules=["libx", "libx.core", "libx.core.fast"],
+        used_modules=["libx.core"],
+        handler_imports=["libx"],
+    )
+    assert plan.deferred_library_edges == {"libx.core.fast"}

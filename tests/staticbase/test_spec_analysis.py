@@ -1,0 +1,89 @@
+"""Tests for exact static reachability over specifications."""
+
+import pytest
+
+from repro.faas.sim import EntryBehavior, SimAppConfig
+from repro.staticbase.spec_analysis import analyze_sim_app, reachable_functions
+
+
+@pytest.fixture()
+def config(small_ecosystem) -> SimAppConfig:
+    return SimAppConfig(
+        name="app",
+        ecosystem=small_ecosystem,
+        handler_imports=("libx",),
+        entries=(
+            EntryBehavior("main", calls=("libx:use_core",)),
+            EntryBehavior("render", calls=("libx:use_extra",)),  # never invoked
+        ),
+    )
+
+
+class TestReachability:
+    def test_all_entries_count_as_roots(self, config):
+        reachable = reachable_functions(config)
+        # Static analysis cannot know 'render' is never invoked.
+        assert "libx.extra:run" in reachable
+        assert "libx.extra.heavy:work" in reachable
+
+    def test_transitive_closure(self, config):
+        reachable = reachable_functions(config)
+        assert "libx.core.fast:work" in reachable
+
+
+class TestAnalysis:
+    def test_workload_dependent_library_invisible_to_static(self, config):
+        analysis = analyze_sim_app(config)
+        # Everything is reachable from *some* entry: nothing removable.
+        assert analysis.plan.is_empty
+        assert analysis.removable_fraction == 0.0
+
+    def test_orphan_subtree_is_removable(self, small_ecosystem):
+        config = SimAppConfig(
+            name="app",
+            ecosystem=small_ecosystem,
+            handler_imports=("libx",),
+            entries=(EntryBehavior("main", calls=("libx:use_core",)),),
+        )
+        analysis = analyze_sim_app(config)
+        assert "libx.extra" in analysis.plan.deferred_library_edges
+        # extra (40) + heavy (25) of 100 ms total.
+        assert analysis.removable_fraction == pytest.approx(0.65)
+
+    def test_orphan_import_fully_removable(self, small_ecosystem):
+        config = SimAppConfig(
+            name="app",
+            ecosystem=small_ecosystem,
+            handler_imports=("libx", "liby"),
+            entries=(EntryBehavior("main", calls=("libx:use_core",)),),
+        )
+        analysis = analyze_sim_app(config)
+        assert "liby" in analysis.plan.deferred_handler_imports
+
+    def test_cost_scale_respected(self, small_ecosystem):
+        config = SimAppConfig(
+            name="app",
+            ecosystem=small_ecosystem,
+            handler_imports=("libx",),
+            entries=(EntryBehavior("main", calls=("libx:use_core",)),),
+            cost_scale=0.5,
+        )
+        analysis = analyze_sim_app(config)
+        assert analysis.unoptimized_init_ms == pytest.approx(50.0)
+
+    def test_static_misses_workload_dependence(self, config, small_ecosystem):
+        """Observation 2: DYN upper bound exceeds the STAT bound."""
+        from repro.core.pipeline import SlimStart
+        from repro.faas.sim import SimPlatform
+
+        static = analyze_sim_app(config)
+        platform = SimPlatform()
+        platform.deploy(config)
+        tool = SlimStart()
+        # Typical workload: only 'main' is invoked.
+        workload = [(float(t * 700), "main") for t in range(12)]
+        bundle = tool.profile_simulated(platform, config, workload)
+        report = tool.analyze(bundle, tool.sim_attributor(config))
+        dynamic_deferred = report.plan.all_deferred
+        assert "libx.extra" in dynamic_deferred
+        assert "libx.extra" not in static.plan.all_deferred

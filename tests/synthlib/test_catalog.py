@@ -1,0 +1,105 @@
+"""Tests for the flagship stand-in libraries (paper-informed structure)."""
+
+import pytest
+
+from repro.synthlib.catalog import (
+    FLAGSHIP_FACTORIES,
+    generic_library,
+    igraph_like,
+    nltk_like,
+    sklearn_like,
+    xmlschema_like,
+)
+from repro.synthlib.spec import Ecosystem, ModuleKey
+
+
+class TestFlagshipStructure:
+    def test_all_factories_build_and_validate(self):
+        eco = Ecosystem()
+        for factory in FLAGSHIP_FACTORIES.values():
+            eco.add(factory())
+        eco.validate()
+
+    def test_igraph_module_count_matches_table2(self):
+        assert igraph_like().module_count == 86
+
+    def test_igraph_drawing_share_matches_table1(self):
+        library = igraph_like()
+        share = library.subtree_init_cost_ms("drawing") / library.total_init_cost_ms
+        assert share == pytest.approx(0.37, abs=0.005)
+
+    def test_nltk_table4_clusters_exist(self):
+        library = nltk_like()
+        for cluster in ("sem", "stem", "parse", "tag", "tokenize"):
+            assert library.has_module(cluster)
+
+    def test_nltk_sem_share_matches_table4(self):
+        library = nltk_like()
+        share = library.subtree_init_cost_ms("sem") / library.total_init_cost_ms
+        # Table IV: sem is 8.25 % of app init where nltk is ~70 % => ~11.8 %.
+        assert share == pytest.approx(0.118, abs=0.005)
+
+    def test_xmlschema_depends_on_elementpath(self):
+        library = xmlschema_like()
+        assert "slelementpath" in library.module("").external_imports
+
+    def test_sklearn_dependency_override(self):
+        library = sklearn_like(dependencies=("slnumpy",))
+        assert library.module("").external_imports == ("slnumpy",)
+
+    def test_factories_are_deterministic(self):
+        assert igraph_like() == igraph_like()
+
+
+class TestGenericLibrary:
+    def test_exact_module_count(self):
+        library = generic_library(
+            "gen",
+            module_count=37,
+            depth=5,
+            total_init_cost_ms=100.0,
+            total_memory_kb=1000.0,
+        )
+        assert library.module_count == 37
+
+    def test_tiny_library(self):
+        library = generic_library(
+            "tiny",
+            module_count=3,
+            depth=3,
+            total_init_cost_ms=10.0,
+            total_memory_kb=100.0,
+        )
+        assert library.module_count == 3
+
+    def test_dependencies_are_root_external_imports(self):
+        library = generic_library(
+            "gen",
+            module_count=10,
+            depth=3,
+            total_init_cost_ms=10.0,
+            total_memory_kb=100.0,
+            dependencies=("slnumpy",),
+        )
+        assert library.module("").external_imports == ("slnumpy",)
+
+    def test_init_cost_preserved(self):
+        library = generic_library(
+            "gen",
+            module_count=25,
+            depth=4,
+            total_init_cost_ms=321.0,
+            total_memory_kb=1000.0,
+        )
+        assert library.total_init_cost_ms == pytest.approx(321.0)
+
+    def test_whole_library_loads_from_root(self):
+        library = generic_library(
+            "gen",
+            module_count=30,
+            depth=4,
+            total_init_cost_ms=50.0,
+            total_memory_kb=500.0,
+        )
+        eco = Ecosystem([library])
+        assert len(eco.import_closure([ModuleKey("gen", "")])) == 30

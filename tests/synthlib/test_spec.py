@@ -1,0 +1,279 @@
+"""Tests for the synthetic library specification model."""
+
+import pytest
+
+from repro.common.errors import SpecError
+from repro.synthlib.spec import (
+    Ecosystem,
+    FunctionRef,
+    FunctionSpec,
+    LibrarySpec,
+    ModuleKey,
+    ModuleSpec,
+)
+
+from tests.conftest import make_dependent_library, make_small_library
+
+
+class TestModuleKey:
+    def test_dotted_root(self):
+        assert ModuleKey("libx", "").dotted == "libx"
+
+    def test_dotted_nested(self):
+        assert ModuleKey("libx", "a.b").dotted == "libx.a.b"
+
+    def test_ancestors_of_root_is_empty(self):
+        assert list(ModuleKey("libx", "").ancestors()) == []
+
+    def test_ancestors_ordered_root_first(self):
+        ancestors = list(ModuleKey("libx", "a.b.c").ancestors())
+        assert ancestors == [
+            ModuleKey("libx", ""),
+            ModuleKey("libx", "a"),
+            ModuleKey("libx", "a.b"),
+        ]
+
+    def test_is_ancestor_of(self):
+        assert ModuleKey("libx", "a").is_ancestor_of(ModuleKey("libx", "a.b"))
+        assert ModuleKey("libx", "").is_ancestor_of(ModuleKey("libx", "a"))
+        assert not ModuleKey("libx", "a").is_ancestor_of(ModuleKey("libx", "ab"))
+        assert not ModuleKey("libx", "a").is_ancestor_of(ModuleKey("liby", "a.b"))
+
+
+class TestFunctionRef:
+    def test_parse_root_function(self):
+        ref = FunctionRef.parse("libx:ping", ["libx"])
+        assert ref.key == ModuleKey("libx", "")
+        assert ref.function == "ping"
+
+    def test_parse_nested(self):
+        ref = FunctionRef.parse("libx.core.fast:work", ["libx"])
+        assert ref.key == ModuleKey("libx", "core.fast")
+
+    def test_missing_colon(self):
+        with pytest.raises(SpecError):
+            FunctionRef.parse("libx.core", ["libx"])
+
+    def test_unknown_library(self):
+        with pytest.raises(SpecError):
+            FunctionRef.parse("nope:fn", ["libx"])
+
+    def test_qualified_roundtrip(self):
+        text = "libx.core:run"
+        assert FunctionRef.parse(text, ["libx"]).qualified == text
+
+
+class TestSpecValidation:
+    def test_function_duplicate_name_rejected(self):
+        with pytest.raises(SpecError):
+            ModuleSpec(
+                name="m",
+                functions=(FunctionSpec("f"), FunctionSpec("f")),
+            )
+
+    def test_negative_init_cost_rejected(self):
+        with pytest.raises(SpecError):
+            ModuleSpec(name="m", init_cost_ms=-1.0)
+
+    def test_missing_root_rejected(self):
+        with pytest.raises(SpecError):
+            LibrarySpec(name="l", modules=(ModuleSpec(name="a"),))
+
+    def test_missing_package_prefix_rejected(self):
+        with pytest.raises(SpecError):
+            LibrarySpec(
+                name="l",
+                modules=(ModuleSpec(name=""), ModuleSpec(name="a.b")),
+            )
+
+    def test_unknown_import_rejected(self):
+        with pytest.raises(SpecError):
+            LibrarySpec(
+                name="l",
+                modules=(ModuleSpec(name="", imports=("ghost",)),),
+            )
+
+    def test_self_import_rejected(self):
+        with pytest.raises(SpecError):
+            LibrarySpec(
+                name="l",
+                modules=(
+                    ModuleSpec(name=""),
+                    ModuleSpec(name="a", imports=("a",)),
+                ),
+            )
+
+    def test_import_cycle_rejected(self):
+        with pytest.raises(SpecError, match="cycle"):
+            LibrarySpec(
+                name="l",
+                modules=(
+                    ModuleSpec(name=""),
+                    ModuleSpec(name="a", imports=("b",)),
+                    ModuleSpec(name="b", imports=("a",)),
+                ),
+            )
+
+    def test_parent_importing_children_is_legal(self):
+        # The igraph pattern: packages eagerly import their children.
+        spec = LibrarySpec(
+            name="l",
+            modules=(
+                ModuleSpec(name="", imports=("a",)),
+                ModuleSpec(name="a", imports=("a.b",)),
+                ModuleSpec(name="a.b"),
+            ),
+        )
+        assert spec.module_count == 3
+
+
+class TestLibraryAccessors:
+    def test_children(self, small_library):
+        assert small_library.children("") == ["core", "extra"]
+        assert small_library.children("core") == ["core.fast"]
+
+    def test_subtree(self, small_library):
+        assert small_library.subtree("extra") == ["extra", "extra.heavy"]
+
+    def test_subtree_of_root_is_everything(self, small_library):
+        assert len(small_library.subtree("")) == 5
+
+    def test_is_package(self, small_library):
+        assert small_library.is_package("core")
+        assert not small_library.is_package("core.fast")
+
+    def test_totals(self, small_library):
+        assert small_library.total_init_cost_ms == 100.0
+        assert small_library.total_memory_kb == 10_000.0
+
+    def test_subtree_init_cost(self, small_library):
+        assert small_library.subtree_init_cost_ms("extra") == 65.0
+
+    def test_average_depth(self, small_library):
+        # depths: root 1, core 2, core.fast 3, extra 2, extra.heavy 3
+        assert small_library.average_depth == pytest.approx(11 / 5)
+
+    def test_unknown_module_raises(self, small_library):
+        with pytest.raises(SpecError):
+            small_library.module("ghost")
+
+
+class TestEcosystem:
+    def test_duplicate_library_rejected(self, small_library):
+        eco = Ecosystem([small_library])
+        with pytest.raises(SpecError):
+            eco.add(make_small_library())
+
+    def test_parse_module(self, small_ecosystem):
+        key = small_ecosystem.parse_module("libx.core.fast")
+        assert key == ModuleKey("libx", "core.fast")
+
+    def test_parse_unknown_module(self, small_ecosystem):
+        with pytest.raises(SpecError):
+            small_ecosystem.parse_module("libx.ghost")
+
+    def test_validate_checks_cross_library_calls(self):
+        bad = LibrarySpec(
+            name="libz",
+            modules=(
+                ModuleSpec(
+                    name="",
+                    functions=(FunctionSpec("f", calls=("libz:ghost",)),),
+                ),
+            ),
+        )
+        eco = Ecosystem([bad])
+        with pytest.raises(SpecError):
+            eco.validate()
+
+    def test_validate_rejects_same_library_external_import(self):
+        bad = LibrarySpec(
+            name="libz",
+            modules=(
+                ModuleSpec(name="", external_imports=("libz.sub",)),
+                ModuleSpec(name="sub"),
+            ),
+        )
+        eco = Ecosystem([bad])
+        with pytest.raises(SpecError):
+            eco.validate()
+
+
+class TestImportClosure:
+    def test_root_closure_loads_everything(self, small_ecosystem):
+        closure = small_ecosystem.import_closure([ModuleKey("libx", "")])
+        assert len(closure) == 5
+
+    def test_closure_includes_external_deps(self, small_ecosystem):
+        closure = small_ecosystem.import_closure([ModuleKey("liby", "")])
+        dotted = {key.dotted for key in closure}
+        assert "libx" in dotted  # liby's root eagerly imports libx
+        assert len(closure) == 7
+
+    def test_importing_nested_loads_ancestors(self, small_ecosystem):
+        closure = small_ecosystem.import_closure([ModuleKey("libx", "core.fast")])
+        dotted = {key.dotted for key in closure}
+        # Ancestor packages execute too (and here the root's own imports
+        # cascade to the whole library, like real igraph/nltk roots do).
+        assert {"libx", "libx.core", "libx.core.fast"} <= dotted
+
+    def test_closure_order_is_completion_order(self, small_ecosystem):
+        # A package that imports its children *completes* after them —
+        # CPython semantics; the root therefore appears last.
+        closure = small_ecosystem.import_closure([ModuleKey("libx", "")])
+        dotted = [key.dotted for key in closure]
+        assert dotted[-1] == "libx"
+        assert dotted.index("libx.core.fast") < dotted.index("libx.core")
+
+    def test_deferred_module_is_skipped(self, small_ecosystem):
+        deferred = frozenset({ModuleKey("libx", "extra")})
+        closure = small_ecosystem.import_closure(
+            [ModuleKey("libx", "")], deferred=deferred
+        )
+        dotted = {key.dotted for key in closure}
+        assert "libx.extra" not in dotted
+        assert "libx.extra.heavy" not in dotted  # only reachable via extra
+
+    def test_deferred_module_loads_when_forced(self, small_ecosystem):
+        deferred = frozenset({ModuleKey("libx", "extra")})
+        closure = small_ecosystem.import_closure(
+            [ModuleKey("libx", "extra")], deferred=deferred
+        )
+        dotted = {key.dotted for key in closure}
+        assert "libx.extra" in dotted
+
+    def test_already_loaded_modules_are_not_reloaded(self, small_ecosystem):
+        first = small_ecosystem.import_closure([ModuleKey("libx", "")])
+        second = small_ecosystem.import_closure(
+            [ModuleKey("libx", "")], already_loaded=first
+        )
+        assert second == []
+
+    def test_closure_costs(self, small_ecosystem):
+        closure = small_ecosystem.import_closure([ModuleKey("libx", "")])
+        assert small_ecosystem.total_init_cost_ms(closure) == 100.0
+        assert small_ecosystem.total_memory_kb(closure) == 10_000.0
+
+    def test_deferral_savings_match_subtree_cost(self, small_ecosystem):
+        full = small_ecosystem.import_closure([ModuleKey("libx", "")])
+        lazy = small_ecosystem.import_closure(
+            [ModuleKey("libx", "")],
+            deferred=frozenset({ModuleKey("libx", "extra")}),
+        )
+        saved = small_ecosystem.total_init_cost_ms(
+            full
+        ) - small_ecosystem.total_init_cost_ms(lazy)
+        assert saved == 65.0  # extra (40) + extra.heavy (25)
+
+    def test_load_order_is_postorder(self, small_ecosystem):
+        closure = small_ecosystem.import_closure([ModuleKey("liby", "")])
+        dotted = [key.dotted for key in closure]
+        # liby's root finishes loading last (its imports complete first).
+        assert dotted[-1] == "liby"
+
+
+class TestCallTargets:
+    def test_call_targets_resolution(self, small_ecosystem):
+        ref = small_ecosystem.parse_function("libx:use_core")
+        targets = small_ecosystem.call_targets(ref)
+        assert [t.qualified for t in targets] == ["libx.core:run"]

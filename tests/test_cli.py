@@ -1,0 +1,97 @@
+"""Tests for the slimstart CLI."""
+
+import json
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_apps_command(self):
+        args = build_parser().parse_args(["apps"])
+        assert args.command == "apps"
+
+    def test_report_needs_app(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["report"])
+
+    def test_global_options(self):
+        args = build_parser().parse_args(
+            ["--cold-starts", "10", "--runs", "2", "cycle", "--app", "R-GB"]
+        )
+        assert args.cold_starts == 10
+        assert args.runs == 2
+
+
+class TestCommands:
+    def test_apps_lists_catalog(self, capsys):
+        assert main(["apps"]) == 0
+        out = capsys.readouterr().out
+        assert "R-GB" in out
+        assert "CVE" in out
+        assert out.count("\n") >= 23
+
+    def test_report_prints_summary_and_plan(self, capsys, tmp_path):
+        plan_file = tmp_path / "plan.json"
+        code = main(
+            [
+                "--cold-starts",
+                "5",
+                "--runs",
+                "1",
+                "report",
+                "--app",
+                "R-GB",
+                "--plan-out",
+                str(plan_file),
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "SLIMSTART Summary" in out
+        payload = json.loads(plan_file.read_text())
+        assert payload["app"] == "graph_bfs"
+        assert "sligraph.drawing" in payload["deferred_library_edges"]
+
+    def test_cycle_reports_speedups(self, capsys):
+        code = main(["--cold-starts", "20", "--runs", "1", "cycle", "--app", "R-GB"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "initialization speedup" in out
+        assert "memory reduction" in out
+
+    def test_optimize_applies_plan_to_workspace(self, capsys, tmp_path):
+        from repro.apps import benchmark_apps
+
+        app = benchmark_apps(("R-GB",))[0]
+        deployment = app.build_real_workspace(tmp_path / "v1", scale=0.01)
+        plan_file = tmp_path / "plan.json"
+        plan_file.write_text(
+            json.dumps(
+                {
+                    "app": "graph_bfs",
+                    "deferred_handler_imports": [],
+                    "deferred_library_edges": ["sligraph.drawing"],
+                }
+            )
+        )
+        code = main(
+            [
+                "optimize",
+                "--workspace",
+                str(deployment.workspace),
+                "--plan",
+                str(plan_file),
+                "--out",
+                str(tmp_path / "v2"),
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "optimized workspace written" in out
+        assert (tmp_path / "v2" / "handler.py").is_file()

@@ -1,0 +1,91 @@
+"""Tests for the statistics helpers behind the evaluation tables."""
+
+import pytest
+
+from repro.metrics import (
+    LatencySummary,
+    MemorySummary,
+    SpeedupReport,
+    mean,
+    percentile,
+    speedup,
+)
+from repro.metrics.stats import stddev
+
+
+class TestBasics:
+    def test_mean(self):
+        assert mean([1.0, 2.0, 3.0]) == 2.0
+
+    def test_mean_empty_raises(self):
+        with pytest.raises(ValueError):
+            mean([])
+
+    def test_speedup(self):
+        assert speedup(200.0, 100.0) == 2.0
+
+    def test_speedup_rejects_zero_after(self):
+        with pytest.raises(ValueError):
+            speedup(100.0, 0.0)
+
+    def test_stddev_singleton_is_zero(self):
+        assert stddev([4.2]) == 0.0
+
+
+class TestPercentile:
+    def test_median_of_odd(self):
+        assert percentile([3.0, 1.0, 2.0], 50) == 2.0
+
+    def test_interpolation_matches_numpy_linear(self):
+        numpy = pytest.importorskip("numpy")
+        data = [5.0, 1.0, 9.0, 3.0, 7.0, 2.0]
+        for q in (0, 10, 25, 50, 75, 90, 99, 100):
+            assert percentile(data, q) == pytest.approx(
+                float(numpy.percentile(data, q, method="linear"))
+            )
+
+    def test_p0_is_min_p100_is_max(self):
+        data = [4.0, 8.0, 15.0]
+        assert percentile(data, 0) == 4.0
+        assert percentile(data, 100) == 15.0
+
+    def test_singleton(self):
+        assert percentile([7.0], 99) == 7.0
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(ValueError):
+            percentile([1.0], 101)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            percentile([], 50)
+
+
+class TestSummaries:
+    def test_latency_summary_fields(self):
+        summary = LatencySummary.from_values([10.0, 20.0, 30.0, 40.0])
+        assert summary.count == 4
+        assert summary.mean_ms == 25.0
+        assert summary.max_ms == 40.0
+        assert summary.p50_ms == 25.0
+
+    def test_latency_summary_rejects_empty(self):
+        with pytest.raises(ValueError):
+            LatencySummary.from_values([])
+
+    def test_memory_summary(self):
+        summary = MemorySummary.from_values([100.0, 150.0])
+        assert summary.peak_mb == 150.0
+        assert summary.mean_mb == 125.0
+
+    def test_speedup_report_compare(self):
+        before_lat = LatencySummary.from_values([200.0, 200.0])
+        after_lat = LatencySummary.from_values([100.0, 100.0])
+        before_mem = MemorySummary.from_values([150.0])
+        after_mem = MemorySummary.from_values([100.0])
+        report = SpeedupReport.compare(
+            before_lat, after_lat, before_lat, after_lat, before_mem, after_mem
+        )
+        assert report.init_speedup == 2.0
+        assert report.e2e_speedup == 2.0
+        assert report.memory_reduction == 1.5

@@ -1,0 +1,44 @@
+"""Tests for the deferral plan currency."""
+
+import pytest
+
+from repro.plan import DeferralPlan
+
+
+def test_empty_plan():
+    plan = DeferralPlan.empty("app")
+    assert plan.is_empty
+    assert plan.all_deferred == frozenset()
+
+
+def test_all_deferred_union():
+    plan = DeferralPlan(
+        app="a",
+        deferred_handler_imports=frozenset({"libx"}),
+        deferred_library_edges=frozenset({"libx.extra"}),
+    )
+    assert plan.all_deferred == {"libx", "libx.extra"}
+    assert not plan.is_empty
+
+
+def test_invalid_module_name_rejected():
+    with pytest.raises(ValueError):
+        DeferralPlan(app="a", deferred_handler_imports=frozenset({"not-valid!"}))
+
+
+def test_empty_string_module_rejected():
+    with pytest.raises(ValueError):
+        DeferralPlan(app="a", deferred_library_edges=frozenset({""}))
+
+
+def test_merge_same_app():
+    one = DeferralPlan(app="a", deferred_handler_imports=frozenset({"x"}))
+    two = DeferralPlan(app="a", deferred_library_edges=frozenset({"y.z"}))
+    merged = one.merged_with(two)
+    assert merged.deferred_handler_imports == {"x"}
+    assert merged.deferred_library_edges == {"y.z"}
+
+
+def test_merge_different_apps_rejected():
+    with pytest.raises(ValueError):
+        DeferralPlan.empty("a").merged_with(DeferralPlan.empty("b"))

@@ -1,0 +1,66 @@
+"""Tests for arrival processes."""
+
+import pytest
+
+from repro.common.errors import WorkloadError
+from repro.workloads.arrival import burst_entries, idle_gaps, poisson_schedule
+from repro.workloads.popularity import EntryMix, zipf_mix
+
+
+@pytest.fixture()
+def mix() -> EntryMix:
+    return zipf_mix(["a", "b", "c"], seed=3)
+
+
+class TestPoissonSchedule:
+    def test_times_sorted_and_bounded(self, mix):
+        schedule = poisson_schedule(mix, rate_per_s=5.0, duration_s=100.0, seed=1)
+        times = [t for t, _ in schedule]
+        assert times == sorted(times)
+        assert all(0.0 <= t < 100.0 for t in times)
+
+    def test_rate_roughly_respected(self, mix):
+        schedule = poisson_schedule(mix, rate_per_s=5.0, duration_s=200.0, seed=2)
+        assert 800 <= len(schedule) <= 1200
+
+    def test_deterministic(self, mix):
+        one = poisson_schedule(mix, rate_per_s=2.0, duration_s=50.0, seed=9)
+        two = poisson_schedule(mix, rate_per_s=2.0, duration_s=50.0, seed=9)
+        assert one == two
+
+    def test_start_offset(self, mix):
+        schedule = poisson_schedule(
+            mix, rate_per_s=5.0, duration_s=10.0, seed=1, start_s=1000.0
+        )
+        assert all(1000.0 <= t < 1010.0 for t, _ in schedule)
+
+    def test_rejects_bad_rate(self, mix):
+        with pytest.raises(WorkloadError):
+            poisson_schedule(mix, rate_per_s=0.0, duration_s=10.0)
+
+    def test_entries_come_from_mix(self, mix):
+        schedule = poisson_schedule(mix, rate_per_s=5.0, duration_s=50.0, seed=4)
+        assert {entry for _, entry in schedule} <= {"a", "b", "c"}
+
+
+class TestBurstEntries:
+    def test_proportional_by_default(self, mix):
+        burst = burst_entries(mix, 100)
+        assert len(burst) == 100
+        assert burst == burst_entries(mix, 100)
+
+    def test_sampled_with_seed(self, mix):
+        burst = burst_entries(mix, 100, seed=7)
+        assert len(burst) == 100
+        assert burst != burst_entries(mix, 100)  # proportional ordering differs
+
+
+class TestIdleGaps:
+    def test_detects_gaps_beyond_keepalive(self):
+        schedule = [(0.0, "a"), (1.0, "a"), (700.0, "a"), (701.0, "a")]
+        gaps = list(idle_gaps(schedule, keep_alive_s=600.0))
+        assert gaps == [(1.0, 699.0)]
+
+    def test_no_gaps(self):
+        schedule = [(0.0, "a"), (10.0, "a")]
+        assert list(idle_gaps(schedule, keep_alive_s=600.0)) == []
