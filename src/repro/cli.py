@@ -7,6 +7,9 @@ Sub-commands mirror the tool's workflow plus the evaluation harness:
   simulator and print its SLIMSTART summary (Tables IV/V shape)
 * ``slimstart cycle --app R-GB``          — full optimize cycle + speedups
 * ``slimstart table2``                    — regenerate Table II
+* ``slimstart cluster --app R-SA``        — replay Poisson traffic against
+  a container fleet and print the cluster metrics (cold-start rate,
+  queueing percentiles, container-seconds)
 * ``slimstart optimize --workspace DIR``  — rewrite a real workspace from
   a plan JSON file
 """
@@ -22,6 +25,8 @@ from repro.apps.catalog import APP_DEFINITIONS, app_by_key
 from repro.apps.model import bench_platform_config, instantiate
 from repro.core.pipeline import PipelineConfig, SlimStart
 from repro.core.report import render_report
+from repro.faas.cluster import ClusterPlatform, FleetConfig, replay_cluster_workload
+from repro.faas.gateway import Gateway
 from repro.faas.sim import SimPlatform
 from repro.plan import DeferralPlan
 from repro.workloads.arrival import poisson_schedule
@@ -120,6 +125,46 @@ def cmd_table2(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_cluster(args: argparse.Namespace) -> int:
+    app = instantiate(app_by_key(args.app))
+    platform = ClusterPlatform(
+        config=bench_platform_config(record_traces=False),
+        fleet=FleetConfig(
+            max_containers=args.max_containers,
+            max_concurrency=args.max_concurrency,
+            keep_alive_s=args.keep_alive,
+        ),
+        seed=args.seed,
+    )
+    config = app.sim_config()
+    platform.deploy(config)
+    gateway = Gateway(platform)
+    gateway.expose(app.name, tuple(entry.name for entry in app.entries))
+    schedule = poisson_schedule(
+        app.mix, rate_per_s=args.rate, duration_s=args.duration, seed=args.seed
+    )
+    if not schedule:
+        print(
+            "no arrivals generated for this rate/duration; "
+            "increase --rate or --duration"
+        )
+        return 1
+    replay_cluster_workload(platform, gateway, schedule, app.name)
+    stats = platform.fleet_stats(app.name)
+    print(f"app                : {args.app} ({app.name})")
+    print(f"offered load       : {stats.offered_load.per_second:8.2f} req/s")
+    print(f"completed          : {stats.completed:8d}")
+    print(f"rejected           : {stats.rejected:8d}")
+    print(f"cold starts        : {stats.cold_starts:8d}")
+    print(f"cold-start rate    : {stats.cold_start_rate:8.4f}")
+    print(f"queueing p50/p99   : {stats.queueing.p50_ms:8.2f} / {stats.queueing.p99_ms:.2f} ms")
+    print(f"e2e p50/p99        : {stats.e2e.p50_ms:8.2f} / {stats.e2e.p99_ms:.2f} ms")
+    print(f"containers spawned : {stats.containers_spawned:8d}")
+    print(f"peak containers    : {stats.peak_containers:8d}")
+    print(f"container-seconds  : {stats.container_seconds:8.1f}")
+    return 0
+
+
 def cmd_optimize(args: argparse.Namespace) -> int:
     with open(args.plan) as handle:
         payload = json.load(handle)
@@ -162,6 +207,17 @@ def build_parser() -> argparse.ArgumentParser:
 
     sub.add_parser("table2", help="regenerate Table II on the simulator")
 
+    cluster = sub.add_parser(
+        "cluster", help="replay traffic against a container fleet"
+    )
+    cluster.add_argument("--app", required=True, help="application key, e.g. R-SA")
+    cluster.add_argument("--rate", type=float, default=5.0, help="arrivals per second")
+    cluster.add_argument("--duration", type=float, default=600.0, help="seconds of traffic")
+    cluster.add_argument("--max-containers", type=int, default=16)
+    cluster.add_argument("--max-concurrency", type=int, default=1)
+    cluster.add_argument("--keep-alive", type=float, default=120.0)
+    cluster.add_argument("--seed", type=int, default=7)
+
     optimize = sub.add_parser("optimize", help="apply a plan to a real workspace")
     optimize.add_argument("--workspace", required=True)
     optimize.add_argument("--plan", required=True, help="plan JSON file")
@@ -176,6 +232,7 @@ def main(argv: list[str] | None = None) -> int:
         "report": cmd_report,
         "cycle": cmd_cycle,
         "table2": cmd_table2,
+        "cluster": cmd_cluster,
         "optimize": cmd_optimize,
     }
     return handlers[args.command](args)

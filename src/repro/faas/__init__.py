@@ -1,6 +1,6 @@
 """Local FaaS testbed: the substrate standing in for AWS Lambda.
 
-Two interchangeable back ends share one record schema:
+Three interchangeable back ends share one record schema:
 
 * :class:`~repro.faas.local.LocalPlatform` really imports and executes
   handler code in-process, with per-container import isolation and real
@@ -10,8 +10,25 @@ Two interchangeable back ends share one record schema:
   simulator driven by the same application/library specifications — used
   by the 500-cold-start evaluation sweeps, which would take hours of wall
   time to execute for real.
+* :class:`~repro.faas.cluster.ClusterPlatform` scales the simulator to
+  fleet questions: per-application container fleets behind a heap-based
+  event loop, with scale-from-zero, FIFO request queueing, configurable
+  per-container concurrency, and keep-alive expiry.  It emits the
+  cluster metrics (:class:`~repro.faas.cluster.FleetStats`): cold-start
+  rate vs. offered load, queueing-delay percentiles, container-seconds.
+
+All three are fronted by the :class:`~repro.faas.gateway.Gateway`, which
+maps function URLs to (application, entry) pairs and feeds the adaptive
+workload monitor; the cluster back end additionally accepts deferred
+(batched) submissions so whole schedules replay under true concurrency.
 """
 
+from repro.faas.cluster import (
+    ClusterPlatform,
+    FleetConfig,
+    FleetStats,
+    replay_cluster_workload,
+)
 from repro.faas.events import InvocationRecord, InvocationStats
 from repro.faas.gateway import Gateway, Route
 from repro.faas.local import FunctionDeployment, LocalPlatform
@@ -29,5 +46,9 @@ __all__ = [
     "SimAppConfig",
     "SimPlatform",
     "SimPlatformConfig",
+    "ClusterPlatform",
+    "FleetConfig",
+    "FleetStats",
+    "replay_cluster_workload",
     "CloudStorage",
 ]

@@ -1,0 +1,586 @@
+"""Cluster-scale concurrent FaaS simulation: container fleets + event loop.
+
+:class:`~repro.faas.sim.SimPlatform` models one container pool with
+synchronous bookkeeping — enough for the paper's 500-cold-start protocol,
+but not for fleet questions: how does the *cold-start rate* respond to
+offered load, how long do requests queue while containers boot, how many
+container-seconds does a keep-alive policy burn?  This module answers those
+with a heap-based virtual-time event loop over per-application container
+fleets:
+
+* **Scale from zero** — a fleet holds no containers until traffic arrives;
+  each arrival that exceeds the fleet's in-flight capacity boots a new
+  container (up to :attr:`FleetConfig.max_containers`), which becomes ready
+  after the cold-start delay (platform provisioning + the compiled eager
+  import closure).
+* **Request queueing** — arrivals beyond capacity wait in FIFO order; the
+  queue drains as containers boot or finish invocations.  A bounded queue
+  (:attr:`FleetConfig.queue_capacity`) sheds load instead.
+* **Concurrency** — a container admits up to
+  :attr:`FleetConfig.max_concurrency` in-flight invocations (1 = Lambda
+  semantics; >1 models Knative-style request packing).
+* **Keep-alive expiry** — a container idle longer than
+  :attr:`FleetConfig.keep_alive_s` retires exactly at
+  ``idle_since + keep_alive_s``; expiry is evaluated lazily against virtual
+  time, which keeps the event loop causally correct when requests are
+  injected one at a time (synchronous :meth:`ClusterPlatform.invoke`).
+
+The service-cost model is shared with the single-pool simulator through
+:func:`repro.faas.sim.compiled_app`, so a :class:`~repro.plan.DeferralPlan`
+shortens cluster cold starts exactly as it shortens ``SimPlatform`` cold
+starts.  Everything is deterministic under :class:`SeededRNG`: identical
+seeds and schedules reproduce bit-identical records.
+
+Traffic enters either directly (:meth:`ClusterPlatform.submit` /
+:meth:`invoke`) or through the :class:`~repro.faas.gateway.Gateway`, whose
+``submit``/``submit_schedule`` methods route workload schedules from
+:mod:`repro.workloads.arrival` into the fleet while feeding the adaptive
+workload monitor.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+import math
+from collections import deque
+from dataclasses import dataclass, field
+
+from repro.common.clock import VirtualClock
+from repro.common.errors import DeploymentError, SpecError, WorkloadError
+from repro.common.rng import SeededRNG, derive_seed
+from repro.faas.events import InvocationRecord
+from repro.faas.gateway import Gateway
+from repro.faas.sim import (
+    CompiledApp,
+    SimAppConfig,
+    SimPlatformConfig,
+    compiled_app,
+)
+from repro.metrics import LatencySummary, RateSummary
+from repro.plan import DeferralPlan
+
+#: Event kinds, in processing order at equal virtual time: capacity is
+#: released (boots complete, invocations finish) before new arrivals claim
+#: it — mirroring SimPlatform's ``free_at <= arrival`` reuse rule.
+_READY = 0
+_COMPLETE = 1
+_ARRIVAL = 2
+
+
+@dataclass(frozen=True)
+class FleetConfig:
+    """Autoscaling policy for one application's container fleet."""
+
+    max_containers: int = 8
+    max_concurrency: int = 1  # in-flight invocations per container
+    keep_alive_s: float = 600.0
+    queue_capacity: int | None = None  # None = unbounded FIFO
+
+    def __post_init__(self) -> None:
+        if self.max_containers < 1:
+            raise SpecError(f"fleet needs at least one container: {self.max_containers}")
+        if self.max_concurrency < 1:
+            raise SpecError(f"max_concurrency must be >= 1: {self.max_concurrency}")
+        if self.keep_alive_s < 0:
+            raise SpecError(f"negative keep-alive: {self.keep_alive_s}")
+        if self.queue_capacity is not None and self.queue_capacity < 0:
+            raise SpecError(f"negative queue capacity: {self.queue_capacity}")
+
+
+@dataclass(frozen=True)
+class FleetStats:
+    """Aggregate fleet behaviour over one simulation (the cluster metrics).
+
+    ``cold_start_rate`` against ``offered_load.per_second`` is the paper's
+    fleet-scale story: init-time dominance only matters when real traffic
+    keeps forcing cold starts.
+    """
+
+    app: str
+    arrivals: int
+    completed: int
+    rejected: int
+    cold_starts: int
+    cold_start_rate: float  # cold / completed
+    offered_load: RateSummary  # arrivals over the observed span
+    queueing: LatencySummary  # arrival -> service start, incl. boot waits
+    e2e: LatencySummary
+    containers_spawned: int
+    peak_containers: int
+    container_seconds: float  # aggregate provisioned lifetime
+
+
+@dataclass
+class _FleetContainer:
+    container_id: str
+    seq: int
+    spawned_at: float
+    ready_at: float
+    init_ms: float  # the cold-start init this container paid
+    loaded: set
+    memory_mb: float
+    seen_entries: set = field(default_factory=set)
+    active: int = 0
+    virgin: bool = True  # no invocation served yet
+    idle_since: float = 0.0  # valid while ready and active == 0
+    last_release: float = 0.0
+
+
+@dataclass
+class _PendingRequest:
+    token: int
+    entry: str
+    arrival: float
+
+
+class _Fleet:
+    """Mutable per-application fleet state."""
+
+    def __init__(
+        self,
+        config: SimAppConfig,
+        plan: DeferralPlan,
+        fleet_config: FleetConfig,
+    ) -> None:
+        self.config = config
+        self.plan = plan
+        self.fleet_config = fleet_config
+        self.compiled: CompiledApp = compiled_app(config, plan)
+        self.containers: list[_FleetContainer] = []
+        self.queue: deque[_PendingRequest] = deque()
+        self.records: list[InvocationRecord] = []
+        self.arrivals = 0
+        self.rejected = 0
+        self.cold_starts = 0
+        self.spawned = 0
+        self.peak_containers = 0
+        self.retired_container_seconds = 0.0
+        self.first_arrival: float | None = None
+        self.last_arrival: float | None = None
+
+    def booting_capacity(self, now: float) -> int:
+        return sum(
+            self.fleet_config.max_concurrency - container.active
+            for container in self.containers
+            if container.ready_at > now
+        )
+
+
+class ClusterPlatform:
+    """Virtual-time cluster: many containers per app, event-queue driven.
+
+    Two usage modes share one engine:
+
+    * **Batch replay** — ``submit()`` every arrival (directly or through
+      :meth:`Gateway.submit_schedule`), then :meth:`run` drains the event
+      heap; correct concurrency for arbitrarily overlapping requests.
+    * **Synchronous** — :meth:`invoke` injects one arrival and processes
+      events until that request's record exists, so the cluster satisfies
+      the same ``invoke`` protocol :class:`Gateway.request` expects.
+      Arrivals must be non-decreasing in time in both modes.
+    """
+
+    def __init__(
+        self,
+        config: SimPlatformConfig | None = None,
+        fleet: FleetConfig | None = None,
+        clock: VirtualClock | None = None,
+        seed: int = 0,
+    ) -> None:
+        self.config = config or SimPlatformConfig()
+        self.default_fleet = fleet or FleetConfig()
+        self.clock = clock or VirtualClock()
+        self.seed = seed
+        self._fleets: dict[str, _Fleet] = {}
+        self._container_ids = itertools.count(1)
+        self._events: list[tuple[float, int, int, tuple]] = []
+        self._event_seq = itertools.count()
+        self._tokens = itertools.count()
+        self._finished: dict[int, InvocationRecord] = {}
+        self._dropped: set[int] = set()
+        self._last_arrival = self.clock.now()
+        self._jitter_rngs: dict[str, SeededRNG] = {}
+
+    # -- deployment --------------------------------------------------------
+
+    def deploy(
+        self,
+        config: SimAppConfig,
+        plan: DeferralPlan | None = None,
+        fleet: FleetConfig | None = None,
+    ) -> str:
+        """Deploy an application with its fleet policy."""
+        if config.name in self._fleets:
+            raise DeploymentError(f"app already deployed: {config.name!r}")
+        self._fleets[config.name] = _Fleet(
+            config,
+            plan or DeferralPlan.empty(config.name),
+            fleet or self.default_fleet,
+        )
+        return config.name
+
+    def redeploy(self, name: str, plan: DeferralPlan) -> None:
+        """Apply a plan: boots fresh containers on the next arrivals."""
+        fleet = self._fleet(name)
+        if plan.app != name:
+            raise DeploymentError(f"plan is for {plan.app!r}, not {name!r}")
+        if fleet.queue or any(c.active for c in fleet.containers):
+            raise DeploymentError(
+                f"cannot redeploy {name!r} with requests in flight; run() first"
+            )
+        now = self.clock.now()
+        for container in fleet.containers:
+            self._retire(fleet, container, now)
+        fleet.containers.clear()
+        fleet.plan = plan
+        fleet.compiled = compiled_app(fleet.config, plan)
+
+    def app_names(self) -> list[str]:
+        return sorted(self._fleets)
+
+    def plan_for(self, name: str) -> DeferralPlan:
+        return self._fleet(name).plan
+
+    def _fleet(self, name: str) -> _Fleet:
+        try:
+            return self._fleets[name]
+        except KeyError:
+            raise DeploymentError(f"unknown app: {name!r}") from None
+
+    # -- traffic -----------------------------------------------------------
+
+    def submit(self, name: str, entry: str, at: float | None = None) -> int:
+        """Enqueue one arrival event; returns its request token.
+
+        The record materializes when :meth:`run` (or a later synchronous
+        :meth:`invoke`) processes virtual time past the request's
+        completion.
+        """
+        fleet = self._fleet(name)
+        if entry not in fleet.compiled.entries:
+            raise DeploymentError(f"app {name!r} has no entry {entry!r}")
+        arrival = self.clock.now() if at is None else at
+        if arrival < self._last_arrival:
+            raise DeploymentError(
+                f"arrival {arrival} is in the past (last={self._last_arrival})"
+            )
+        self._last_arrival = arrival
+        token = next(self._tokens)
+        self._push(arrival, _ARRIVAL, (name, entry, token))
+        return token
+
+    def invoke(self, name: str, entry: str, at: float | None = None) -> InvocationRecord:
+        """Synchronous request: submit, then simulate until it completes.
+
+        Processing may advance virtual time past later queued events; that
+        is causally safe because FIFO dispatch means later arrivals can
+        only queue *behind* this request, and keep-alive expiry is
+        evaluated lazily against each event's own timestamp.
+        """
+        token = self.submit(name, entry, at=at)
+        while token not in self._finished:
+            if token in self._dropped:
+                raise WorkloadError(
+                    f"request to {name!r}:{entry!r} was shed (queue full)"
+                )
+            if not self._step():
+                raise WorkloadError("event queue drained without completing request")
+        return self._finished.pop(token)
+
+    def run(self, until: float | None = None) -> list[InvocationRecord]:
+        """Drain the event heap (optionally only up to ``until`` seconds).
+
+        Returns the records completed by this call, in completion order.
+        """
+        before = {name: len(fleet.records) for name, fleet in self._fleets.items()}
+        while self._events:
+            if until is not None and self._events[0][0] > until:
+                break
+            self._step()
+        if until is not None and self.clock.now() < until:
+            self.clock.advance_to(until)
+        self._finished.clear()
+        produced: list[InvocationRecord] = []
+        for name, fleet in self._fleets.items():
+            produced.extend(fleet.records[before[name]:])
+        produced.sort(key=lambda record: (record.timestamp + record.e2e_ms / 1000.0))
+        return produced
+
+    # -- results -----------------------------------------------------------
+
+    def records(self, name: str) -> list[InvocationRecord]:
+        return list(self._fleet(name).records)
+
+    def clear_history(self, name: str) -> None:
+        self._fleet(name).records.clear()
+
+    def fleet_stats(self, name: str) -> FleetStats:
+        """Aggregate fleet metrics over everything simulated so far."""
+        fleet = self._fleet(name)
+        records = fleet.records
+        if not records:
+            raise WorkloadError(f"no completed invocations for {name!r}")
+        now = self.clock.now()
+        cold = sum(1 for record in records if record.cold)
+        span = (
+            (fleet.last_arrival - fleet.first_arrival)
+            if fleet.first_arrival is not None
+            and fleet.last_arrival > fleet.first_arrival
+            else 0.0
+        )
+        alive_seconds = sum(
+            max(0.0, min(now, self._expiry(fleet, container, now)) - container.spawned_at)
+            for container in fleet.containers
+        )
+        return FleetStats(
+            app=name,
+            arrivals=fleet.arrivals,
+            completed=len(records),
+            rejected=fleet.rejected,
+            cold_starts=cold,
+            cold_start_rate=cold / len(records),
+            offered_load=RateSummary.from_events(fleet.arrivals, span),
+            queueing=LatencySummary.from_values(
+                [record.queue_ms for record in records]
+            ),
+            e2e=LatencySummary.from_values([record.e2e_ms for record in records]),
+            containers_spawned=fleet.spawned,
+            peak_containers=fleet.peak_containers,
+            container_seconds=fleet.retired_container_seconds + alive_seconds,
+        )
+
+    # -- event loop --------------------------------------------------------
+
+    def _push(self, at: float, kind: int, payload: tuple) -> None:
+        heapq.heappush(self._events, (at, kind, next(self._event_seq), payload))
+
+    def _step(self) -> bool:
+        """Process one event; returns False when the heap is empty."""
+        if not self._events:
+            return False
+        at, kind, _, payload = heapq.heappop(self._events)
+        if at > self.clock.now():
+            self.clock.advance_to(at)
+        if kind == _ARRIVAL:
+            self._on_arrival(at, *payload)
+        elif kind == _READY:
+            self._on_ready(at, *payload)
+        else:
+            self._on_complete(at, *payload)
+        return True
+
+    def _on_arrival(self, at: float, name: str, entry: str, token: int) -> None:
+        fleet = self._fleets[name]
+        fleet.arrivals += 1
+        if fleet.first_arrival is None:
+            fleet.first_arrival = at
+        fleet.last_arrival = at
+        self._reap(fleet, at)
+        fleet.queue.append(_PendingRequest(token=token, entry=entry, arrival=at))
+        self._dispatch(fleet, at)
+        self._scale(fleet, at)
+        # Admission control runs after dispatch and scale-out: a request is
+        # shed only when it exceeds the fleet's booked capacity (ready +
+        # booting slots) by more than queue_capacity.  capacity=0 therefore
+        # means "throttle like Lambda" — serve or reject, never wait for a
+        # slot someone else booked — not "reject all traffic".
+        capacity = fleet.fleet_config.queue_capacity
+        if capacity is not None:
+            spare = self._spare_capacity(fleet, at)
+            while len(fleet.queue) - spare > capacity:
+                shed = fleet.queue.pop()  # newest arrival loses
+                fleet.rejected += 1
+                self._dropped.add(shed.token)
+
+    def _on_ready(self, at: float, name: str, container_seq: int) -> None:
+        fleet = self._fleets[name]
+        container = self._container_by_seq(fleet, container_seq)
+        if container is None:
+            return  # retired by a redeploy while booting
+        container.idle_since = at
+        container.last_release = at
+        self._dispatch(fleet, at)
+
+    def _on_complete(
+        self, at: float, name: str, container_seq: int, token: int
+    ) -> None:
+        fleet = self._fleets[name]
+        container = self._container_by_seq(fleet, container_seq)
+        if container is not None:
+            container.active -= 1
+            container.last_release = at
+            if container.active == 0:
+                container.idle_since = at
+            self._dispatch(fleet, at)
+
+    @staticmethod
+    def _container_by_seq(fleet: _Fleet, seq: int) -> _FleetContainer | None:
+        for container in fleet.containers:
+            if container.seq == seq:
+                return container
+        return None
+
+    # -- fleet mechanics ---------------------------------------------------
+
+    def _expiry(self, fleet: _Fleet, container: _FleetContainer, now: float) -> float:
+        """When this container retires if no further request reaches it."""
+        if container.ready_at > now or container.active > 0:
+            return math.inf
+        return container.idle_since + fleet.fleet_config.keep_alive_s
+
+    def _spare_capacity(self, fleet: _Fleet, now: float) -> int:
+        """In-flight slots the fleet can still absorb (ready + booting)."""
+        return sum(
+            fleet.fleet_config.max_concurrency - container.active
+            for container in fleet.containers
+            if self._expiry(fleet, container, now) >= now
+        )
+
+    def _reap(self, fleet: _Fleet, now: float) -> None:
+        """Retire containers whose keep-alive elapsed strictly before now."""
+        survivors: list[_FleetContainer] = []
+        for container in fleet.containers:
+            expiry = self._expiry(fleet, container, now)
+            if expiry < now:
+                self._retire(fleet, container, expiry)
+            else:
+                survivors.append(container)
+        fleet.containers = survivors
+
+    def _retire(
+        self, fleet: _Fleet, container: _FleetContainer, at: float
+    ) -> None:
+        fleet.retired_container_seconds += max(0.0, at - container.spawned_at)
+
+    def _scale(self, fleet: _Fleet, now: float) -> None:
+        """Boot containers until pending demand fits incoming capacity."""
+        while (
+            len(fleet.queue) > fleet.booting_capacity(now)
+            and len(fleet.containers) < fleet.fleet_config.max_containers
+        ):
+            self._spawn(fleet, now)
+
+    def _spawn(self, fleet: _Fleet, now: float) -> None:
+        compiled = fleet.compiled
+        scale = fleet.config.cost_scale
+        jitter = self._fleet_jitter(fleet)
+        init_ms = (
+            compiled.eager_init_cost_ms * scale + self.config.runtime_init_ms
+        ) * jitter
+        boot_s = (self.config.cold_platform_ms + init_ms) / 1000.0
+        seq = next(self._container_ids)
+        container = _FleetContainer(
+            container_id=f"{fleet.config.name}-f{seq}",
+            seq=seq,
+            spawned_at=now,
+            ready_at=now + boot_s,
+            init_ms=init_ms,
+            loaded=set(compiled.eager_loaded),
+            memory_mb=fleet.config.base_memory_mb
+            + compiled.eager_memory_kb / 1024.0,
+        )
+        fleet.containers.append(container)
+        fleet.spawned += 1
+        fleet.peak_containers = max(fleet.peak_containers, len(fleet.containers))
+        self._push(container.ready_at, _READY, (fleet.config.name, seq))
+
+    def _select(self, fleet: _Fleet, now: float) -> _FleetContainer | None:
+        """Pick the serving container: pack the busiest, then most recent.
+
+        Packing in-flight requests onto already-active containers lets idle
+        ones age toward keep-alive expiry, the behaviour that makes the
+        cold-start-rate-vs-load curve non-trivial.
+        """
+        best: _FleetContainer | None = None
+        for container in fleet.containers:
+            if container.ready_at > now:
+                continue
+            if container.active >= fleet.fleet_config.max_concurrency:
+                continue
+            if self._expiry(fleet, container, now) < now:
+                continue
+            if best is None or (container.active, container.last_release, container.seq) > (
+                best.active, best.last_release, best.seq
+            ):
+                best = container
+        return best
+
+    def _dispatch(self, fleet: _Fleet, now: float) -> None:
+        while fleet.queue:
+            container = self._select(fleet, now)
+            if container is None:
+                return
+            request = fleet.queue.popleft()
+            self._start_service(fleet, container, request, now)
+
+    def _start_service(
+        self,
+        fleet: _Fleet,
+        container: _FleetContainer,
+        request: _PendingRequest,
+        now: float,
+    ) -> None:
+        compiled_entry = fleet.compiled.entries[request.entry]
+        scale = fleet.config.cost_scale
+        cold = container.virgin
+        container.virgin = False
+        container.active += 1
+
+        lazy_ms = 0.0
+        if cold or request.entry not in container.seen_entries:
+            lazy_ms = fleet.compiled.charge_first_use(
+                compiled_entry, container, cold
+            )
+        container.seen_entries.add(request.entry)
+
+        exec_ms = (
+            compiled_entry.total_self_ms * scale + lazy_ms
+        ) * self._fleet_jitter(fleet)
+        service_ms = self.config.warm_platform_ms + exec_ms
+        finish = now + service_ms / 1000.0
+        queue_ms = (now - request.arrival) * 1000.0
+        record = InvocationRecord(
+            app=fleet.config.name,
+            entry=request.entry,
+            timestamp=request.arrival,
+            cold=cold,
+            init_ms=container.init_ms if cold else 0.0,
+            exec_ms=exec_ms,
+            e2e_ms=queue_ms + service_ms,
+            memory_mb=container.memory_mb,
+            container_id=container.container_id,
+            queue_ms=queue_ms,
+        )
+        if cold:
+            fleet.cold_starts += 1
+        fleet.records.append(record)
+        self._finished[request.token] = record
+        self._push(finish, _COMPLETE, (fleet.config.name, container.seq, request.token))
+
+    def _fleet_jitter(self, fleet: _Fleet) -> float:
+        """Per-app latency noise; seeded per app so streams never interleave."""
+        sigma = self.config.jitter_sigma
+        if sigma <= 0:
+            return 1.0
+        rng = self._jitter_rngs.get(fleet.config.name)
+        if rng is None:
+            rng = SeededRNG(derive_seed(self.seed, "jitter", fleet.config.name))
+            self._jitter_rngs[fleet.config.name] = rng
+        return math.exp(rng.gauss(0.0, sigma))
+
+
+def replay_cluster_workload(
+    platform: ClusterPlatform,
+    gateway: Gateway,
+    schedule: list[tuple[float, str]],
+    app: str,
+) -> list[InvocationRecord]:
+    """Replay an ``(arrival_s, entry)`` schedule through the gateway.
+
+    Routes each arrival over the conventional ``/<app>/<entry>`` URL (so
+    hit counts and the workload monitor observe the traffic), then drains
+    the cluster's event loop.  Returns the completed records.
+    """
+    gateway.submit_schedule(app, schedule)
+    return platform.run()

@@ -11,7 +11,9 @@ Single-active-workspace constraint: because ``sys.modules`` is process
 global, only the most recently cold-started container is live.  Cold
 starting app B strands app A's warm container (its lazy imports would
 resolve against B's workspace); invoke ``force_cold`` when switching back.
-The virtual-time simulator has no such constraint.
+The virtual-time simulators have no such constraint — ``SimPlatform``
+books any number of warm containers per app, and the cluster layer
+(:mod:`repro.faas.cluster`) runs whole fleets of them concurrently.
 """
 
 from __future__ import annotations

@@ -5,7 +5,10 @@ materialized synthetic libraries (mirroring the paper's zip packages that
 bundle source and dependencies).  Optimization never mutates a deployed
 workspace in place — it clones the workspace, rewrites the clone, and
 redeploys, which models the CI/CD flow of Fig. 4 and keeps the unoptimized
-baseline intact for comparison.
+baseline intact for comparison.  The virtual-time back ends follow the
+same discipline without files: ``SimPlatform.redeploy`` and
+``ClusterPlatform.redeploy`` swap in a freshly compiled (config, plan)
+state and retire every warm container, i.e. a new function version.
 """
 
 from __future__ import annotations

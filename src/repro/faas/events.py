@@ -26,10 +26,16 @@ class InvocationRecord:
     e2e_ms: float  # end-to-end latency: platform overhead + init + exec
     memory_mb: float  # container resident memory after the invocation
     container_id: str
+    #: Arrival-to-service-start wait.  Always 0 on the single-pool back
+    #: ends; the cluster simulator charges boot waits and FIFO queueing
+    #: here (its e2e is queue + service).
+    queue_ms: float = 0.0
 
     def __post_init__(self) -> None:
         if self.init_ms < 0 or self.exec_ms < 0 or self.e2e_ms < 0:
             raise ValueError(f"negative latency in record: {self}")
+        if self.queue_ms < 0:
+            raise ValueError(f"negative queueing delay in record: {self}")
         if not self.cold and self.init_ms != 0:
             raise ValueError("warm start cannot carry init time")
 

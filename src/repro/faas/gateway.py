@@ -3,14 +3,18 @@
 The paper deploys each entry point behind a function URL; requests arrive
 at the gateway, which routes them to the right application/entry and feeds
 the adaptive workload monitor (Fig. 4's invocation arrow into SLIMSTART).
-The gateway is back-end agnostic: it works with both :class:`LocalPlatform`
-and :class:`SimPlatform` since they share the ``invoke`` signature.
+The gateway is back-end agnostic: it works with :class:`LocalPlatform`,
+:class:`SimPlatform`, and :class:`~repro.faas.cluster.ClusterPlatform`
+since they share the ``invoke`` signature.  Back ends that also expose
+``submit`` (the cluster's event-queue ingestion) additionally accept
+*deferred* routing via :meth:`Gateway.submit` / :meth:`submit_schedule`,
+which is how Poisson/bursty schedules replay at cluster scale.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Protocol
+from typing import Any, Iterable, Protocol
 
 from repro.common.errors import DeploymentError
 from repro.core.adaptive import WindowDecision, WorkloadMonitor
@@ -85,3 +89,39 @@ class Gateway:
         if self.monitor is not None:
             decisions = self.monitor.observe(route.entry, record.timestamp)
         return record, decisions
+
+    def submit(self, path: str, at: float) -> list[WindowDecision]:
+        """Route one *deferred* arrival into an event-queue back end.
+
+        The request is enqueued at virtual time ``at`` and completes when
+        the platform's event loop runs; hit counts and the monitor observe
+        the arrival immediately (arrival time is what Eqs. 5-7 window on).
+        Requires a platform exposing ``submit`` (the cluster simulator).
+        """
+        route = self._routes.get(path)
+        if route is None:
+            raise DeploymentError(f"no route for path {path!r}")
+        submit = getattr(self.platform, "submit", None)
+        if submit is None:
+            raise DeploymentError(
+                f"platform {type(self.platform).__name__} does not accept "
+                "deferred submissions; use request() instead"
+            )
+        submit(route.app, route.entry, at=at)
+        self._hits[path] = self._hits.get(path, 0) + 1
+        if self.monitor is not None:
+            return self.monitor.observe(route.entry, at)
+        return []
+
+    def submit_schedule(
+        self, app: str, schedule: Iterable[tuple[float, str]]
+    ) -> list[WindowDecision]:
+        """Submit an ``(arrival_s, entry)`` schedule over conventional URLs.
+
+        Routes must already exist (see :meth:`expose`).  Returns every
+        window decision the monitor closed while observing the schedule.
+        """
+        decisions: list[WindowDecision] = []
+        for at, entry in schedule:
+            decisions.extend(self.submit(f"/{app}/{entry}", at))
+        return decisions

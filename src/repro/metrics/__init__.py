@@ -1,8 +1,11 @@
-"""Latency and memory statistics used throughout the evaluation harness."""
+"""Latency, memory, and rate statistics used throughout the evaluation
+harness — including the cluster fleet metrics (offered load, queueing
+delay percentiles)."""
 
 from repro.metrics.stats import (
     LatencySummary,
     MemorySummary,
+    RateSummary,
     SpeedupReport,
     mean,
     percentile,
@@ -12,6 +15,7 @@ from repro.metrics.stats import (
 __all__ = [
     "LatencySummary",
     "MemorySummary",
+    "RateSummary",
     "SpeedupReport",
     "mean",
     "percentile",

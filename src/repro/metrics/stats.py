@@ -96,6 +96,25 @@ class MemorySummary:
 
 
 @dataclass(frozen=True)
+class RateSummary:
+    """An event rate over an observation span (offered load, throughput)."""
+
+    count: int
+    duration_s: float
+    per_second: float
+
+    @classmethod
+    def from_events(cls, count: int, duration_s: float) -> "RateSummary":
+        """Rate from an event count and span; a zero span yields rate 0."""
+        if count < 0:
+            raise ValueError(f"negative event count: {count}")
+        if duration_s < 0:
+            raise ValueError(f"negative duration: {duration_s}")
+        per_second = count / duration_s if duration_s > 0 else 0.0
+        return cls(count=count, duration_s=duration_s, per_second=per_second)
+
+
+@dataclass(frozen=True)
 class SpeedupReport:
     """Before/after comparison in the shape Table II reports."""
 

@@ -1,8 +1,15 @@
-"""Arrival processes for replaying workloads against a platform."""
+"""Arrival processes for replaying workloads against a platform.
+
+Besides the paper's measurement protocols (Poisson profiling traffic and
+N-concurrent bursts), this module generates cluster-scale inputs: on/off
+bursty schedules that stress autoscaling, and merged multi-application
+streams for fleet experiments (see :mod:`repro.faas.cluster`).
+"""
 
 from __future__ import annotations
 
-from typing import Iterator
+import heapq
+from typing import Iterator, Sequence
 
 from repro.common.errors import WorkloadError
 from repro.common.rng import SeededRNG
@@ -41,6 +48,76 @@ def burst_entries(mix: EntryMix, count: int, seed: int | None = None) -> list[st
     if seed is None:
         return mix.proportional_sequence(count)
     return mix.sample_sequence(count, seed)
+
+
+def bursty_schedule(
+    mix: EntryMix,
+    base_rate_per_s: float,
+    burst_rate_per_s: float,
+    period_s: float,
+    burst_fraction: float,
+    duration_s: float,
+    seed: int = 0,
+    start_s: float = 0.0,
+) -> list[tuple[float, str]]:
+    """On/off-modulated Poisson arrivals (a Markov-modulated process).
+
+    Each period of ``period_s`` seconds opens with a burst phase lasting
+    ``burst_fraction`` of the period at ``burst_rate_per_s``, then falls
+    back to ``base_rate_per_s``.  Bursts drive fleet scale-out; the quiet
+    phases let keep-alives expire — the traffic shape that makes
+    cold-start rates interesting at cluster scale.
+    """
+    if base_rate_per_s <= 0 or burst_rate_per_s <= 0:
+        raise WorkloadError(
+            f"rates must be positive: {base_rate_per_s}, {burst_rate_per_s}"
+        )
+    if duration_s <= 0:
+        raise WorkloadError(f"duration must be positive: {duration_s}")
+    if period_s <= 0:
+        raise WorkloadError(f"period must be positive: {period_s}")
+    if not 0.0 <= burst_fraction <= 1.0:
+        raise WorkloadError(f"burst fraction must be in [0, 1]: {burst_fraction}")
+    rng = SeededRNG(seed)
+    end = start_s + duration_s
+    schedule: list[tuple[float, str]] = []
+    now = start_s
+    while now < end:
+        offset = (now - start_s) % period_s
+        boundary = burst_fraction * period_s
+        in_burst = offset < boundary
+        rate = burst_rate_per_s if in_burst else base_rate_per_s
+        phase_end = now - offset + (boundary if in_burst else period_s)
+        gap = rng.expovariate(rate)
+        if now + gap >= phase_end:
+            # No arrival before the phase flips; restart sampling at the
+            # next phase's rate.  Exact for a piecewise-constant-rate
+            # Poisson process by memorylessness — without this, one long
+            # quiet-phase gap can silently jump whole burst windows.
+            now = phase_end
+            continue
+        now += gap
+        if now >= end:
+            break
+        schedule.append((now, rng.weighted_choice(mix.entries, mix.weights)))
+    return schedule
+
+
+def merge_schedules(
+    streams: Sequence[tuple[str, list[tuple[float, str]]]],
+) -> list[tuple[float, str]]:
+    """Merge per-application schedules into one gateway-path stream.
+
+    ``streams`` pairs an app name with its ``(arrival_s, entry)`` schedule;
+    the result is ``(arrival_s, "/<app>/<entry>")`` tuples in global time
+    order (ties broken by stream position, deterministically), ready for
+    :meth:`repro.faas.gateway.Gateway.submit`.
+    """
+    tagged = [
+        [(at, index, f"/{app}/{entry}") for at, entry in schedule]
+        for index, (app, schedule) in enumerate(streams)
+    ]
+    return [(at, path) for at, _, path in heapq.merge(*tagged)]
 
 
 def idle_gaps(

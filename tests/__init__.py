@@ -1,0 +1,1 @@
+"""Top-level test package for the SLIMSTART reproduction."""

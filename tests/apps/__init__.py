@@ -1,0 +1,1 @@
+"""Tests for repro.apps (package file keeps duplicate basenames importable)."""

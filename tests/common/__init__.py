@@ -1,0 +1,1 @@
+"""Tests for repro.common (package file keeps duplicate basenames importable)."""

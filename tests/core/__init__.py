@@ -1,0 +1,1 @@
+"""Tests for repro.core (package file keeps duplicate basenames importable)."""

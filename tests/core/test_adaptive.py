@@ -113,3 +113,44 @@ class TestOfflineSeries:
         # and resuming the same pattern registers no shift.
         assert shifts[0] == pytest.approx(1.0)
         assert shifts[1] == pytest.approx(0.0)
+
+
+class TestWindowRollover:
+    def test_multi_window_gap_closes_each_window_once(self):
+        monitor = WorkloadMonitor(window_s=10.0, epsilon=0.01)
+        monitor.observe("a", 0.0)
+        decisions = monitor.observe("a", 35.0)  # windows 0, 1, 2 close
+        assert [decision.window_index for decision in decisions] == [0, 1, 2]
+        assert [decision.window_end_s for decision in decisions] == [
+            10.0,
+            20.0,
+            30.0,
+        ]
+        # The gap windows saw no invocations at all.
+        assert decisions[1].probabilities == {}
+        assert decisions[2].probabilities == {}
+
+    def test_observation_lands_in_window_after_rollover(self):
+        monitor = WorkloadMonitor(window_s=10.0, epsilon=0.01)
+        monitor.observe("a", 0.0)
+        monitor.observe("b", 25.0)
+        decision = monitor.flush()
+        # The invocation at t=25 belongs to window 2, not the closed ones.
+        assert decision.window_index == 2
+        assert decision.probabilities == {"b": 1.0}
+
+    def test_zero_epsilon_triggers_on_any_shift(self):
+        monitor = WorkloadMonitor(window_s=10.0, epsilon=0.0)
+        for _ in range(3):
+            monitor.observe("a", 1.0)
+        monitor.observe("a", 11.0)
+        monitor.observe("b", 12.0)
+        decisions = monitor.observe("a", 21.0)
+        assert decisions[-1].triggered
+
+    def test_start_time_offsets_first_window(self):
+        monitor = WorkloadMonitor(window_s=10.0, start_time_s=100.0)
+        with pytest.raises(WorkloadError):
+            monitor.observe("a", 99.0)
+        decisions = monitor.observe("a", 110.0)
+        assert decisions[0].window_end_s == 110.0

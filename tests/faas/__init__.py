@@ -1,0 +1,1 @@
+"""Tests for repro.faas (package file keeps duplicate basenames importable)."""

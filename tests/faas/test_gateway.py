@@ -86,3 +86,81 @@ class TestMonitorIntegration:
             gateway.request("/app/heavy", at=float(t))
         _, decisions = gateway.request("/app/heavy", at=250.0)
         assert any(decision.triggered for decision in decisions)
+
+    def test_long_gap_rolls_over_multiple_windows(self, platform):
+        monitor = WorkloadMonitor(window_s=100.0, epsilon=0.5)
+        gateway = Gateway(platform, monitor=monitor)
+        gateway.expose("app", ("main",))
+        gateway.request("/app/main", at=0.0)
+        # One request after a 4.5-window silence closes four windows at
+        # once: the busy first window plus three empty ones.
+        _, decisions = gateway.request("/app/main", at=450.0)
+        assert [decision.window_index for decision in decisions] == [0, 1, 2, 3]
+        assert decisions[0].probabilities == {"main": 1.0}
+        assert all(not decision.probabilities for decision in decisions[1:])
+
+
+class TestPayloadForwarding:
+    class _RecordingPlatform:
+        """Stub invoke() platform capturing the payload keyword."""
+
+        def __init__(self):
+            self.calls = []
+
+        def invoke(self, name, entry, payload=None):
+            from repro.faas.events import InvocationRecord
+
+            self.calls.append((name, entry, payload))
+            return InvocationRecord(
+                app=name,
+                entry=entry,
+                timestamp=0.0,
+                cold=True,
+                init_ms=1.0,
+                exec_ms=1.0,
+                e2e_ms=2.0,
+                memory_mb=1.0,
+                container_id="c1",
+            )
+
+    def test_payload_reaches_platform(self):
+        platform = self._RecordingPlatform()
+        gateway = Gateway(platform)
+        gateway.add_route("/app/main", "app", "main")
+        gateway.request("/app/main", payload={"k": 1})
+        assert platform.calls == [("app", "main", {"k": 1})]
+
+
+class TestDeferredSubmission:
+    def test_submit_requires_event_queue_backend(self, platform):
+        gateway = Gateway(platform)
+        gateway.expose("app", ("main",))
+        with pytest.raises(DeploymentError):
+            gateway.submit("/app/main", at=0.0)
+
+    def test_submit_unknown_path_rejected(self, platform):
+        gateway = Gateway(platform)
+        with pytest.raises(DeploymentError):
+            gateway.submit("/nope", at=0.0)
+
+    def test_submit_schedule_counts_hits_and_feeds_monitor(self, small_ecosystem):
+        from repro.faas.cluster import ClusterPlatform
+
+        cluster = ClusterPlatform()
+        cluster.deploy(
+            SimAppConfig(
+                name="app",
+                ecosystem=small_ecosystem,
+                handler_imports=("libx",),
+                entries=(EntryBehavior("main", calls=("libx:use_core",)),),
+            )
+        )
+        monitor = WorkloadMonitor(window_s=50.0, epsilon=0.5)
+        gateway = Gateway(cluster, monitor=monitor)
+        gateway.expose("app", ("main",))
+        schedule = [(0.0, "main"), (10.0, "main"), (120.0, "main")]
+        decisions = gateway.submit_schedule("app", schedule)
+        assert gateway.hit_counts() == {"/app/main": 3}
+        assert [decision.window_index for decision in decisions] == [0, 1]
+        records = cluster.run()
+        assert len(records) == 3

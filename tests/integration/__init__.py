@@ -1,0 +1,1 @@
+"""Tests for repro.integration (package file keeps duplicate basenames importable)."""

@@ -1,0 +1,1 @@
+"""Tests for repro.property (package file keeps duplicate basenames importable)."""

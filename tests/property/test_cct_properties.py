@@ -1,5 +1,6 @@
 """Property-based tests for the calling context tree."""
 
+import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
@@ -36,13 +37,29 @@ def test_total_weight_conserved(sample_list):
     assert abs(tree.total_init() - init) < 1e-6 * max(1.0, init)
 
 
+def _assert_trees_close(left: dict, right: dict) -> None:
+    """Structural equality with float tolerance on node weights.
+
+    Merging sums each subtree's weights before folding them in, while
+    combined construction adds samples one at a time — float addition is
+    not associative, so the two orders legitimately differ in the last
+    bits.  Shape and frame identity must still match exactly.
+    """
+    assert left["frame"] == right["frame"]
+    assert left["runtime"] == pytest.approx(right["runtime"], rel=1e-9, abs=1e-9)
+    assert left["init"] == pytest.approx(right["init"], rel=1e-9, abs=1e-9)
+    assert len(left["children"]) == len(right["children"])
+    for child_left, child_right in zip(left["children"], right["children"]):
+        _assert_trees_close(child_left, child_right)
+
+
 @given(sample_lists, sample_lists)
 @settings(max_examples=40)
 def test_merge_is_equivalent_to_combined_construction(list_a, list_b):
     merged = CallingContextTree.from_samples(list_a)
     merged.merge(CallingContextTree.from_samples(list_b))
     combined = CallingContextTree.from_samples(list_a + list_b)
-    assert merged.to_dict() == combined.to_dict()
+    _assert_trees_close(merged.to_dict(), combined.to_dict())
 
 
 @given(sample_lists, sample_lists)

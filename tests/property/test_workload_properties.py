@@ -1,0 +1,166 @@
+"""Property-based tests for arrival processes and popularity mixes."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.workloads.arrival import (
+    burst_entries,
+    bursty_schedule,
+    idle_gaps,
+    merge_schedules,
+    poisson_schedule,
+)
+from repro.workloads.popularity import EntryMix, uniform_mix, zipf_mix
+
+_entry_names = st.lists(
+    st.sampled_from(["alpha", "beta", "gamma", "delta", "epsilon"]),
+    min_size=1,
+    max_size=5,
+    unique=True,
+)
+
+
+@st.composite
+def mixes(draw):
+    entries = draw(_entry_names)
+    weights = draw(
+        st.lists(
+            st.floats(min_value=0.05, max_value=10.0, allow_nan=False),
+            min_size=len(entries),
+            max_size=len(entries),
+        )
+    )
+    return EntryMix(entries=tuple(entries), weights=tuple(weights))
+
+
+_rates = st.floats(min_value=0.1, max_value=50.0, allow_nan=False)
+_durations = st.floats(min_value=1.0, max_value=500.0, allow_nan=False)
+_seeds = st.integers(min_value=0, max_value=2**32 - 1)
+
+
+class TestPoissonScheduleProperties:
+    @given(mixes(), _rates, _durations, _seeds)
+    @settings(max_examples=40)
+    def test_sorted_and_bounded_by_duration(self, mix, rate, duration, seed):
+        schedule = poisson_schedule(mix, rate, duration, seed=seed)
+        times = [at for at, _ in schedule]
+        assert times == sorted(times)
+        assert all(0.0 <= at < duration for at in times)
+        assert all(entry in mix.entries for _, entry in schedule)
+
+    @given(mixes(), _rates, _durations, _seeds)
+    @settings(max_examples=40)
+    def test_identical_seeds_identical_schedules(self, mix, rate, duration, seed):
+        one = poisson_schedule(mix, rate, duration, seed=seed)
+        two = poisson_schedule(mix, rate, duration, seed=seed)
+        assert one == two
+
+    @given(mixes(), _seeds)
+    @settings(max_examples=20)
+    def test_entry_frequencies_converge_to_mix(self, mix, seed):
+        """Observed entry shares approach the configured probabilities."""
+        schedule = poisson_schedule(mix, rate_per_s=40.0, duration_s=400.0, seed=seed)
+        counts = {entry: 0 for entry in mix.entries}
+        for _, entry in schedule:
+            counts[entry] += 1
+        total = len(schedule)
+        for entry in mix.entries:
+            expected = mix.probability(entry)
+            tolerance = 4.0 * math.sqrt(expected * (1 - expected) / total) + 0.01
+            assert counts[entry] / total == pytest.approx(
+                expected, abs=tolerance
+            )
+
+
+class TestBurstyScheduleProperties:
+    @given(mixes(), _seeds)
+    @settings(max_examples=30)
+    def test_sorted_bounded_and_deterministic(self, mix, seed):
+        kwargs = dict(
+            base_rate_per_s=0.5,
+            burst_rate_per_s=20.0,
+            period_s=60.0,
+            burst_fraction=0.2,
+            duration_s=300.0,
+            seed=seed,
+        )
+        schedule = bursty_schedule(mix, **kwargs)
+        times = [at for at, _ in schedule]
+        assert times == sorted(times)
+        assert all(0.0 <= at < 300.0 for at in times)
+        assert schedule == bursty_schedule(mix, **kwargs)
+
+    @given(mixes(), _seeds)
+    @settings(max_examples=20)
+    def test_burst_phase_is_denser(self, mix, seed):
+        schedule = bursty_schedule(
+            mix,
+            base_rate_per_s=0.5,
+            burst_rate_per_s=50.0,
+            period_s=100.0,
+            burst_fraction=0.3,
+            duration_s=1000.0,
+            seed=seed,
+        )
+        in_burst = sum(1 for at, _ in schedule if at % 100.0 < 30.0)
+        assert in_burst > len(schedule) / 2  # 30% of time, most arrivals
+
+
+class TestBurstEntriesProperties:
+    @given(mixes(), st.integers(min_value=1, max_value=500))
+    @settings(max_examples=40)
+    def test_proportional_counts_match_quota(self, mix, count):
+        burst = burst_entries(mix, count)
+        assert len(burst) == count
+        total_weight = sum(mix.weights)
+        for entry, weight in zip(mix.entries, mix.weights):
+            quota = count * weight / total_weight
+            observed = burst.count(entry)
+            assert math.floor(quota) <= observed <= math.ceil(quota)
+
+    @given(mixes(), st.integers(min_value=0, max_value=200), _seeds)
+    @settings(max_examples=40)
+    def test_sampled_burst_deterministic_per_seed(self, mix, count, seed):
+        assert burst_entries(mix, count, seed=seed) == burst_entries(
+            mix, count, seed=seed
+        )
+
+
+class TestMixProperties:
+    @given(_entry_names, st.floats(min_value=0.0, max_value=3.0), _seeds)
+    @settings(max_examples=40)
+    def test_zipf_weights_normalized_and_rank_ordered(self, entries, exponent, seed):
+        mix = zipf_mix(list(entries), exponent=exponent, seed=seed)
+        assert sum(mix.weights) == pytest.approx(1.0)
+        assert list(mix.weights) == sorted(mix.weights, reverse=True)
+
+    @given(_entry_names)
+    @settings(max_examples=20)
+    def test_uniform_mix_equal_probabilities(self, entries):
+        mix = uniform_mix(list(entries))
+        for entry in entries:
+            assert mix.probability(entry) == pytest.approx(1.0 / len(entries))
+
+
+class TestScheduleTools:
+    @given(mixes(), mixes(), _seeds)
+    @settings(max_examples=30)
+    def test_merge_preserves_order_and_counts(self, mix_a, mix_b, seed):
+        one = poisson_schedule(mix_a, 2.0, 100.0, seed=seed)
+        two = poisson_schedule(mix_b, 3.0, 100.0, seed=seed + 1)
+        merged = merge_schedules([("a", one), ("b", two)])
+        times = [at for at, _ in merged]
+        assert times == sorted(times)
+        assert len(merged) == len(one) + len(two)
+        assert sum(1 for _, path in merged if path.startswith("/a/")) == len(one)
+
+    @given(mixes(), _seeds, st.floats(min_value=0.5, max_value=20.0))
+    @settings(max_examples=30)
+    def test_idle_gaps_exceed_keep_alive(self, mix, seed, keep_alive):
+        schedule = poisson_schedule(mix, rate_per_s=0.2, duration_s=300.0, seed=seed)
+        for gap_start, gap_length in idle_gaps(schedule, keep_alive):
+            assert gap_length > keep_alive
+            assert any(at == pytest.approx(gap_start) for at, _ in schedule)

@@ -1,0 +1,1 @@
+"""Tests for repro.staticbase (package file keeps duplicate basenames importable)."""

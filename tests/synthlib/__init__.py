@@ -1,0 +1,1 @@
+"""Tests for repro.synthlib (package file keeps duplicate basenames importable)."""

@@ -58,6 +58,32 @@ class TestCommands:
         assert payload["app"] == "graph_bfs"
         assert "sligraph.drawing" in payload["deferred_library_edges"]
 
+    def test_cluster_reports_fleet_metrics(self, capsys):
+        code = main(
+            [
+                "cluster",
+                "--app",
+                "R-GB",
+                "--rate",
+                "4",
+                "--duration",
+                "120",
+                "--keep-alive",
+                "30",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "cold-start rate" in out
+        assert "queueing p50/p99" in out
+        assert "container-seconds" in out
+
+    def test_cluster_parser_defaults(self):
+        args = build_parser().parse_args(["cluster", "--app", "R-SA"])
+        assert args.command == "cluster"
+        assert args.max_containers == 16
+        assert args.max_concurrency == 1
+
     def test_cycle_reports_speedups(self, capsys):
         code = main(["--cold-starts", "20", "--runs", "1", "cycle", "--app", "R-GB"])
         assert code == 0

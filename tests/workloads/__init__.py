@@ -1,0 +1,1 @@
+"""Tests for repro.workloads (package file keeps duplicate basenames importable)."""
