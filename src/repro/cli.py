@@ -10,6 +10,9 @@ Sub-commands mirror the tool's workflow plus the evaluation harness:
 * ``slimstart cluster --app R-SA``        — replay Poisson traffic against
   a container fleet and print the cluster metrics (cold-start rate,
   queueing percentiles, container-seconds)
+* ``slimstart regions --app R-SA``        — replay multi-region traffic
+  across federated fleets under a latency-aware routing policy and print
+  per-region metrics plus the routing summary
 * ``slimstart optimize --workspace DIR``  — rewrite a real workspace from
   a plan JSON file
 """
@@ -27,9 +30,17 @@ from repro.core.pipeline import PipelineConfig, SlimStart
 from repro.core.report import render_report
 from repro.faas.cluster import ClusterPlatform, FleetConfig, replay_cluster_workload
 from repro.faas.gateway import Gateway
+from repro.faas.region import (
+    POLICY_NAMES,
+    FederatedGateway,
+    RegionFederation,
+    RegionTopology,
+    make_policy,
+    replay_federated_workload,
+)
 from repro.faas.sim import SimPlatform
 from repro.plan import DeferralPlan
-from repro.workloads.arrival import poisson_schedule
+from repro.workloads.arrival import poisson_schedule, regional_poisson_schedules
 
 
 def _build_tool(args: argparse.Namespace) -> SlimStart:
@@ -165,6 +176,80 @@ def cmd_cluster(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_regions(args: argparse.Namespace) -> int:
+    app = instantiate(app_by_key(args.app))
+    regions = [name.strip() for name in args.regions.split(",") if name.strip()]
+    try:
+        rates = [float(rate) for rate in args.rates.split(",")]
+    except ValueError:
+        print(f"--rates must be comma-separated numbers; got {args.rates!r}")
+        return 1
+    if len(rates) == 1:
+        rates = rates * len(regions)
+    if len(rates) != len(regions):
+        print(
+            f"--rates needs 1 or {len(regions)} values for regions "
+            f"{','.join(regions)}; got {len(rates)}"
+        )
+        return 1
+    topology = RegionTopology.fully_connected(regions, default_ms=args.latency)
+    federation = RegionFederation(
+        topology,
+        policy=make_policy(args.policy, spillover_load=args.spillover),
+        platform=bench_platform_config(record_traces=False),
+        fleet=FleetConfig(
+            max_containers=args.max_containers,
+            max_concurrency=args.max_concurrency,
+            keep_alive_s=args.keep_alive,
+            queue_capacity=args.queue_capacity,
+        ),
+        seed=args.seed,
+    )
+    federation.deploy(app.sim_config())
+    gateway = FederatedGateway(platform=federation)
+    gateway.expose(app.name, tuple(entry.name for entry in app.entries))
+    schedule = regional_poisson_schedules(
+        app.mix, dict(zip(regions, rates)), duration_s=args.duration, seed=args.seed
+    )
+    if not schedule:
+        print(
+            "no arrivals generated for these rates/duration; "
+            "increase --rates or --duration"
+        )
+        return 1
+    replay_federated_workload(federation, gateway, schedule, app.name)
+    stats = federation.region_stats(app.name)
+    served = federation.served_counts(app.name)
+    print(f"app     : {args.app} ({app.name})")
+    print(f"policy  : {args.policy}   latency : {args.latency:.0f} ms   "
+          f"arrivals: {len(schedule)}")
+    print()
+    header = (
+        f"{'region':12s} {'routed':>7s} {'served':>7s} {'rejected':>8s} "
+        f"{'cold rate':>9s} {'queue p50':>9s} {'queue p95':>9s} {'peak ctr':>8s}"
+    )
+    print(header)
+    print("-" * len(header))
+    for region in regions:
+        if region not in stats:  # routed traffic (if any) was all shed
+            print(f"{region:12s} {served[region]:7d} {0:7d} {'-':>8s} {'-':>9s} "
+                  f"{'-':>9s} {'-':>9s} {'-':>8s}")
+            continue
+        s = stats[region]
+        print(
+            f"{region:12s} {served[region]:7d} {s.completed:7d} {s.rejected:8d} "
+            f"{s.cold_start_rate:9.4f} {s.queueing.p50_ms:9.2f} "
+            f"{s.queueing.p95_ms:9.2f} {s.peak_containers:8d}"
+        )
+    routing = federation.routing_summary()
+    print()
+    print(f"served locally     : {routing.local:8d} ({routing.local_fraction:6.1%})")
+    print(f"forwarded          : {routing.forwarded:8d}")
+    print(f"network mean/p95   : {routing.network_ms.mean_ms:8.2f} / "
+          f"{routing.network_ms.p95_ms:.2f} ms")
+    return 0
+
+
 def cmd_optimize(args: argparse.Namespace) -> int:
     with open(args.plan) as handle:
         payload = json.load(handle)
@@ -208,7 +293,14 @@ def build_parser() -> argparse.ArgumentParser:
     sub.add_parser("table2", help="regenerate Table II on the simulator")
 
     cluster = sub.add_parser(
-        "cluster", help="replay traffic against a container fleet"
+        "cluster",
+        help="replay traffic against a container fleet",
+        epilog=(
+            "Multi-application streams: build per-app schedules with "
+            "repro.workloads.arrival and combine them with "
+            "merge_schedules(), which interleaves them into one "
+            "time-ordered gateway stream for Gateway.submit()."
+        ),
     )
     cluster.add_argument("--app", required=True, help="application key, e.g. R-SA")
     cluster.add_argument("--rate", type=float, default=5.0, help="arrivals per second")
@@ -217,6 +309,48 @@ def build_parser() -> argparse.ArgumentParser:
     cluster.add_argument("--max-concurrency", type=int, default=1)
     cluster.add_argument("--keep-alive", type=float, default=120.0)
     cluster.add_argument("--seed", type=int, default=7)
+
+    regions = sub.add_parser(
+        "regions",
+        help="replay multi-region traffic across federated fleets",
+        epilog=(
+            "Each region runs its own container fleet; a routing policy "
+            "(round-robin, least-loaded, or locality-biased with "
+            "spillover) picks the serving region per request, with "
+            "failover away from regions that shed load."
+        ),
+    )
+    regions.add_argument("--app", required=True, help="application key, e.g. R-SA")
+    regions.add_argument(
+        "--regions",
+        default="us-east,eu-west,ap-south",
+        help="comma-separated region names",
+    )
+    regions.add_argument(
+        "--rates",
+        default="8,2,1",
+        help="per-region arrivals per second (one value broadcasts to all)",
+    )
+    regions.add_argument("--duration", type=float, default=600.0, help="seconds of traffic")
+    regions.add_argument(
+        "--policy", choices=POLICY_NAMES, default="least-loaded"
+    )
+    regions.add_argument(
+        "--latency", type=float, default=80.0, help="inter-region latency, ms"
+    )
+    regions.add_argument(
+        "--spillover",
+        type=int,
+        default=None,
+        help="locality policy: spill when origin load reaches this",
+    )
+    regions.add_argument("--max-containers", type=int, default=8)
+    regions.add_argument("--max-concurrency", type=int, default=1)
+    regions.add_argument("--keep-alive", type=float, default=120.0)
+    regions.add_argument(
+        "--queue-capacity", type=int, default=None, help="bounded queue; sheds beyond"
+    )
+    regions.add_argument("--seed", type=int, default=7)
 
     optimize = sub.add_parser("optimize", help="apply a plan to a real workspace")
     optimize.add_argument("--workspace", required=True)
@@ -233,6 +367,7 @@ def main(argv: list[str] | None = None) -> int:
         "cycle": cmd_cycle,
         "table2": cmd_table2,
         "cluster": cmd_cluster,
+        "regions": cmd_regions,
         "optimize": cmd_optimize,
     }
     return handlers[args.command](args)

@@ -21,6 +21,13 @@ All three are fronted by the :class:`~repro.faas.gateway.Gateway`, which
 maps function URLs to (application, entry) pairs and feeds the adaptive
 workload monitor; the cluster back end additionally accepts deferred
 (batched) submissions so whole schedules replay under true concurrency.
+
+:mod:`repro.faas.region` scales the cluster across *regions*: a
+:class:`~repro.faas.region.RegionFederation` runs one cluster per named
+region on a shared virtual clock, with pluggable latency-aware routing
+policies (round-robin, least-loaded, locality-biased with spillover) and
+cross-region failover, fronted by the
+:class:`~repro.faas.region.FederatedGateway`.
 """
 
 from repro.faas.cluster import (
@@ -32,6 +39,18 @@ from repro.faas.cluster import (
 from repro.faas.events import InvocationRecord, InvocationStats
 from repro.faas.gateway import Gateway, Route
 from repro.faas.local import FunctionDeployment, LocalPlatform
+from repro.faas.region import (
+    FederatedGateway,
+    LeastLoadedPolicy,
+    LocalityPolicy,
+    RegionFederation,
+    RegionSpec,
+    RegionTopology,
+    RoundRobinPolicy,
+    RouteAssignment,
+    RoutingPolicy,
+    replay_federated_workload,
+)
 from repro.faas.sim import EntryBehavior, SimAppConfig, SimPlatform, SimPlatformConfig
 from repro.faas.storage import CloudStorage
 
@@ -50,5 +69,15 @@ __all__ = [
     "FleetConfig",
     "FleetStats",
     "replay_cluster_workload",
+    "FederatedGateway",
+    "LeastLoadedPolicy",
+    "LocalityPolicy",
+    "RegionFederation",
+    "RegionSpec",
+    "RegionTopology",
+    "RoundRobinPolicy",
+    "RouteAssignment",
+    "RoutingPolicy",
+    "replay_federated_workload",
     "CloudStorage",
 ]

@@ -70,7 +70,24 @@ _ARRIVAL = 2
 
 @dataclass(frozen=True)
 class FleetConfig:
-    """Autoscaling policy for one application's container fleet."""
+    """Autoscaling policy for one application's container fleet.
+
+    Attributes:
+        max_containers: Hard scale-out ceiling.  Arrivals beyond what
+            ``max_containers * max_concurrency`` can absorb wait in the
+            FIFO queue (or are shed, see ``queue_capacity``).
+        max_concurrency: In-flight invocations one container admits.
+            ``1`` is Lambda semantics (a container serves one request at a
+            time); larger values model Knative-style request packing.
+        keep_alive_s: Idle lifetime.  A container with no in-flight work
+            retires exactly ``keep_alive_s`` seconds after it last went
+            idle; the next arrival after that pays a cold start.
+        queue_capacity: Bound on *unservable* backlog.  ``None`` keeps an
+            unbounded FIFO.  ``n`` sheds the newest arrival once the queue
+            exceeds the fleet's booked capacity (free + booting slots) by
+            more than ``n`` — so ``0`` means "serve or reject", not
+            "reject everything".
+    """
 
     max_containers: int = 8
     max_concurrency: int = 1  # in-flight invocations per container
@@ -95,6 +112,22 @@ class FleetStats:
     ``cold_start_rate`` against ``offered_load.per_second`` is the paper's
     fleet-scale story: init-time dominance only matters when real traffic
     keeps forcing cold starts.
+
+    Attributes:
+        app: Application name the fleet serves.
+        arrivals: Requests that reached the fleet (served + shed).
+        completed: Requests that finished service and produced a record.
+        rejected: Requests shed by the bounded queue.
+        cold_starts: Completed requests that paid a container boot.
+        cold_start_rate: ``cold_starts / completed``.
+        offered_load: Arrival rate over the observed span (first to last
+            arrival), the x-axis of the cold-start-rate curve.
+        queueing: Arrival-to-service-start waits, including boot waits.
+        e2e: End-to-end latency (queueing + platform + init + exec).
+        containers_spawned: Total containers ever booted.
+        peak_containers: Largest simultaneous fleet size.
+        container_seconds: Aggregate provisioned lifetime — the cost-model
+            input (billable capacity, not busy time).
     """
 
     app: str
@@ -314,6 +347,52 @@ class ClusterPlatform:
 
     def clear_history(self, name: str) -> None:
         self._fleet(name).records.clear()
+
+    def load(self, name: str | None = None) -> int:
+        """Outstanding demand: queued plus in-flight requests.
+
+        With ``name`` the count covers one application's fleet; without it,
+        the whole platform.  This is the signal latency-aware routers key
+        on (see :class:`repro.faas.region.LeastLoadedPolicy`): it rises the
+        moment a request is admitted and falls when service completes, so
+        it tracks pressure even while containers are still booting.
+        """
+        fleets = [self._fleet(name)] if name is not None else list(self._fleets.values())
+        return sum(
+            len(fleet.queue) + sum(c.active for c in fleet.containers)
+            for fleet in fleets
+        )
+
+    def accepts(self, name: str, at: float | None = None, extra: int = 0) -> bool:
+        """Whether one more arrival at ``at`` would escape the load-shedder.
+
+        Mirrors the admission rule in arrival processing: a request is shed
+        only when it exceeds the fleet's bookable capacity — free slots on
+        live containers plus every container the autoscaler could still
+        boot — by more than :attr:`FleetConfig.queue_capacity`.  Unbounded
+        queues always accept.  Routers use this to fail over away from a
+        shedding region without mutating fleet state; ``extra`` lets them
+        count arrivals they have already committed but not yet delivered
+        (requests still on the wire).
+        """
+        fleet = self._fleet(name)
+        capacity = fleet.fleet_config.queue_capacity
+        if capacity is None:
+            return True
+        now = self.clock.now() if at is None else at
+        alive = [
+            container
+            for container in fleet.containers
+            if self._expiry(fleet, container, now) >= now
+        ]
+        spare = sum(
+            fleet.fleet_config.max_concurrency - container.active
+            for container in alive
+        )
+        bootable = (
+            fleet.fleet_config.max_containers - len(alive)
+        ) * fleet.fleet_config.max_concurrency
+        return len(fleet.queue) + 1 + extra <= capacity + spare + bootable
 
     def fleet_stats(self, name: str) -> FleetStats:
         """Aggregate fleet metrics over everything simulated so far."""

@@ -8,7 +8,9 @@ The gateway is back-end agnostic: it works with :class:`LocalPlatform`,
 since they share the ``invoke`` signature.  Back ends that also expose
 ``submit`` (the cluster's event-queue ingestion) additionally accept
 *deferred* routing via :meth:`Gateway.submit` / :meth:`submit_schedule`,
-which is how Poisson/bursty schedules replay at cluster scale.
+which is how Poisson/bursty schedules replay at cluster scale.  The
+multi-region :class:`~repro.faas.region.FederatedGateway` extends that
+deferred path with an origin region per request.
 """
 
 from __future__ import annotations
@@ -62,9 +64,11 @@ class Gateway:
         ]
 
     def routes(self) -> list[Route]:
+        """All registered routes, sorted by path."""
         return sorted(self._routes.values(), key=lambda route: route.path)
 
     def hit_counts(self) -> dict[str, int]:
+        """Requests observed per path (sync and deferred alike)."""
         return dict(self._hits)
 
     def request(

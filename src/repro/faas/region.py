@@ -1,0 +1,597 @@
+"""Multi-region cluster federation with latency-aware routing.
+
+One :class:`~repro.faas.cluster.ClusterPlatform` answers single-region
+fleet questions; production deployments run *many* regions, and the
+interesting behaviour — offloading, locality, failover — lives in the
+routing layer between them.  This module federates several per-region
+clusters behind one gateway:
+
+* :class:`RegionTopology` names the regions, carries the inter-region
+  network latency matrix, and records per-region platform/fleet
+  overrides (a region can have a smaller fleet or slower control plane).
+* :class:`RegionFederation` owns one :class:`ClusterPlatform` per region,
+  all sharing a single :class:`~repro.common.clock.VirtualClock`.  A
+  request submitted at origin time ``t`` is routed immediately (the
+  policy sees fleet state advanced to ``t``), then *delivered* to the
+  chosen region at ``t + latency/1000`` through the federation's own
+  delivery heap — so every region observes arrivals in global time order
+  and per-region :class:`~repro.faas.cluster.FleetStats` stay directly
+  comparable.
+* Routing policies are pluggable (:class:`RoutingPolicy`):
+  :class:`RoundRobinPolicy` spreads blindly, :class:`LeastLoadedPolicy`
+  follows queued + in-flight pressure, and :class:`LocalityPolicy` keeps
+  traffic in its origin region until a spillover threshold (or the
+  region's load-shedder) pushes it to the nearest alternative.  All
+  three fail over away from a region whose bounded queues would shed the
+  request while another region still accepts.
+* :class:`FederatedGateway` extends :class:`~repro.faas.gateway.Gateway`
+  so region-tagged schedules (``(arrival_s, entry, region)`` from
+  :func:`repro.workloads.arrival.merge_tagged_schedules`) replay over the
+  same function-URL surface the single-cluster path uses.
+
+Everything stays deterministic: per-region platforms derive their jitter
+seeds from ``(seed, "region", name)``, policies break ties by latency
+then region name, and identical seeds + schedules reproduce bit-identical
+records.  See ``benchmarks/test_fig_multiregion_routing.py`` for the
+policy-comparison experiment this enables.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Iterable, Mapping, Sequence
+
+from repro.common.clock import VirtualClock
+from repro.common.errors import DeploymentError, SpecError, WorkloadError
+from repro.common.rng import derive_seed
+from repro.faas.cluster import ClusterPlatform, FleetConfig, FleetStats
+from repro.faas.events import InvocationRecord
+from repro.faas.gateway import Gateway
+from repro.faas.sim import SimAppConfig, SimPlatformConfig
+from repro.metrics import RoutingSummary
+from repro.plan import DeferralPlan
+
+
+@dataclass(frozen=True)
+class RegionSpec:
+    """One region: a name plus optional platform/fleet overrides.
+
+    Attributes:
+        name: Region identifier (e.g. ``"us-east"``); unique per topology.
+        platform: Region-specific platform cost constants; ``None`` uses
+            the federation-wide default (regions can model slower control
+            planes via a larger ``cold_platform_ms``).
+        fleet: Region-specific default autoscaling policy; ``None`` uses
+            the federation-wide default (regions can be capacity-starved
+            via a smaller ``max_containers``).
+    """
+
+    name: str
+    platform: SimPlatformConfig | None = None
+    fleet: FleetConfig | None = None
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise SpecError("region name must be non-empty")
+
+
+class RegionTopology:
+    """Named regions plus the inter-region network latency matrix.
+
+    ``latency_ms`` maps ``(src, dst)`` pairs to one-way network latency in
+    milliseconds.  Lookups fall back to the reversed pair (symmetric
+    links), then to ``default_ms``; a region reaches itself in 0 ms unless
+    an explicit ``(r, r)`` entry says otherwise.
+    """
+
+    def __init__(
+        self,
+        regions: Sequence[RegionSpec | str],
+        latency_ms: Mapping[tuple[str, str], float] | None = None,
+        default_ms: float = 0.0,
+    ) -> None:
+        self.regions: tuple[RegionSpec, ...] = tuple(
+            region if isinstance(region, RegionSpec) else RegionSpec(region)
+            for region in regions
+        )
+        if not self.regions:
+            raise SpecError("topology needs at least one region")
+        names = [spec.name for spec in self.regions]
+        if len(set(names)) != len(names):
+            raise SpecError(f"duplicate region names: {names}")
+        if default_ms < 0:
+            raise SpecError(f"negative default latency: {default_ms}")
+        self.default_ms = default_ms
+        self._names = tuple(names)
+        self._known = frozenset(names)
+        self._specs = {spec.name: spec for spec in self.regions}
+        self._latency: dict[tuple[str, str], float] = {}
+        for (src, dst), value in (latency_ms or {}).items():
+            if src not in self._known or dst not in self._known:
+                raise SpecError(f"latency entry references unknown region: {(src, dst)}")
+            if value < 0:
+                raise SpecError(f"negative latency for {(src, dst)}: {value}")
+            self._latency[(src, dst)] = float(value)
+
+    @classmethod
+    def fully_connected(
+        cls,
+        regions: Sequence[RegionSpec | str],
+        default_ms: float,
+    ) -> "RegionTopology":
+        """Uniform mesh: every distinct pair is ``default_ms`` apart."""
+        return cls(regions, latency_ms=None, default_ms=default_ms)
+
+    def names(self) -> tuple[str, ...]:
+        return self._names
+
+    def spec(self, name: str) -> RegionSpec:
+        try:
+            return self._specs[name]
+        except KeyError:
+            raise SpecError(f"unknown region: {name!r}") from None
+
+    def latency_ms(self, src: str, dst: str) -> float:
+        """One-way network latency from ``src`` to ``dst``."""
+        if src not in self._known or dst not in self._known:
+            raise SpecError(f"unknown region in latency lookup: {(src, dst)}")
+        if (src, dst) in self._latency:
+            return self._latency[(src, dst)]
+        if (dst, src) in self._latency:
+            return self._latency[(dst, src)]
+        if src == dst:
+            return 0.0
+        return self.default_ms
+
+    def nearest(self, origin: str) -> list[str]:
+        """All regions ordered by latency from ``origin`` (origin first,
+        ties broken by name for determinism)."""
+        return sorted(
+            self.names(), key=lambda name: (self.latency_ms(origin, name), name)
+        )
+
+
+@dataclass(frozen=True)
+class RegionState:
+    """A routing policy's view of one region at decision time.
+
+    Attributes:
+        name: Region identifier.
+        load: Queued + in-flight requests for the routed application
+            (:meth:`ClusterPlatform.load`).
+        accepts: Whether the region's load-shedder would admit one more
+            arrival (:meth:`ClusterPlatform.accepts`).
+        latency_ms: One-way network latency from the request's origin.
+    """
+
+    name: str
+    load: int
+    accepts: bool
+    latency_ms: float
+
+
+class RoutingPolicy:
+    """Picks the serving region for each request.
+
+    ``choose`` receives the origin region and one :class:`RegionState`
+    per region (in topology order, state advanced to the request's origin
+    time) and returns the destination region's name.  Implementations
+    must be deterministic: any internal state (e.g. a round-robin cursor)
+    must evolve identically for identical request sequences.
+    """
+
+    name = "abstract"
+
+    def choose(self, origin: str, states: Sequence[RegionState]) -> str:
+        raise NotImplementedError  # pragma: no cover - interface
+
+    @staticmethod
+    def _accepting(states: Sequence[RegionState]) -> Sequence[RegionState]:
+        """Cross-region failover: never pick a shedding region while
+        another accepts.  When every region sheds, all are candidates
+        (the request is doomed either way; keep the base ordering)."""
+        accepting = [state for state in states if state.accepts]
+        return accepting or states
+
+
+class RoundRobinPolicy(RoutingPolicy):
+    """Cycle through regions in topology order, skipping shedding ones."""
+
+    name = "round-robin"
+
+    def __init__(self) -> None:
+        self._cursor = itertools.count()
+
+    def choose(self, origin: str, states: Sequence[RegionState]) -> str:
+        start = next(self._cursor) % len(states)
+        rotation = [states[(start + offset) % len(states)] for offset in range(len(states))]
+        return self._accepting(rotation)[0].name
+
+
+class LeastLoadedPolicy(RoutingPolicy):
+    """Join the shortest queue: minimal queued + in-flight demand.
+
+    Ties break toward the origin-nearest region, then by name, so the
+    policy degrades into locality when the fleet is idle.
+    """
+
+    name = "least-loaded"
+
+    def choose(self, origin: str, states: Sequence[RegionState]) -> str:
+        return min(
+            self._accepting(states),
+            key=lambda state: (state.load, state.latency_ms, state.name),
+        ).name
+
+
+class LocalityPolicy(RoutingPolicy):
+    """Serve in the origin region; spill over only under pressure.
+
+    Attributes:
+        spillover_load: Origin load (queued + in-flight) at which traffic
+            spills to the nearest region whose load is below the same
+            threshold.  ``None`` disables spillover entirely.
+        failover: Leave a shedding origin for the nearest accepting
+            region.  With ``failover=False`` and ``spillover_load=None``
+            the policy is *strict* locality — every request stays home,
+            which makes a federated replay equal independent single-region
+            replays (the property ``tests/property/test_region_properties.py``
+            pins down).
+    """
+
+    name = "locality"
+
+    def __init__(
+        self, spillover_load: int | None = None, failover: bool = True
+    ) -> None:
+        if spillover_load is not None and spillover_load < 1:
+            raise SpecError(f"spillover_load must be >= 1: {spillover_load}")
+        self.spillover_load = spillover_load
+        self.failover = failover
+
+    def choose(self, origin: str, states: Sequence[RegionState]) -> str:
+        by_name = {state.name: state for state in states}
+        home = by_name.get(origin)
+        if home is None:  # app not deployed at the origin: nearest accepting
+            return min(
+                self._accepting(states),
+                key=lambda state: (state.latency_ms, state.name),
+            ).name
+        others = sorted(
+            (state for state in states if state.name != origin),
+            key=lambda state: (state.latency_ms, state.name),
+        )
+        if self.failover and not home.accepts:
+            for state in others:
+                if state.accepts:
+                    return state.name
+            return origin
+        if self.spillover_load is not None and home.load >= self.spillover_load:
+            for state in others:
+                if state.accepts and state.load < self.spillover_load:
+                    return state.name
+        return origin
+
+
+#: CLI-facing policy registry (see ``slimstart regions --policy``).
+POLICY_NAMES = ("round-robin", "least-loaded", "locality")
+
+
+def make_policy(name: str, spillover_load: int | None = None) -> RoutingPolicy:
+    """Build a routing policy from its CLI name."""
+    if name == "round-robin":
+        return RoundRobinPolicy()
+    if name == "least-loaded":
+        return LeastLoadedPolicy()
+    if name == "locality":
+        return LocalityPolicy(spillover_load=spillover_load)
+    raise SpecError(f"unknown routing policy: {name!r} (choose from {POLICY_NAMES})")
+
+
+@dataclass(frozen=True)
+class RouteAssignment:
+    """One routing decision: where a request originated and was served.
+
+    Attributes:
+        app: Application name.
+        entry: Entry point name.
+        origin: Region the request arrived at the gateway from.
+        region: Region the policy selected to serve it.
+        at: Origin time (gateway-clock seconds).
+        network_ms: One-way latency charged for the forwarding hop
+            (0 when served locally).
+    """
+
+    app: str
+    entry: str
+    origin: str
+    region: str
+    at: float
+    network_ms: float
+
+
+@dataclass(frozen=True)
+class _Delivery:
+    region: str
+    app: str
+    entry: str
+
+
+class RegionFederation:
+    """Per-region clusters replayed on one shared virtual-time loop.
+
+    The federation is the multi-region analogue of
+    :class:`ClusterPlatform` and plugs into the same deferred-routing
+    gateway path: it exposes ``submit`` (with an extra ``origin``) and
+    ``run``.  Routing decisions happen at origin time against live fleet
+    state; the chosen region receives the arrival after the inter-region
+    network latency, via a federation-level delivery heap that keeps all
+    per-region event processing in global time order.
+    """
+
+    def __init__(
+        self,
+        topology: RegionTopology,
+        policy: RoutingPolicy | None = None,
+        platform: SimPlatformConfig | None = None,
+        fleet: FleetConfig | None = None,
+        seed: int = 0,
+        clock: VirtualClock | None = None,
+    ) -> None:
+        self.topology = topology
+        self.policy = policy or RoundRobinPolicy()
+        self.clock = clock or VirtualClock()
+        self.seed = seed
+        self.platforms: dict[str, ClusterPlatform] = {
+            spec.name: ClusterPlatform(
+                config=spec.platform or platform,
+                fleet=spec.fleet or fleet,
+                clock=self.clock,
+                seed=derive_seed(seed, "region", spec.name),
+            )
+            for spec in topology.regions
+        }
+        self.assignments: list[RouteAssignment] = []
+        self._deliveries: list[tuple[float, int, _Delivery]] = []
+        self._delivery_seq = itertools.count()
+        self._last_submit = self.clock.now()
+        self._record_marks: dict[tuple[str, str], int] = {}
+        #: Routed-but-undelivered arrivals per (region, app): requests
+        #: still on the wire.  Policies must see them, or near-simultaneous
+        #: submissions over a slow link would all pile onto the region that
+        #: looked empty at decision time.
+        self._pending: dict[tuple[str, str], int] = {}
+
+    # -- deployment --------------------------------------------------------
+
+    def deploy(
+        self,
+        config: SimAppConfig,
+        plan: DeferralPlan | None = None,
+        fleet: FleetConfig | None = None,
+        regions: Iterable[str] | None = None,
+    ) -> str:
+        """Deploy an application to every region (or a named subset)."""
+        targets = tuple(regions) if regions is not None else self.topology.names()
+        for name in targets:
+            self.platform(name).deploy(config, plan=plan, fleet=fleet)
+        return config.name
+
+    def platform(self, region: str) -> ClusterPlatform:
+        """The one region's underlying cluster (for inspection/tests)."""
+        try:
+            return self.platforms[region]
+        except KeyError:
+            raise SpecError(f"unknown region: {region!r}") from None
+
+    def app_names(self) -> list[str]:
+        names: set[str] = set()
+        for platform in self.platforms.values():
+            names.update(platform.app_names())
+        return sorted(names)
+
+    # -- traffic -----------------------------------------------------------
+
+    def submit(
+        self, name: str, entry: str, at: float, origin: str | None = None
+    ) -> str:
+        """Route one arrival; returns the region chosen to serve it.
+
+        Advances every region's event loop to ``at`` first, so the policy
+        decides against fleet state that is current at the request's
+        origin time, then schedules delivery at ``at + latency/1000``.
+        Origin times must be non-decreasing across calls (replay order).
+        """
+        origin_name = origin if origin is not None else self.topology.names()[0]
+        self.topology.spec(origin_name)  # validate
+        if at < self._last_submit:
+            raise WorkloadError(
+                f"origin time {at} precedes an earlier submission ({self._last_submit})"
+            )
+        self._last_submit = at
+        self._advance(at)
+        states = [
+            RegionState(
+                name=region,
+                load=self.platforms[region].load(name)
+                + self._pending.get((region, name), 0),
+                accepts=self.platforms[region].accepts(
+                    name, at=at, extra=self._pending.get((region, name), 0)
+                ),
+                latency_ms=self.topology.latency_ms(origin_name, region),
+            )
+            for region in self.topology.names()
+            if name in self.platforms[region].app_names()
+        ]
+        if not states:
+            raise DeploymentError(f"app {name!r} is deployed in no region")
+        chosen = self.policy.choose(origin_name, states)
+        if chosen not in {state.name for state in states}:
+            raise SpecError(
+                f"policy {self.policy.name!r} chose invalid region {chosen!r}"
+            )
+        network_ms = self.topology.latency_ms(origin_name, chosen)
+        self.assignments.append(
+            RouteAssignment(
+                app=name,
+                entry=entry,
+                origin=origin_name,
+                region=chosen,
+                at=at,
+                network_ms=network_ms,
+            )
+        )
+        heapq.heappush(
+            self._deliveries,
+            (
+                at + network_ms / 1000.0,
+                next(self._delivery_seq),
+                _Delivery(region=chosen, app=name, entry=entry),
+            ),
+        )
+        self._pending[(chosen, name)] = self._pending.get((chosen, name), 0) + 1
+        return chosen
+
+    def run(self, until: float | None = None) -> list[InvocationRecord]:
+        """Deliver pending forwards and drain every region's event loop.
+
+        Returns the records newly completed by this call across all
+        regions, in completion order (mirrors
+        :meth:`ClusterPlatform.run`).
+        """
+        while self._deliveries and (until is None or self._deliveries[0][0] <= until):
+            when, _, delivery = heapq.heappop(self._deliveries)
+            self._deliver(when, delivery)
+        for platform in self.platforms.values():
+            platform.run(until=until)
+        produced: list[InvocationRecord] = []
+        for region, platform in self.platforms.items():
+            for app in platform.app_names():
+                records = platform.records(app)
+                mark = self._record_marks.get((region, app), 0)
+                produced.extend(records[mark:])
+                self._record_marks[(region, app)] = len(records)
+        produced.sort(key=lambda record: (record.timestamp + record.e2e_ms / 1000.0))
+        return produced
+
+    def _advance(self, to: float) -> None:
+        """Process all regional events with timestamps <= ``to``.
+
+        Deliveries due by ``to`` are injected in heap order before each
+        region drains, so regional arrival streams stay non-decreasing.
+        """
+        while self._deliveries and self._deliveries[0][0] <= to:
+            when, _, delivery = heapq.heappop(self._deliveries)
+            self._deliver(when, delivery)
+        for platform in self.platforms.values():
+            platform.run(until=to)
+
+    def _deliver(self, when: float, delivery: _Delivery) -> None:
+        """Hand one forwarded arrival to its region at its delivery time.
+
+        All regions first drain their events up to ``when`` so the
+        arrival lands on fleet state that is current in global time.
+        """
+        for platform in self.platforms.values():
+            platform.run(until=when)
+        self.platforms[delivery.region].submit(delivery.app, delivery.entry, at=when)
+        self._pending[(delivery.region, delivery.app)] -= 1
+
+    # -- results -----------------------------------------------------------
+
+    def pending(self, region: str, name: str) -> int:
+        """Routed-but-undelivered arrivals for one region/app (on the wire)."""
+        return self._pending.get((region, name), 0)
+
+    def region_stats(self, name: str) -> dict[str, FleetStats]:
+        """Per-region :class:`FleetStats` for one app (served regions only)."""
+        stats: dict[str, FleetStats] = {}
+        for region in self.topology.names():
+            platform = self.platforms[region]
+            if name in platform.app_names() and platform.records(name):
+                stats[region] = platform.fleet_stats(name)
+        return stats
+
+    def served_counts(self, name: str | None = None) -> dict[str, int]:
+        """Requests routed to each region (including not-yet-delivered)."""
+        counts = {region: 0 for region in self.topology.names()}
+        for assignment in self.assignments:
+            if name is None or assignment.app == name:
+                counts[assignment.region] += 1
+        return counts
+
+    def routing_summary(self) -> RoutingSummary:
+        """Locality/forwarding view of every routing decision so far."""
+        return RoutingSummary.from_assignments(
+            (a.origin, a.region, a.network_ms) for a in self.assignments
+        )
+
+
+@dataclass
+class FederatedGateway(Gateway):
+    """Function-URL gateway over a :class:`RegionFederation`.
+
+    Extends the deferred-routing path (:meth:`Gateway.submit` /
+    :meth:`submit_schedule`) with an ``origin`` region per request, so
+    region-tagged schedules replay through the same URL surface and the
+    workload monitor observes arrivals exactly as in the single-cluster
+    setup.  Synchronous :meth:`Gateway.request` is not supported — the
+    federation is deferred-only.
+    """
+
+    platform: RegionFederation = field(default=None)  # type: ignore[assignment]
+
+    def request(self, path: str, payload=None, at: float | None = None):
+        raise DeploymentError(
+            "RegionFederation does not serve synchronous requests; "
+            "use submit()/submit_schedule() and run()"
+        )
+
+    def submit(self, path: str, at: float, origin: str | None = None) -> list:
+        """Route one deferred arrival, tagged with its origin region."""
+        route = self._routes.get(path)
+        if route is None:
+            raise DeploymentError(f"no route for path {path!r}")
+        self.platform.submit(route.app, route.entry, at=at, origin=origin)
+        self._hits[path] = self._hits.get(path, 0) + 1
+        if self.monitor is not None:
+            return self.monitor.observe(route.entry, at)
+        return []
+
+    def submit_schedule(
+        self,
+        app: str,
+        schedule: Iterable[tuple[float, str] | tuple[float, str, str]],
+    ) -> list:
+        """Submit a schedule whose items may carry an origin region.
+
+        Accepts both plain ``(arrival_s, entry)`` items (origin defaults
+        to the topology's first region) and region-tagged
+        ``(arrival_s, entry, region)`` items from
+        :func:`repro.workloads.arrival.merge_tagged_schedules`.
+        """
+        decisions: list = []
+        for item in schedule:
+            at, entry = item[0], item[1]
+            origin = item[2] if len(item) > 2 else None
+            decisions.extend(self.submit(f"/{app}/{entry}", at, origin=origin))
+        return decisions
+
+
+def replay_federated_workload(
+    federation: RegionFederation,
+    gateway: FederatedGateway,
+    schedule: list[tuple[float, str, str]],
+    app: str,
+) -> list[InvocationRecord]:
+    """Replay a region-tagged schedule through the federated gateway.
+
+    The multi-region analogue of
+    :func:`repro.faas.cluster.replay_cluster_workload`: routes each
+    arrival over the conventional ``/<app>/<entry>`` URL with its origin
+    region, then drains every region's event loop.
+    """
+    gateway.submit_schedule(app, schedule)
+    return federation.run()

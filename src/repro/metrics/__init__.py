@@ -1,11 +1,13 @@
 """Latency, memory, and rate statistics used throughout the evaluation
 harness — including the cluster fleet metrics (offered load, queueing
-delay percentiles)."""
+delay percentiles) and the multi-region routing aggregation
+(:class:`RoutingSummary`: locality fraction, forwarding hop cost)."""
 
 from repro.metrics.stats import (
     LatencySummary,
     MemorySummary,
     RateSummary,
+    RoutingSummary,
     SpeedupReport,
     mean,
     percentile,
@@ -16,6 +18,7 @@ __all__ = [
     "LatencySummary",
     "MemorySummary",
     "RateSummary",
+    "RoutingSummary",
     "SpeedupReport",
     "mean",
     "percentile",

@@ -1,7 +1,15 @@
 """Workload substrate: entry-point popularity, arrivals, production traces."""
 
 from repro.workloads.popularity import EntryMix, zipf_mix
-from repro.workloads.arrival import poisson_schedule, burst_entries
+from repro.workloads.arrival import (
+    burst_entries,
+    bursty_schedule,
+    merge_schedules,
+    merge_tagged_schedules,
+    poisson_schedule,
+    regional_poisson_schedules,
+    tag_schedule,
+)
 from repro.workloads.trace import AppTrace, ProductionTrace, TraceGenerator
 
 __all__ = [
@@ -9,6 +17,11 @@ __all__ = [
     "zipf_mix",
     "poisson_schedule",
     "burst_entries",
+    "bursty_schedule",
+    "merge_schedules",
+    "merge_tagged_schedules",
+    "regional_poisson_schedules",
+    "tag_schedule",
     "AppTrace",
     "ProductionTrace",
     "TraceGenerator",

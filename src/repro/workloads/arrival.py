@@ -2,17 +2,19 @@
 
 Besides the paper's measurement protocols (Poisson profiling traffic and
 N-concurrent bursts), this module generates cluster-scale inputs: on/off
-bursty schedules that stress autoscaling, and merged multi-application
-streams for fleet experiments (see :mod:`repro.faas.cluster`).
+bursty schedules that stress autoscaling, merged multi-application
+streams for fleet experiments (see :mod:`repro.faas.cluster`), and
+region-tagged schedules for the multi-region federation
+(see :mod:`repro.faas.region`).
 """
 
 from __future__ import annotations
 
 import heapq
-from typing import Iterator, Sequence
+from typing import Iterator, Mapping, Sequence
 
 from repro.common.errors import WorkloadError
-from repro.common.rng import SeededRNG
+from repro.common.rng import SeededRNG, derive_seed
 from repro.workloads.popularity import EntryMix
 
 
@@ -118,6 +120,67 @@ def merge_schedules(
         for index, (app, schedule) in enumerate(streams)
     ]
     return [(at, path) for at, _, path in heapq.merge(*tagged)]
+
+
+def tag_schedule(
+    schedule: list[tuple[float, str]], region: str
+) -> list[tuple[float, str, str]]:
+    """Attach an origin region to every arrival of a schedule.
+
+    Turns ``(arrival_s, entry)`` pairs into the ``(arrival_s, entry,
+    region)`` triples :meth:`repro.faas.region.FederatedGateway.submit_schedule`
+    consumes.
+    """
+    return [(at, entry, region) for at, entry in schedule]
+
+
+def merge_tagged_schedules(
+    streams: Sequence[tuple[str, list[tuple[float, str]]]],
+) -> list[tuple[float, str, str]]:
+    """Merge per-region schedules into one region-tagged arrival stream.
+
+    ``streams`` pairs a region name with its ``(arrival_s, entry)``
+    schedule; the result is ``(arrival_s, entry, region)`` triples in
+    global time order (ties broken by stream position, deterministically)
+    — the multi-region analogue of :func:`merge_schedules`.
+    """
+    tagged = [
+        [(at, index, entry, region) for at, entry in schedule]
+        for index, (region, schedule) in enumerate(streams)
+    ]
+    return [(at, entry, region) for at, _, entry, region in heapq.merge(*tagged)]
+
+
+def regional_poisson_schedules(
+    mix: EntryMix,
+    rates_per_s: Mapping[str, float],
+    duration_s: float,
+    seed: int = 0,
+    start_s: float = 0.0,
+) -> list[tuple[float, str, str]]:
+    """Independent per-region Poisson traffic, merged into one stream.
+
+    Each region draws its own arrival process at its own rate from a
+    seed derived per region (``derive_seed(seed, "region", name)``), so
+    adding a region never perturbs the others' schedules.  Returns
+    region-tagged ``(arrival_s, entry, region)`` triples in global time
+    order, ready for the federated gateway.
+    """
+    return merge_tagged_schedules(
+        [
+            (
+                region,
+                poisson_schedule(
+                    mix,
+                    rate_per_s=rate,
+                    duration_s=duration_s,
+                    seed=derive_seed(seed, "region", region),
+                    start_s=start_s,
+                ),
+            )
+            for region, rate in rates_per_s.items()
+        ]
+    )
 
 
 def idle_gaps(

@@ -1,0 +1,167 @@
+"""Property-based tests for multi-region routing.
+
+Two invariants pin the federation to the single-region semantics it
+composes from:
+
+* **Locality reduction** — strict locality (no spillover, no failover)
+  over independent per-region traffic is *exactly* a set of independent
+  single-region replays: per-region records, rejections, and cold starts
+  are bit-identical to standalone :class:`ClusterPlatform` runs.
+* **Failover safety** — least-loaded never routes a request to a region
+  whose load-shedder would drop it while another region still accepts.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.common.rng import derive_seed
+from repro.faas.cluster import ClusterPlatform, FleetConfig
+from repro.faas.region import (
+    LeastLoadedPolicy,
+    LocalityPolicy,
+    RegionFederation,
+    RegionTopology,
+)
+from repro.faas.sim import EntryBehavior, SimAppConfig, SimPlatformConfig
+from repro.workloads.arrival import merge_tagged_schedules, poisson_schedule
+from repro.workloads.popularity import zipf_mix
+
+REGIONS = ("us", "eu")
+
+_seeds = st.integers(min_value=0, max_value=2**32 - 1)
+_rates = st.floats(min_value=0.5, max_value=10.0, allow_nan=False)
+_jitters = st.sampled_from([0.0, 0.05])
+
+
+@pytest.fixture(scope="module")
+def app_config():
+    from tests.conftest import make_dependent_library, make_small_library
+
+    from repro.synthlib.spec import Ecosystem
+
+    ecosystem = Ecosystem([make_small_library(), make_dependent_library()])
+    ecosystem.validate()
+    return SimAppConfig(
+        name="app",
+        ecosystem=ecosystem,
+        handler_imports=("libx",),
+        entries=(
+            EntryBehavior("main", calls=("libx:use_core",), handler_self_ms=200.0),
+            EntryBehavior("heavy", calls=("libx:use_extra",), handler_self_ms=200.0),
+        ),
+    )
+
+
+class TestStrictLocalityEqualsSingleRegionReplay:
+    @given(seed=_seeds, rate=_rates, jitter=_jitters)
+    @settings(max_examples=15, deadline=None)
+    def test_per_region_records_bit_identical(
+        self, app_config, seed, rate, jitter
+    ):
+        platform_config = SimPlatformConfig(
+            cold_platform_ms=100.0,
+            runtime_init_ms=30.0,
+            warm_platform_ms=1.0,
+            jitter_sigma=jitter,
+        )
+        fleet = FleetConfig(max_containers=3, keep_alive_s=20.0, queue_capacity=1)
+        mix = zipf_mix(["main", "heavy"], seed=3)
+        per_region = {
+            region: poisson_schedule(
+                mix, rate, duration_s=120.0, seed=derive_seed(seed, "traffic", region)
+            )
+            for region in REGIONS
+        }
+
+        federation = RegionFederation(
+            RegionTopology.fully_connected(REGIONS, default_ms=80.0),
+            policy=LocalityPolicy(spillover_load=None, failover=False),
+            platform=platform_config,
+            fleet=fleet,
+            seed=seed,
+        )
+        federation.deploy(app_config)
+        tagged = merge_tagged_schedules(sorted(per_region.items()))
+        for at, entry, region in tagged:
+            federation.submit(app_config.name, entry, at=at, origin=region)
+        federation.run()
+
+        for region in REGIONS:
+            solo = ClusterPlatform(
+                config=platform_config,
+                fleet=fleet,
+                seed=derive_seed(seed, "region", region),
+            )
+            solo.deploy(app_config)
+            for at, entry in per_region[region]:
+                solo.submit(app_config.name, entry, at=at)
+            solo.run()
+            federated = federation.platform(region)
+            assert federated.records(app_config.name) == solo.records(
+                app_config.name
+            )
+            if solo.records(app_config.name):
+                solo_stats = solo.fleet_stats(app_config.name)
+                fed_stats = federated.fleet_stats(app_config.name)
+                assert fed_stats.rejected == solo_stats.rejected
+                assert fed_stats.cold_starts == solo_stats.cold_starts
+                assert fed_stats.containers_spawned == solo_stats.containers_spawned
+
+
+class TestLeastLoadedFailoverSafety:
+    @given(
+        seed=_seeds,
+        burst=st.integers(min_value=1, max_value=12),
+        capacity=st.integers(min_value=0, max_value=2),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_never_routes_to_shedder_while_another_accepts(
+        self, app_config, seed, burst, capacity
+    ):
+        platform_config = SimPlatformConfig(
+            cold_platform_ms=100.0, runtime_init_ms=30.0, warm_platform_ms=1.0
+        )
+        federation = RegionFederation(
+            RegionTopology.fully_connected(REGIONS, default_ms=80.0),
+            policy=LeastLoadedPolicy(),
+            platform=platform_config,
+            fleet=FleetConfig(
+                max_containers=2, max_concurrency=1, queue_capacity=capacity
+            ),
+            seed=seed,
+        )
+        federation.deploy(app_config)
+
+        violations = []
+        for i in range(burst):
+            at = 0.001 * i  # near-simultaneous: fleets cannot drain between
+            # The router's information set: fleet state plus its own
+            # not-yet-delivered forwards (requests still on the wire).
+            accepting = {
+                region
+                for region in REGIONS
+                if federation.platform(region).accepts(
+                    app_config.name,
+                    at=at,
+                    extra=federation.pending(region, app_config.name),
+                )
+            }
+            chosen = federation.submit(
+                app_config.name, "main", at=at, origin="us"
+            )
+            if accepting and chosen not in accepting:
+                violations.append((i, chosen, accepting))
+        assert violations == []
+
+        federation.run()
+        # Shedding is bounded by true overload: each region books
+        # max_containers slots plus `capacity` queue places, so nothing
+        # is rejected until the *whole federation* is out of capacity.
+        total_capacity = len(REGIONS) * (2 + capacity)
+        rejected = sum(
+            stats.rejected
+            for stats in federation.region_stats(app_config.name).values()
+        )
+        if burst <= total_capacity:
+            assert rejected == 0

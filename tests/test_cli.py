@@ -84,6 +84,60 @@ class TestCommands:
         assert args.max_containers == 16
         assert args.max_concurrency == 1
 
+    def test_cluster_help_documents_schedule_merging(self, capsys):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["cluster", "--help"])
+        assert "merge_schedules" in capsys.readouterr().out
+
+    def test_regions_reports_per_region_metrics(self, capsys):
+        code = main(
+            [
+                "regions",
+                "--app",
+                "R-GB",
+                "--regions",
+                "us,eu",
+                "--rates",
+                "4,1",
+                "--duration",
+                "90",
+                "--policy",
+                "locality",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "policy  : locality" in out
+        assert "us" in out and "eu" in out
+        assert "served locally" in out
+        assert "network mean/p95" in out
+
+    def test_regions_parser_defaults(self):
+        args = build_parser().parse_args(["regions", "--app", "R-SA"])
+        assert args.command == "regions"
+        assert args.regions == "us-east,eu-west,ap-south"
+        assert args.policy == "least-loaded"
+        assert args.latency == 80.0
+        assert args.queue_capacity is None
+
+    def test_regions_rejects_mismatched_rates(self, capsys):
+        code = main(
+            ["regions", "--app", "R-GB", "--regions", "us,eu,ap", "--rates", "4,1"]
+        )
+        assert code == 1
+        assert "--rates needs" in capsys.readouterr().out
+
+    def test_regions_rejects_malformed_rates(self, capsys):
+        code = main(["regions", "--app", "R-GB", "--rates", "4,x"])
+        assert code == 1
+        assert "comma-separated numbers" in capsys.readouterr().out
+
+    def test_regions_rejects_unknown_policy(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                ["regions", "--app", "R-GB", "--policy", "random"]
+            )
+
     def test_cycle_reports_speedups(self, capsys):
         code = main(["--cold-starts", "20", "--runs", "1", "cycle", "--app", "R-GB"])
         assert code == 0

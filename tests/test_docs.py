@@ -1,0 +1,77 @@
+"""Documentation stays honest: README snippets run, CLI docs don't drift.
+
+The docs CI job runs exactly this module, so a new subcommand that
+isn't documented (or a documented one that no longer exists) fails the
+build, as does any README/architecture doctest whose output drifted.
+"""
+
+import doctest
+import re
+from pathlib import Path
+
+import pytest
+
+from repro.cli import build_parser, main
+
+ROOT = Path(__file__).resolve().parents[1]
+README = ROOT / "README.md"
+ARCHITECTURE = ROOT / "docs" / "architecture.md"
+
+
+def cli_subcommands() -> set[str]:
+    for action in build_parser()._actions:
+        if action.dest == "command" and action.choices:
+            return set(action.choices)
+    raise AssertionError("slimstart parser has no subcommands")
+
+
+class TestDocsExist:
+    def test_readme_exists(self):
+        assert README.is_file()
+
+    def test_architecture_doc_exists(self):
+        assert ARCHITECTURE.is_file()
+
+
+class TestReadmeSnippetsRun:
+    @pytest.mark.parametrize("path", [README, ARCHITECTURE], ids=["readme", "architecture"])
+    def test_doctests_pass(self, path):
+        result = doctest.testfile(str(path), module_relative=False)
+        assert result.failed == 0
+
+    def test_readme_actually_has_doctests(self):
+        result = doctest.testfile(str(README), module_relative=False)
+        assert result.attempted >= 2  # the snippets the README promises
+
+
+#: A subcommand reference is either inline code (`` `slimstart cmd` ``)
+#: or a command line inside a fenced block (``slimstart cmd ...``).
+_DOC_PATTERN = r"(?m)(?:^|`)slimstart ([a-z][a-z0-9-]*)"
+
+
+class TestCliDocsDrift:
+    def test_every_subcommand_is_documented_in_readme(self):
+        documented = set(re.findall(_DOC_PATTERN, README.read_text()))
+        assert cli_subcommands() - documented == set()
+
+    def test_readme_mentions_no_ghost_subcommands(self):
+        documented = set(re.findall(_DOC_PATTERN, README.read_text()))
+        assert documented - cli_subcommands() == set()
+
+    def test_help_output_lists_every_subcommand(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["--help"])
+        out = capsys.readouterr().out
+        for command in cli_subcommands():
+            assert command in out, f"slimstart --help lost {command!r}"
+
+    def test_readme_documents_tier1_command(self):
+        assert "python -m pytest -x -q" in README.read_text()
+
+    def test_module_docstring_covers_every_subcommand(self):
+        import repro.cli
+
+        for command in cli_subcommands():
+            assert f"slimstart {command}" in repro.cli.__doc__, (
+                f"repro.cli docstring lost ``slimstart {command}``"
+            )
