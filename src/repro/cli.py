@@ -8,11 +8,13 @@ Sub-commands mirror the tool's workflow plus the evaluation harness:
 * ``slimstart cycle --app R-GB``          — full optimize cycle + speedups
 * ``slimstart table2``                    — regenerate Table II
 * ``slimstart cluster --app R-SA``        — replay Poisson traffic against
-  a container fleet and print the cluster metrics (cold-start rate,
-  queueing percentiles, container-seconds)
+  a container fleet under a pluggable autoscaler (``--policy
+  per-request|target-utilization|panic-window``) and print the cluster
+  metrics (cold-start rate, queueing percentiles, GB-seconds, $-cost)
 * ``slimstart regions --app R-SA``        — replay multi-region traffic
-  across federated fleets under a latency-aware routing policy and print
-  per-region metrics plus the routing summary
+  across federated fleets under a latency-aware routing policy (and an
+  autoscaler chosen via ``--scaling-policy``), printing per-region
+  metrics, per-region $-cost, and the routing summary
 * ``slimstart optimize --workspace DIR``  — rewrite a real workspace from
   a plan JSON file
 """
@@ -24,12 +26,20 @@ import json
 import sys
 
 from repro.apps import benchmark_apps
+from repro.common.errors import SpecError
 from repro.apps.catalog import APP_DEFINITIONS, app_by_key
 from repro.apps.model import bench_platform_config, instantiate
 from repro.core.pipeline import PipelineConfig, SlimStart
 from repro.core.report import render_report
+from repro.faas.autoscale import (
+    SCALING_POLICY_NAMES,
+    PanicWindow,
+    TargetUtilization,
+    make_scaling_policy,
+)
 from repro.faas.cluster import ClusterPlatform, FleetConfig, replay_cluster_workload
 from repro.faas.gateway import Gateway
+from repro.metrics import DEFAULT_PRICING, PricingModel
 from repro.faas.region import (
     POLICY_NAMES,
     FederatedGateway,
@@ -136,6 +146,110 @@ def cmd_table2(args: argparse.Namespace) -> int:
     return 0
 
 
+def _scaling_policy(args: argparse.Namespace, name: str):
+    """Build the scaling policy, rejecting flags the policy ignores.
+
+    Flags default to ``None`` so only explicitly-passed values reach the
+    factory — a `--target` sweep that forgot `--policy` fails loudly
+    instead of silently producing identical per-request runs.
+    """
+    utilization_flags = {"--target": args.target, "--grace": args.grace}
+    panic_flags = {
+        "--stable-window": args.stable_window,
+        "--panic-window": args.panic_window,
+        "--panic-threshold": args.panic_threshold,
+    }
+    stray: dict = {}
+    if name == "per-request":
+        stray = {**utilization_flags, **panic_flags}
+    elif name == "target-utilization":
+        stray = panic_flags
+    stray_set = sorted(flag for flag, value in stray.items() if value is not None)
+    if stray_set:
+        raise SpecError(
+            f"{', '.join(stray_set)} have no effect with scaling policy {name!r}"
+        )
+    overrides = {
+        "target": args.target,
+        "scale_to_zero_grace_s": args.grace,
+        "stable_window_s": args.stable_window,
+        "panic_window_s": args.panic_window,
+        "panic_threshold": args.panic_threshold,
+    }
+    return make_scaling_policy(
+        name, **{key: value for key, value in overrides.items() if value is not None}
+    )
+
+
+def _pricing(args: argparse.Namespace) -> PricingModel:
+    return PricingModel(
+        per_gb_second=args.price_gb_second,
+        per_million_requests=args.price_million_requests,
+        cold_start_surcharge=args.cold_start_surcharge,
+    )
+
+
+def _add_scaling_arguments(parser: argparse.ArgumentParser, flag: str) -> None:
+    parser.add_argument(
+        flag,
+        dest="scaling_policy",
+        choices=SCALING_POLICY_NAMES,
+        default="per-request",
+        help="autoscaler policy for every fleet",
+    )
+    parser.add_argument(
+        "--target",
+        type=float,
+        default=None,
+        help="target in-flight utilization, in (0, 1] "
+        f"(default {TargetUtilization.target})",
+    )
+    parser.add_argument(
+        "--grace",
+        type=float,
+        default=None,
+        help="scale-to-zero grace: extra idle seconds for the last container "
+        f"(default {TargetUtilization.scale_to_zero_grace_s})",
+    )
+    parser.add_argument(
+        "--stable-window",
+        type=float,
+        default=None,
+        help=f"panic-window: stable window, s (default {PanicWindow.stable_window_s})",
+    )
+    parser.add_argument(
+        "--panic-window",
+        type=float,
+        default=None,
+        help=f"panic-window: panic window, s (default {PanicWindow.panic_window_s})",
+    )
+    parser.add_argument(
+        "--panic-threshold",
+        type=float,
+        default=None,
+        help="panic-window: burst factor that triggers panic (> 1) "
+        f"(default {PanicWindow.panic_threshold})",
+    )
+    parser.add_argument(
+        "--price-gb-second",
+        type=float,
+        default=DEFAULT_PRICING.per_gb_second,
+        help="$ per provisioned GB-second",
+    )
+    parser.add_argument(
+        "--price-million-requests",
+        type=float,
+        default=DEFAULT_PRICING.per_million_requests,
+        help="$ per million served requests",
+    )
+    parser.add_argument(
+        "--cold-start-surcharge",
+        type=float,
+        default=DEFAULT_PRICING.cold_start_surcharge,
+        help="$ charged per container boot",
+    )
+
+
 def cmd_cluster(args: argparse.Namespace) -> int:
     app = instantiate(app_by_key(args.app))
     platform = ClusterPlatform(
@@ -144,6 +258,7 @@ def cmd_cluster(args: argparse.Namespace) -> int:
             max_containers=args.max_containers,
             max_concurrency=args.max_concurrency,
             keep_alive_s=args.keep_alive,
+            policy=_scaling_policy(args, args.scaling_policy),
         ),
         seed=args.seed,
     )
@@ -161,8 +276,9 @@ def cmd_cluster(args: argparse.Namespace) -> int:
         )
         return 1
     replay_cluster_workload(platform, gateway, schedule, app.name)
-    stats = platform.fleet_stats(app.name)
+    stats = platform.fleet_stats(app.name, pricing=_pricing(args))
     print(f"app                : {args.app} ({app.name})")
+    print(f"policy             : {args.scaling_policy}")
     print(f"offered load       : {stats.offered_load.per_second:8.2f} req/s")
     print(f"completed          : {stats.completed:8d}")
     print(f"rejected           : {stats.rejected:8d}")
@@ -173,6 +289,9 @@ def cmd_cluster(args: argparse.Namespace) -> int:
     print(f"containers spawned : {stats.containers_spawned:8d}")
     print(f"peak containers    : {stats.peak_containers:8d}")
     print(f"container-seconds  : {stats.container_seconds:8.1f}")
+    print(f"GB-seconds         : {stats.gb_seconds:8.1f}")
+    print(f"total cost         : ${stats.cost.total_cost:.6f}")
+    print(f"cost per 1k req    : ${stats.cost.per_1k_requests:.6f}")
     return 0
 
 
@@ -202,6 +321,7 @@ def cmd_regions(args: argparse.Namespace) -> int:
             max_concurrency=args.max_concurrency,
             keep_alive_s=args.keep_alive,
             queue_capacity=args.queue_capacity,
+            policy=_scaling_policy(args, args.scaling_policy),
         ),
         seed=args.seed,
     )
@@ -218,35 +338,39 @@ def cmd_regions(args: argparse.Namespace) -> int:
         )
         return 1
     replay_federated_workload(federation, gateway, schedule, app.name)
-    stats = federation.region_stats(app.name)
+    stats = federation.region_stats(app.name, pricing=_pricing(args))
     served = federation.served_counts(app.name)
     print(f"app     : {args.app} ({app.name})")
-    print(f"policy  : {args.policy}   latency : {args.latency:.0f} ms   "
-          f"arrivals: {len(schedule)}")
+    print(f"routing : {args.policy}   scaling : {args.scaling_policy}   "
+          f"latency : {args.latency:.0f} ms   arrivals: {len(schedule)}")
     print()
     header = (
         f"{'region':12s} {'routed':>7s} {'served':>7s} {'rejected':>8s} "
-        f"{'cold rate':>9s} {'queue p50':>9s} {'queue p95':>9s} {'peak ctr':>8s}"
+        f"{'cold rate':>9s} {'queue p50':>9s} {'queue p95':>9s} {'peak ctr':>8s} "
+        f"{'$ / 1k':>9s}"
     )
     print(header)
     print("-" * len(header))
     for region in regions:
         if region not in stats:  # routed traffic (if any) was all shed
             print(f"{region:12s} {served[region]:7d} {0:7d} {'-':>8s} {'-':>9s} "
-                  f"{'-':>9s} {'-':>9s} {'-':>8s}")
+                  f"{'-':>9s} {'-':>9s} {'-':>8s} {'-':>9s}")
             continue
         s = stats[region]
         print(
             f"{region:12s} {served[region]:7d} {s.completed:7d} {s.rejected:8d} "
             f"{s.cold_start_rate:9.4f} {s.queueing.p50_ms:9.2f} "
-            f"{s.queueing.p95_ms:9.2f} {s.peak_containers:8d}"
+            f"{s.queueing.p95_ms:9.2f} {s.peak_containers:8d} "
+            f"{s.cost.per_1k_requests:9.5f}"
         )
     routing = federation.routing_summary()
+    total_cost = sum(s.cost.total_cost for s in stats.values())
     print()
     print(f"served locally     : {routing.local:8d} ({routing.local_fraction:6.1%})")
     print(f"forwarded          : {routing.forwarded:8d}")
     print(f"network mean/p95   : {routing.network_ms.mean_ms:8.2f} / "
           f"{routing.network_ms.p95_ms:.2f} ms")
+    print(f"federation cost    : ${total_cost:.6f}")
     return 0
 
 
@@ -299,7 +423,13 @@ def build_parser() -> argparse.ArgumentParser:
             "Multi-application streams: build per-app schedules with "
             "repro.workloads.arrival and combine them with "
             "merge_schedules(), which interleaves them into one "
-            "time-ordered gateway stream for Gateway.submit()."
+            "time-ordered gateway stream for Gateway.submit(). "
+            "Autoscaling: --policy picks when containers boot "
+            "(per-request boots eagerly; target-utilization holds warm "
+            "headroom via --target/--grace; panic-window detects bursts "
+            "over --panic-window vs --stable-window and suspends "
+            "scale-down while panicking); --price-gb-second and "
+            "--cold-start-surcharge price the run in dollars."
         ),
     )
     cluster.add_argument("--app", required=True, help="application key, e.g. R-SA")
@@ -309,6 +439,7 @@ def build_parser() -> argparse.ArgumentParser:
     cluster.add_argument("--max-concurrency", type=int, default=1)
     cluster.add_argument("--keep-alive", type=float, default=120.0)
     cluster.add_argument("--seed", type=int, default=7)
+    _add_scaling_arguments(cluster, "--policy")
 
     regions = sub.add_parser(
         "regions",
@@ -351,6 +482,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--queue-capacity", type=int, default=None, help="bounded queue; sheds beyond"
     )
     regions.add_argument("--seed", type=int, default=7)
+    _add_scaling_arguments(regions, "--scaling-policy")
 
     optimize = sub.add_parser("optimize", help="apply a plan to a real workspace")
     optimize.add_argument("--workspace", required=True)

@@ -22,6 +22,13 @@ maps function URLs to (application, entry) pairs and feeds the adaptive
 workload monitor; the cluster back end additionally accepts deferred
 (batched) submissions so whole schedules replay under true concurrency.
 
+:mod:`repro.faas.autoscale` makes the cluster's scaling decisions
+pluggable: a :class:`~repro.faas.autoscale.ScalingPolicy` per fleet
+(eager per-request, target-utilization headroom, or Knative-style
+panic windows), selected via
+:attr:`~repro.faas.cluster.FleetConfig.policy`, with every run priced
+in dollars through the :class:`~repro.metrics.CostSummary` cost view.
+
 :mod:`repro.faas.region` scales the cluster across *regions*: a
 :class:`~repro.faas.region.RegionFederation` runs one cluster per named
 region on a shared virtual clock, with pluggable latency-aware routing
@@ -30,6 +37,14 @@ cross-region failover, fronted by the
 :class:`~repro.faas.region.FederatedGateway`.
 """
 
+from repro.faas.autoscale import (
+    FleetView,
+    PanicWindow,
+    PerRequest,
+    ScalingPolicy,
+    TargetUtilization,
+    make_scaling_policy,
+)
 from repro.faas.cluster import (
     ClusterPlatform,
     FleetConfig,
@@ -55,6 +70,12 @@ from repro.faas.sim import EntryBehavior, SimAppConfig, SimPlatform, SimPlatform
 from repro.faas.storage import CloudStorage
 
 __all__ = [
+    "FleetView",
+    "PanicWindow",
+    "PerRequest",
+    "ScalingPolicy",
+    "TargetUtilization",
+    "make_scaling_policy",
     "InvocationRecord",
     "InvocationStats",
     "Gateway",

@@ -1,0 +1,374 @@
+"""Pluggable autoscaler policies for the cluster simulator.
+
+The cluster's original scaler was one hard-coded rule: boot a container
+for every queued request the booting fleet cannot yet absorb.  That rule
+is the *most* cold-start-hungry point in the policy space — it pays a
+boot the moment demand exceeds booked capacity and retires capacity the
+moment keep-alive elapses.  Real platforms trade dollars for cold starts
+differently, and the paper's init-time savings only matter under the
+policy that decides *when* a cold start is paid.  This module makes that
+decision pluggable:
+
+* :class:`PerRequest` — the extracted original rule, bit-identical to
+  the pre-refactor scaler (pinned by
+  ``tests/faas/test_golden_regression.py``).
+* :class:`TargetUtilization` — provision capacity so that in-flight
+  utilization stays at or below a target fraction, holding warm spare
+  slots that absorb bursts without a boot; an optional scale-to-zero
+  grace keeps the fleet's last container alive longer.
+* :class:`PanicWindow` — Knative-style dual-window autoscaling over a
+  sliding arrival-rate estimate: a short panic window compared against
+  the long stable window detects bursts, scales to the burst's demand,
+  and *suspends scale-down* (keep-alive expiry) until the panic period
+  ends.
+
+A policy sees the fleet through an immutable :class:`FleetView` snapshot
+and answers two questions: how many containers to boot for the current
+demand (:meth:`ScalingPolicy.scale_out`) and when an idle container may
+retire (:meth:`ScalingPolicy.idle_expiry`).  Policies are frozen
+dataclasses (parameters only, hashable, safely shared across fleets);
+per-fleet mutable state — the panic window's arrival history — lives in
+the object returned by :meth:`ScalingPolicy.new_state`, owned by the
+fleet.  Everything is deterministic: identical schedules and parameters
+reproduce identical decisions, so cluster replays stay bit-reproducible.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import deque
+from dataclasses import dataclass
+from typing import ClassVar
+
+from repro.common.errors import SpecError
+
+
+@dataclass(frozen=True)
+class FleetView:
+    """An autoscaler policy's immutable snapshot of one fleet.
+
+    Captured after request dispatch, so ``queued`` counts only arrivals
+    that no live container could absorb.
+
+    Attributes:
+        now: Virtual time of the decision (seconds).
+        queued: Undispatched requests waiting in the FIFO queue.
+        in_flight: Invocations currently executing on ready containers.
+        live_containers: Containers not yet expired (ready or booting).
+        booting_containers: Containers still paying their cold start.
+        booting_slots: Free in-flight slots arriving with the boots.
+        ready_slots: Free in-flight slots on ready containers.
+        max_containers: The fleet's hard scale-out ceiling.
+        max_concurrency: In-flight slots per container.
+        keep_alive_s: The fleet's configured idle lifetime.
+    """
+
+    now: float
+    queued: int
+    in_flight: int
+    live_containers: int
+    booting_containers: int
+    booting_slots: int
+    ready_slots: int
+    max_containers: int
+    max_concurrency: int
+    keep_alive_s: float
+
+    @property
+    def demand(self) -> int:
+        """Outstanding work: queued plus in-flight requests."""
+        return self.queued + self.in_flight
+
+
+class ScalingPolicy:
+    """Decides when a fleet boots containers and when idle ones retire.
+
+    Implementations are frozen dataclasses carrying parameters only.
+    Mutable per-fleet runtime state (if any) is created by
+    :meth:`new_state` and threaded back into every later call, so one
+    policy instance can safely serve as the default for many fleets.
+    The cluster guarantees ``scale_out`` is consulted only for admitted
+    arrivals — a request shed by the bounded queue never triggers
+    scale-out — and caps the answer at ``max_containers``.
+    """
+
+    name: ClassVar[str] = "abstract"
+
+    def new_state(self):
+        """Fresh per-fleet mutable state (``None`` for stateless policies)."""
+        return None
+
+    def uses_last_of_fleet(self) -> bool:
+        """Whether ``idle_expiry`` reads ``last_of_fleet`` — computing it
+        is O(fleet) per expiry check, so the cluster skips it when the
+        policy doesn't care."""
+        return False
+
+    def observe_arrival(self, state, now: float) -> None:
+        """Feed one *admitted* arrival into the policy's traffic estimate."""
+
+    def scale_out(self, state, view: FleetView) -> int:
+        """Containers to boot now (the cluster caps at ``max_containers``)."""
+        raise NotImplementedError  # pragma: no cover - interface
+
+    def idle_expiry(
+        self,
+        state,
+        idle_since: float,
+        keep_alive_s: float,
+        last_of_fleet: bool,
+    ) -> float:
+        """When an idle container retires if no further request reaches it.
+
+        ``last_of_fleet`` is true for the container that would retire
+        last under the base keep-alive ordering — the one whose
+        retirement scales the fleet to zero.
+        """
+        return idle_since + keep_alive_s
+
+
+@dataclass(frozen=True)
+class PerRequest(ScalingPolicy):
+    """The pre-refactor rule: boot for every queued request, eagerly.
+
+    Boots until the booting fleet's incoming capacity covers the queue
+    (one slot per queued request), then retires capacity on plain
+    keep-alive expiry.  Minimal container-seconds at low load, maximal
+    cold-start exposure under bursts — the baseline the other policies
+    trade against.  Bit-identical to the hard-coded scaler this module
+    replaced (``tests/faas/test_golden_regression.py`` pins it).
+    """
+
+    name: ClassVar[str] = "per-request"
+
+    def scale_out(self, state, view: FleetView) -> int:
+        deficit = view.queued - view.booting_slots
+        if deficit <= 0:
+            return 0
+        return -(-deficit // view.max_concurrency)  # ceil
+
+
+@dataclass(frozen=True)
+class TargetUtilization(ScalingPolicy):
+    """Hold in-flight utilization at or below a target fraction.
+
+    Provisions ``ceil(in_flight / (target * max_concurrency))``
+    containers — spare warm slots proportional to load — while always
+    covering the queue itself (so it degrades to :class:`PerRequest` for
+    a single isolated request).  ``target=1.0`` means no headroom;
+    ``target=0.5`` doubles the warm pool.  ``scale_to_zero_grace_s``
+    extends only the *last* container's keep-alive, delaying the final
+    scale-to-zero so a returning trickle of traffic finds one warm
+    container.
+
+    Attributes:
+        target: Desired in-flight/capacity fraction, in ``(0, 1]``.
+        scale_to_zero_grace_s: Extra idle lifetime for the fleet's last
+            container (0 disables the grace).
+    """
+
+    target: float = 0.7
+    scale_to_zero_grace_s: float = 0.0
+    name: ClassVar[str] = "target-utilization"
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.target <= 1.0:
+            raise SpecError(f"target utilization must be in (0, 1]: {self.target}")
+        if self.scale_to_zero_grace_s < 0:
+            raise SpecError(
+                f"negative scale-to-zero grace: {self.scale_to_zero_grace_s}"
+            )
+
+    def uses_last_of_fleet(self) -> bool:
+        return self.scale_to_zero_grace_s > 0
+
+    def _desired(self, view: FleetView, concurrency_estimate: int) -> int:
+        serve_backlog = -(-view.demand // view.max_concurrency)
+        headroom = math.ceil(
+            concurrency_estimate / (self.target * view.max_concurrency)
+        )
+        return max(serve_backlog, headroom)
+
+    def scale_out(self, state, view: FleetView) -> int:
+        return max(0, self._desired(view, view.in_flight) - view.live_containers)
+
+    def idle_expiry(
+        self,
+        state,
+        idle_since: float,
+        keep_alive_s: float,
+        last_of_fleet: bool,
+    ) -> float:
+        grace = self.scale_to_zero_grace_s if last_of_fleet else 0.0
+        return idle_since + keep_alive_s + grace
+
+
+class _PanicState:
+    """Sliding arrival history plus the current panic deadline."""
+
+    __slots__ = ("arrivals", "started_at", "panic_until", "panic_peak", "episodes")
+
+    def __init__(self) -> None:
+        self.arrivals: deque[float] = deque()
+        self.started_at: float | None = None  # first admitted arrival
+        self.panic_until: float = -math.inf
+        self.panic_peak: int = 0  # max desired fleet size this episode
+        #: Closed panic intervals ``[start, until]`` — extended in place
+        #: while a panic persists; inspectable via
+        #: :meth:`ClusterPlatform.scaling_state` for tests and reports.
+        self.episodes: list[list[float]] = []
+
+    def panicking(self, now: float) -> bool:
+        return now < self.panic_until
+
+
+@dataclass(frozen=True)
+class PanicWindow(TargetUtilization):
+    """Knative-style stable/panic dual-window autoscaling.
+
+    Maintains a sliding window of admitted-arrival timestamps.  Each
+    scale decision compares the arrival rate over the short *panic
+    window* against the rate over the long *stable window*: when the
+    panic-window rate reaches ``panic_threshold`` times the stable rate
+    (and at least two arrivals landed in the panic window), the fleet
+    enters panic mode for one stable window.  Each window's rate is
+    normalized by the history it has actually observed, so a burst is
+    only a burst *relative to an established baseline*: steady startup
+    traffic never panics, and a scale-from-zero burst with no quiet
+    history to contrast against is handled by ordinary demand-driven
+    scaling until a baseline exists.  While panicking the fleet holds
+    the *peak* demand-driven size the burst has reached this episode
+    (Knative's max-during-panic rule) and *suspends scale-down* — no
+    container retires before the panic deadline, so post-burst echoes
+    find a warm fleet instead of a fresh round of cold starts.
+
+    Attributes:
+        target: Desired in-flight/capacity fraction, in ``(0, 1]``
+            (inherited from :class:`TargetUtilization`).
+        scale_to_zero_grace_s: Extra idle lifetime for the last container.
+        stable_window_s: Long window for the baseline rate estimate;
+            also the duration panic mode persists once triggered.
+        panic_window_s: Short window for burst detection; must not
+            exceed ``stable_window_s``.
+        panic_threshold: Burst factor (panic rate / stable rate) that
+            triggers panic; must be > 1.
+    """
+
+    stable_window_s: float = 60.0
+    panic_window_s: float = 6.0
+    panic_threshold: float = 2.0
+    name: ClassVar[str] = "panic-window"
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        if self.panic_window_s <= 0:
+            raise SpecError(f"panic window must be positive: {self.panic_window_s}")
+        if self.stable_window_s <= 0:
+            raise SpecError(f"stable window must be positive: {self.stable_window_s}")
+        if self.panic_window_s > self.stable_window_s:
+            raise SpecError(
+                f"panic window ({self.panic_window_s}) exceeds stable window "
+                f"({self.stable_window_s})"
+            )
+        if self.panic_threshold <= 1.0:
+            raise SpecError(f"panic threshold must exceed 1: {self.panic_threshold}")
+
+    def new_state(self) -> _PanicState:
+        return _PanicState()
+
+    def observe_arrival(self, state: _PanicState, now: float) -> None:
+        if state.started_at is None:
+            state.started_at = now
+        state.arrivals.append(now)
+
+    def _rates(self, state: _PanicState, now: float) -> tuple[float, float, int]:
+        while state.arrivals and state.arrivals[0] <= now - self.stable_window_s:
+            state.arrivals.popleft()
+        stable_count = len(state.arrivals)
+        horizon = now - self.panic_window_s
+        panic_count = 0
+        for stamp in reversed(state.arrivals):
+            if stamp <= horizon:
+                break
+            panic_count += 1
+        # Each window's rate is normalized by the history it actually
+        # observed: before ``elapsed`` reaches a window's length, dividing
+        # by the full window would make the short window's rate look
+        # inflated relative to the long one's, and *any* startup traffic
+        # — however steady — would register as a burst.  With the shared
+        # clamp a burst is only a burst relative to an established
+        # baseline, so panic mode needs quiet history to contrast with.
+        elapsed = now - (state.started_at if state.started_at is not None else now)
+        stable_span = max(min(elapsed, self.stable_window_s), 1e-9)
+        panic_span = max(min(elapsed, self.panic_window_s), 1e-9)
+        return (
+            stable_count / stable_span,
+            panic_count / panic_span,
+            panic_count,
+        )
+
+    def scale_out(self, state: _PanicState, view: FleetView) -> int:
+        now = view.now
+        stable_rate, panic_rate, panic_count = self._rates(state, now)
+        if panic_count >= 2 and panic_rate >= self.panic_threshold * stable_rate:
+            until = now + self.stable_window_s
+            if state.panicking(now) and state.episodes:
+                state.episodes[-1][1] = until  # burst persists: extend
+            else:
+                state.episodes.append([now, until])
+                state.panic_peak = 0  # a fresh episode tracks its own peak
+            state.panic_until = until
+        desired = self._desired(view, view.in_flight)
+        # Knative's max-during-panic rule: while panicking, the fleet
+        # holds the largest size the burst demanded so far this episode
+        # (demand-driven — queued + in-flight concurrency — not the raw
+        # arrival count, which would overshoot wildly whenever service
+        # time is shorter than the panic window).
+        if state.panicking(now):
+            state.panic_peak = max(state.panic_peak, desired)
+            desired = state.panic_peak
+        return max(0, desired - view.live_containers)
+
+    def idle_expiry(
+        self,
+        state: _PanicState,
+        idle_since: float,
+        keep_alive_s: float,
+        last_of_fleet: bool,
+    ) -> float:
+        base = super().idle_expiry(state, idle_since, keep_alive_s, last_of_fleet)
+        # Scale-down is suspended while panicking: a container whose
+        # keep-alive elapses inside a panic period survives to its end.
+        return max(base, state.panic_until)
+
+
+#: CLI-facing policy registry (see ``slimstart cluster --policy``).
+SCALING_POLICY_NAMES = ("per-request", "target-utilization", "panic-window")
+
+
+def make_scaling_policy(
+    name: str,
+    target: float = TargetUtilization.target,
+    scale_to_zero_grace_s: float = TargetUtilization.scale_to_zero_grace_s,
+    stable_window_s: float = PanicWindow.stable_window_s,
+    panic_window_s: float = PanicWindow.panic_window_s,
+    panic_threshold: float = PanicWindow.panic_threshold,
+) -> ScalingPolicy:
+    """Build a scaling policy from its CLI name."""
+    if name == "per-request":
+        return PerRequest()
+    if name == "target-utilization":
+        return TargetUtilization(
+            target=target, scale_to_zero_grace_s=scale_to_zero_grace_s
+        )
+    if name == "panic-window":
+        return PanicWindow(
+            target=target,
+            scale_to_zero_grace_s=scale_to_zero_grace_s,
+            stable_window_s=stable_window_s,
+            panic_window_s=panic_window_s,
+            panic_threshold=panic_threshold,
+        )
+    raise SpecError(
+        f"unknown scaling policy: {name!r} (choose from {SCALING_POLICY_NAMES})"
+    )

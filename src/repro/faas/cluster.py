@@ -24,6 +24,18 @@ fleets:
   ``idle_since + keep_alive_s``; expiry is evaluated lazily against virtual
   time, which keeps the event loop causally correct when requests are
   injected one at a time (synchronous :meth:`ClusterPlatform.invoke`).
+* **Pluggable autoscaling** — *when* the fleet boots a container and when
+  an idle one may retire is decided by the fleet's
+  :class:`~repro.faas.autoscale.ScalingPolicy`
+  (:attr:`FleetConfig.policy`): per-request eager scaling (the default),
+  target-utilization headroom, or Knative-style panic windows.  Admission
+  control runs *before* scale-out, so a request shed by the bounded queue
+  never triggers a container boot.
+* **Cost view** — every fleet tracks provisioned GB-seconds per
+  container, and :meth:`ClusterPlatform.fleet_stats` prices them through
+  a :class:`~repro.metrics.PricingModel` into a
+  :class:`~repro.metrics.CostSummary`, so autoscaler experiments report
+  dollars next to cold-start rate and queueing percentiles.
 
 The service-cost model is shared with the single-pool simulator through
 :func:`repro.faas.sim.compiled_app`, so a :class:`~repro.plan.DeferralPlan`
@@ -49,6 +61,7 @@ from dataclasses import dataclass, field
 from repro.common.clock import VirtualClock
 from repro.common.errors import DeploymentError, SpecError, WorkloadError
 from repro.common.rng import SeededRNG, derive_seed
+from repro.faas.autoscale import FleetView, PerRequest, ScalingPolicy
 from repro.faas.events import InvocationRecord
 from repro.faas.gateway import Gateway
 from repro.faas.sim import (
@@ -57,7 +70,13 @@ from repro.faas.sim import (
     SimPlatformConfig,
     compiled_app,
 )
-from repro.metrics import LatencySummary, RateSummary
+from repro.metrics import (
+    DEFAULT_PRICING,
+    CostSummary,
+    LatencySummary,
+    PricingModel,
+    RateSummary,
+)
 from repro.plan import DeferralPlan
 
 #: Event kinds, in processing order at equal virtual time: capacity is
@@ -84,15 +103,23 @@ class FleetConfig:
             idle; the next arrival after that pays a cold start.
         queue_capacity: Bound on *unservable* backlog.  ``None`` keeps an
             unbounded FIFO.  ``n`` sheds the newest arrival once the queue
-            exceeds the fleet's booked capacity (free + booting slots) by
-            more than ``n`` — so ``0`` means "serve or reject", not
+            exceeds the fleet's bookable capacity (free slots on live
+            containers plus every container still bootable) by more than
+            ``n`` — so ``0`` means "serve or reject", not
             "reject everything".
+        policy: The fleet's :class:`~repro.faas.autoscale.ScalingPolicy`
+            — when containers boot and when idle ones may retire.
+            Defaults to :class:`~repro.faas.autoscale.PerRequest`, the
+            original eager scaler.  Policy parameter validation happens
+            in the policy's own constructor (``SpecError`` on nonsense,
+            e.g. a target utilization outside ``(0, 1]``).
     """
 
     max_containers: int = 8
     max_concurrency: int = 1  # in-flight invocations per container
     keep_alive_s: float = 600.0
     queue_capacity: int | None = None  # None = unbounded FIFO
+    policy: ScalingPolicy = PerRequest()
 
     def __post_init__(self) -> None:
         if self.max_containers < 1:
@@ -103,6 +130,8 @@ class FleetConfig:
             raise SpecError(f"negative keep-alive: {self.keep_alive_s}")
         if self.queue_capacity is not None and self.queue_capacity < 0:
             raise SpecError(f"negative queue capacity: {self.queue_capacity}")
+        if not isinstance(self.policy, ScalingPolicy):
+            raise SpecError(f"not a scaling policy: {self.policy!r}")
 
 
 @dataclass(frozen=True)
@@ -128,6 +157,12 @@ class FleetStats:
         peak_containers: Largest simultaneous fleet size.
         container_seconds: Aggregate provisioned lifetime — the cost-model
             input (billable capacity, not busy time).
+        gb_seconds: Provisioned memory-time (each container's lifetime
+            weighted by its memory footprint), the billable quantity.
+        cost: The dollar view of this run
+            (:class:`~repro.metrics.CostSummary`), priced by the
+            :class:`~repro.metrics.PricingModel` handed to
+            :meth:`ClusterPlatform.fleet_stats`.
     """
 
     app: str
@@ -142,6 +177,8 @@ class FleetStats:
     containers_spawned: int
     peak_containers: int
     container_seconds: float  # aggregate provisioned lifetime
+    gb_seconds: float  # lifetime weighted by memory footprint
+    cost: CostSummary
 
 
 @dataclass
@@ -180,6 +217,11 @@ class _Fleet:
         self.plan = plan
         self.fleet_config = fleet_config
         self.compiled: CompiledApp = compiled_app(config, plan)
+        self.policy: ScalingPolicy = fleet_config.policy
+        self.policy_state = self.policy.new_state()
+        #: Whether idle-expiry decisions need the (O(n)) last-of-fleet
+        #: flag; policies that don't read it keep the hot path O(1).
+        self.wants_last = self.policy.uses_last_of_fleet()
         self.containers: list[_FleetContainer] = []
         self.queue: deque[_PendingRequest] = deque()
         self.records: list[InvocationRecord] = []
@@ -189,15 +231,11 @@ class _Fleet:
         self.spawned = 0
         self.peak_containers = 0
         self.retired_container_seconds = 0.0
+        self.retired_gb_seconds = 0.0
+        self.retirements: list[tuple[str, float]] = []
         self.first_arrival: float | None = None
         self.last_arrival: float | None = None
 
-    def booting_capacity(self, now: float) -> int:
-        return sum(
-            self.fleet_config.max_concurrency - container.active
-            for container in self.containers
-            if container.ready_at > now
-        )
 
 
 class ClusterPlatform:
@@ -380,22 +418,50 @@ class ClusterPlatform:
         if capacity is None:
             return True
         now = self.clock.now() if at is None else at
-        alive = [
-            container
+        return (
+            len(fleet.queue) + 1 + extra
+            <= capacity + self._bookable_capacity(fleet, now)
+        )
+
+    def live_containers(self, name: str, at: float | None = None) -> int:
+        """Containers not yet expired at ``at`` (ready or still booting).
+
+        Evaluates keep-alive (and the policy's scale-down suspensions)
+        lazily against ``at`` without mutating fleet state.  ``at`` must
+        be at or after the last processed event: containers already
+        reaped by earlier processing are gone, so probing further into
+        the past undercounts (consult :meth:`retirements` for history).
+        """
+        fleet = self._fleet(name)
+        now = self.clock.now() if at is None else at
+        return sum(
+            1
             for container in fleet.containers
             if self._expiry(fleet, container, now) >= now
-        ]
-        spare = sum(
-            fleet.fleet_config.max_concurrency - container.active
-            for container in alive
         )
-        bootable = (
-            fleet.fleet_config.max_containers - len(alive)
-        ) * fleet.fleet_config.max_concurrency
-        return len(fleet.queue) + 1 + extra <= capacity + spare + bootable
 
-    def fleet_stats(self, name: str) -> FleetStats:
-        """Aggregate fleet metrics over everything simulated so far."""
+    def scaling_state(self, name: str):
+        """The fleet's mutable policy state (e.g. panic episodes); may be
+        ``None`` for stateless policies.  Read-only introspection for
+        tests and reports."""
+        return self._fleet(name).policy_state
+
+    def retirements(self, name: str) -> list[tuple[str, float]]:
+        """``(container_id, retired_at)`` for every container reaped so far.
+
+        Retirement is lazy: a container appears here once a later event
+        (or a stats snapshot) observes that its keep-alive elapsed.
+        """
+        return list(self._fleet(name).retirements)
+
+    def fleet_stats(
+        self, name: str, pricing: PricingModel | None = None
+    ) -> FleetStats:
+        """Aggregate fleet metrics over everything simulated so far.
+
+        ``pricing`` configures the dollar view (defaults to
+        :data:`~repro.metrics.DEFAULT_PRICING`, Lambda-like rates).
+        """
         fleet = self._fleet(name)
         records = fleet.records
         if not records:
@@ -408,9 +474,25 @@ class ClusterPlatform:
             and fleet.last_arrival > fleet.first_arrival
             else 0.0
         )
-        alive_seconds = sum(
-            max(0.0, min(now, self._expiry(fleet, container, now)) - container.spawned_at)
-            for container in fleet.containers
+        alive_seconds = 0.0
+        alive_gb_seconds = 0.0
+        for container in fleet.containers:
+            lifetime = max(
+                0.0,
+                min(now, self._expiry(fleet, container, now))
+                - container.spawned_at,
+            )
+            alive_seconds += lifetime
+            alive_gb_seconds += lifetime * container.memory_mb / 1024.0
+        gb_seconds = fleet.retired_gb_seconds + alive_gb_seconds
+        # Bill served traffic only: shed requests are never charged (the
+        # pricing model is Lambda-like, and throttled requests don't
+        # bill), and per-1k normalization must not be diluted by them.
+        cost = CostSummary.from_usage(
+            gb_seconds,
+            len(records),
+            fleet.spawned,
+            pricing if pricing is not None else DEFAULT_PRICING,
         )
         return FleetStats(
             app=name,
@@ -427,6 +509,8 @@ class ClusterPlatform:
             containers_spawned=fleet.spawned,
             peak_containers=fleet.peak_containers,
             container_seconds=fleet.retired_container_seconds + alive_seconds,
+            gb_seconds=gb_seconds,
+            cost=cost,
         )
 
     # -- event loop --------------------------------------------------------
@@ -458,19 +542,26 @@ class ClusterPlatform:
         self._reap(fleet, at)
         fleet.queue.append(_PendingRequest(token=token, entry=entry, arrival=at))
         self._dispatch(fleet, at)
-        self._scale(fleet, at)
-        # Admission control runs after dispatch and scale-out: a request is
-        # shed only when it exceeds the fleet's booked capacity (ready +
-        # booting slots) by more than queue_capacity.  capacity=0 therefore
-        # means "throttle like Lambda" — serve or reject, never wait for a
-        # slot someone else booked — not "reject all traffic".
+        # Admission control runs after dispatch but BEFORE scale-out: a
+        # request is shed when it exceeds the fleet's bookable capacity
+        # (free slots on live containers plus every container still
+        # bootable) by more than queue_capacity, so capacity=0 means
+        # "throttle like Lambda" — serve or reject — not "reject all
+        # traffic".  Shedding first guarantees a rejected request never
+        # triggers scale-out (and never feeds the policy's traffic
+        # estimate); for the eager PerRequest policy the two orderings
+        # are provably identical, which the golden regression pins.
         capacity = fleet.fleet_config.queue_capacity
         if capacity is not None:
-            spare = self._spare_capacity(fleet, at)
-            while len(fleet.queue) - spare > capacity:
+            bookable = self._bookable_capacity(fleet, at)
+            while len(fleet.queue) - bookable > capacity:
                 shed = fleet.queue.pop()  # newest arrival loses
                 fleet.rejected += 1
                 self._dropped.add(shed.token)
+        if token in self._dropped:
+            return
+        fleet.policy.observe_arrival(fleet.policy_state, at)
+        self._scale(fleet, at)
 
     def _on_ready(self, at: float, name: str, container_seq: int) -> None:
         fleet = self._fleets[name]
@@ -503,18 +594,57 @@ class ClusterPlatform:
     # -- fleet mechanics ---------------------------------------------------
 
     def _expiry(self, fleet: _Fleet, container: _FleetContainer, now: float) -> float:
-        """When this container retires if no further request reaches it."""
+        """When this container retires if no further request reaches it.
+
+        Delegated to the fleet's scaling policy (plain keep-alive for
+        :class:`~repro.faas.autoscale.PerRequest`; panic windows suspend
+        retirement, scale-to-zero grace extends the last container).
+        """
         if container.ready_at > now or container.active > 0:
             return math.inf
-        return container.idle_since + fleet.fleet_config.keep_alive_s
-
-    def _spare_capacity(self, fleet: _Fleet, now: float) -> int:
-        """In-flight slots the fleet can still absorb (ready + booting)."""
-        return sum(
-            fleet.fleet_config.max_concurrency - container.active
-            for container in fleet.containers
-            if self._expiry(fleet, container, now) >= now
+        return fleet.policy.idle_expiry(
+            fleet.policy_state,
+            container.idle_since,
+            fleet.fleet_config.keep_alive_s,
+            fleet.wants_last and self._last_of_fleet(fleet, container, now),
         )
+
+    @staticmethod
+    def _last_of_fleet(
+        fleet: _Fleet, container: _FleetContainer, now: float
+    ) -> bool:
+        """Whether retiring ``container`` would scale the fleet to zero.
+
+        True when no other container outlives it under the base
+        keep-alive ordering: busy or booting containers always outlive an
+        idle one, and idle peers are ordered by ``(idle_since, seq)``.
+        """
+        for other in fleet.containers:
+            if other is container:
+                continue
+            if other.active > 0 or other.ready_at > now:
+                return False
+            if (other.idle_since, other.seq) > (
+                container.idle_since,
+                container.seq,
+            ):
+                return False
+        return True
+
+    def _bookable_capacity(self, fleet: _Fleet, now: float) -> int:
+        """Slots the fleet can still book at ``now``: free slots on live
+        (ready or booting) containers plus every container the hard cap
+        still allows to boot.  The single source of truth for both the
+        load-shedder in arrival processing and the router-facing
+        :meth:`accepts` — they must never disagree, or routing failover
+        would diverge from actual shedding."""
+        config = fleet.fleet_config
+        alive = spare = 0
+        for container in fleet.containers:
+            if self._expiry(fleet, container, now) >= now:
+                alive += 1
+                spare += config.max_concurrency - container.active
+        return spare + (config.max_containers - alive) * config.max_concurrency
 
     def _reap(self, fleet: _Fleet, now: float) -> None:
         """Retire containers whose keep-alive elapsed strictly before now."""
@@ -530,14 +660,44 @@ class ClusterPlatform:
     def _retire(
         self, fleet: _Fleet, container: _FleetContainer, at: float
     ) -> None:
-        fleet.retired_container_seconds += max(0.0, at - container.spawned_at)
+        lifetime = max(0.0, at - container.spawned_at)
+        fleet.retired_container_seconds += lifetime
+        fleet.retired_gb_seconds += lifetime * container.memory_mb / 1024.0
+        fleet.retirements.append((container.container_id, at))
+
+    def _view(self, fleet: _Fleet, now: float) -> FleetView:
+        """Snapshot the fleet for a scaling decision (live containers only)."""
+        mc = fleet.fleet_config.max_concurrency
+        live = booting = in_flight = booting_slots = ready_slots = 0
+        for container in fleet.containers:
+            if self._expiry(fleet, container, now) < now:
+                continue
+            live += 1
+            if container.ready_at > now:
+                booting += 1
+                booting_slots += mc - container.active
+            else:
+                in_flight += container.active
+                ready_slots += mc - container.active
+        return FleetView(
+            now=now,
+            queued=len(fleet.queue),
+            in_flight=in_flight,
+            live_containers=live,
+            booting_containers=booting,
+            booting_slots=booting_slots,
+            ready_slots=ready_slots,
+            max_containers=fleet.fleet_config.max_containers,
+            max_concurrency=mc,
+            keep_alive_s=fleet.fleet_config.keep_alive_s,
+        )
 
     def _scale(self, fleet: _Fleet, now: float) -> None:
-        """Boot containers until pending demand fits incoming capacity."""
-        while (
-            len(fleet.queue) > fleet.booting_capacity(now)
-            and len(fleet.containers) < fleet.fleet_config.max_containers
-        ):
+        """Boot however many containers the fleet's policy asks for."""
+        view = self._view(fleet, now)
+        want = fleet.policy.scale_out(fleet.policy_state, view)
+        allowed = fleet.fleet_config.max_containers - view.live_containers
+        for _ in range(min(want, allowed)):
             self._spawn(fleet, now)
 
     def _spawn(self, fleet: _Fleet, now: float) -> None:

@@ -50,7 +50,7 @@ from repro.faas.cluster import ClusterPlatform, FleetConfig, FleetStats
 from repro.faas.events import InvocationRecord
 from repro.faas.gateway import Gateway
 from repro.faas.sim import SimAppConfig, SimPlatformConfig
-from repro.metrics import RoutingSummary
+from repro.metrics import PricingModel, RoutingSummary
 from repro.plan import DeferralPlan
 
 
@@ -63,9 +63,12 @@ class RegionSpec:
         platform: Region-specific platform cost constants; ``None`` uses
             the federation-wide default (regions can model slower control
             planes via a larger ``cold_platform_ms``).
-        fleet: Region-specific default autoscaling policy; ``None`` uses
-            the federation-wide default (regions can be capacity-starved
-            via a smaller ``max_containers``).
+        fleet: Region-specific default fleet configuration; ``None`` uses
+            the federation-wide default.  Regions can be capacity-starved
+            via a smaller ``max_containers`` — or run a different
+            autoscaler entirely via ``FleetConfig.policy`` (e.g. a
+            panic-window scaler in a bursty region while the rest of the
+            topology stays per-request).
     """
 
     name: str
@@ -505,13 +508,19 @@ class RegionFederation:
         """Routed-but-undelivered arrivals for one region/app (on the wire)."""
         return self._pending.get((region, name), 0)
 
-    def region_stats(self, name: str) -> dict[str, FleetStats]:
-        """Per-region :class:`FleetStats` for one app (served regions only)."""
+    def region_stats(
+        self, name: str, pricing: PricingModel | None = None
+    ) -> dict[str, FleetStats]:
+        """Per-region :class:`FleetStats` for one app (served regions only).
+
+        ``pricing`` configures every region's dollar view, so federated
+        experiments can total cost across the topology under one tariff.
+        """
         stats: dict[str, FleetStats] = {}
         for region in self.topology.names():
             platform = self.platforms[region]
             if name in platform.app_names() and platform.records(name):
-                stats[region] = platform.fleet_stats(name)
+                stats[region] = platform.fleet_stats(name, pricing=pricing)
         return stats
 
     def served_counts(self, name: str | None = None) -> dict[str, int]:

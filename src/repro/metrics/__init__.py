@@ -1,11 +1,17 @@
 """Latency, memory, and rate statistics used throughout the evaluation
 harness — including the cluster fleet metrics (offered load, queueing
-delay percentiles) and the multi-region routing aggregation
-(:class:`RoutingSummary`: locality fraction, forwarding hop cost)."""
+delay percentiles), the multi-region routing aggregation
+(:class:`RoutingSummary`: locality fraction, forwarding hop cost), and
+the fleet cost view (:class:`CostSummary` over a configurable
+:class:`PricingModel`: GB-seconds, cold-start surcharge, $ per 1k
+requests)."""
 
 from repro.metrics.stats import (
+    DEFAULT_PRICING,
+    CostSummary,
     LatencySummary,
     MemorySummary,
+    PricingModel,
     RateSummary,
     RoutingSummary,
     SpeedupReport,
@@ -15,8 +21,11 @@ from repro.metrics.stats import (
 )
 
 __all__ = [
+    "DEFAULT_PRICING",
+    "CostSummary",
     "LatencySummary",
     "MemorySummary",
+    "PricingModel",
     "RateSummary",
     "RoutingSummary",
     "SpeedupReport",

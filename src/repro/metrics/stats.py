@@ -149,6 +149,86 @@ class RoutingSummary:
 
 
 @dataclass(frozen=True)
+class PricingModel:
+    """Serverless pricing constants for the fleet cost view.
+
+    Defaults approximate AWS Lambda's public x86 pricing (us-east-1):
+    $0.0000166667 per GB-second of provisioned memory and $0.20 per
+    million requests.  ``cold_start_surcharge`` is charged once per
+    container boot; it models provisioning-time billing (the platform
+    bills init time too) or an operator-assigned penalty that lets
+    deferral plans price cold starts directly.  All knobs are
+    configurable so experiments can sweep price points.
+    """
+
+    per_gb_second: float = 0.0000166667
+    per_million_requests: float = 0.20
+    cold_start_surcharge: float = 0.0  # $ per container boot
+
+    def __post_init__(self) -> None:
+        if self.per_gb_second < 0:
+            raise ValueError(f"negative GB-second price: {self.per_gb_second}")
+        if self.per_million_requests < 0:
+            raise ValueError(
+                f"negative per-request price: {self.per_million_requests}"
+            )
+        if self.cold_start_surcharge < 0:
+            raise ValueError(
+                f"negative cold-start surcharge: {self.cold_start_surcharge}"
+            )
+
+
+#: The pricing every cost view uses unless told otherwise.
+DEFAULT_PRICING = PricingModel()
+
+
+@dataclass(frozen=True)
+class CostSummary:
+    """Dollar cost of one fleet's simulated usage.
+
+    The autoscaler trade-off currency: ``gb_seconds`` is provisioned
+    memory-time (billable capacity, not busy time), so a policy that
+    holds warm spare containers shows up here even when its cold-start
+    rate looks great.  ``per_1k_requests`` normalizes total cost by
+    traffic volume, making runs of different length comparable.
+    """
+
+    gb_seconds: float
+    compute_cost: float  # gb_seconds * per_gb_second
+    request_cost: float
+    cold_start_cost: float
+    total_cost: float
+    per_1k_requests: float
+
+    @classmethod
+    def from_usage(
+        cls,
+        gb_seconds: float,
+        requests: int,
+        container_boots: int,
+        pricing: PricingModel = DEFAULT_PRICING,
+    ) -> "CostSummary":
+        if gb_seconds < 0:
+            raise ValueError(f"negative GB-seconds: {gb_seconds}")
+        if requests < 0:
+            raise ValueError(f"negative request count: {requests}")
+        if container_boots < 0:
+            raise ValueError(f"negative container boots: {container_boots}")
+        compute = gb_seconds * pricing.per_gb_second
+        request_cost = requests * pricing.per_million_requests / 1_000_000.0
+        cold_start_cost = container_boots * pricing.cold_start_surcharge
+        total = compute + request_cost + cold_start_cost
+        return cls(
+            gb_seconds=gb_seconds,
+            compute_cost=compute,
+            request_cost=request_cost,
+            cold_start_cost=cold_start_cost,
+            total_cost=total,
+            per_1k_requests=(total / requests * 1000.0) if requests else 0.0,
+        )
+
+
+@dataclass(frozen=True)
 class SpeedupReport:
     """Before/after comparison in the shape Table II reports."""
 

@@ -1,0 +1,483 @@
+"""Tests for the pluggable autoscaler policy subsystem."""
+
+import math
+
+import pytest
+
+from repro.common.errors import SpecError, WorkloadError
+from repro.faas.autoscale import (
+    SCALING_POLICY_NAMES,
+    FleetView,
+    PanicWindow,
+    PerRequest,
+    ScalingPolicy,
+    TargetUtilization,
+    make_scaling_policy,
+)
+from repro.faas.cluster import ClusterPlatform, FleetConfig
+from repro.faas.region import (
+    LeastLoadedPolicy,
+    RegionFederation,
+    RegionSpec,
+    RegionTopology,
+)
+from repro.faas.sim import EntryBehavior, SimAppConfig, SimPlatformConfig
+from repro.metrics import PricingModel
+
+
+@pytest.fixture()
+def config(small_ecosystem) -> SimAppConfig:
+    return SimAppConfig(
+        name="app",
+        ecosystem=small_ecosystem,
+        handler_imports=("libx",),
+        entries=(
+            EntryBehavior("main", calls=("libx:use_core",), handler_self_ms=200.0),
+        ),
+    )
+
+
+@pytest.fixture()
+def platform_config() -> SimPlatformConfig:
+    return SimPlatformConfig(
+        cold_platform_ms=100.0, runtime_init_ms=30.0, warm_platform_ms=1.0
+    )
+
+
+def make_platform(platform_config, policy, **fleet_kwargs) -> ClusterPlatform:
+    return ClusterPlatform(
+        config=platform_config,
+        fleet=FleetConfig(policy=policy, **fleet_kwargs),
+    )
+
+
+def view(**overrides) -> FleetView:
+    base = dict(
+        now=0.0,
+        queued=0,
+        in_flight=0,
+        live_containers=0,
+        booting_containers=0,
+        booting_slots=0,
+        ready_slots=0,
+        max_containers=8,
+        max_concurrency=1,
+        keep_alive_s=60.0,
+    )
+    base.update(overrides)
+    return FleetView(**base)
+
+
+class TestPolicyValidation:
+    def test_target_must_be_in_unit_interval(self):
+        with pytest.raises(SpecError):
+            TargetUtilization(target=0.0)
+        with pytest.raises(SpecError):
+            TargetUtilization(target=1.5)
+        with pytest.raises(SpecError):
+            TargetUtilization(target=-0.3)
+
+    def test_target_of_one_is_allowed(self):
+        assert TargetUtilization(target=1.0).target == 1.0
+
+    def test_negative_grace_rejected(self):
+        with pytest.raises(SpecError):
+            TargetUtilization(scale_to_zero_grace_s=-1.0)
+
+    def test_non_positive_windows_rejected(self):
+        with pytest.raises(SpecError):
+            PanicWindow(panic_window_s=0.0)
+        with pytest.raises(SpecError):
+            PanicWindow(stable_window_s=-5.0)
+
+    def test_panic_window_must_fit_in_stable_window(self):
+        with pytest.raises(SpecError):
+            PanicWindow(panic_window_s=120.0, stable_window_s=60.0)
+
+    def test_panic_threshold_must_exceed_one(self):
+        with pytest.raises(SpecError):
+            PanicWindow(panic_threshold=1.0)
+
+    def test_fleet_config_rejects_non_policy(self):
+        with pytest.raises(SpecError):
+            FleetConfig(policy="per-request")
+
+    def test_fleet_config_default_policy_is_per_request(self):
+        assert FleetConfig().policy == PerRequest()
+
+
+class TestFactory:
+    def test_every_registered_name_builds(self):
+        for name in SCALING_POLICY_NAMES:
+            policy = make_scaling_policy(name)
+            assert isinstance(policy, ScalingPolicy)
+            assert policy.name == name
+
+    def test_parameters_flow_through(self):
+        policy = make_scaling_policy(
+            "panic-window", target=0.5, panic_window_s=3.0, panic_threshold=4.0
+        )
+        assert policy == PanicWindow(
+            target=0.5, panic_window_s=3.0, panic_threshold=4.0
+        )
+
+    def test_unknown_name_rejected(self):
+        with pytest.raises(SpecError):
+            make_scaling_policy("reactive")
+
+
+class TestScaleOutDecisions:
+    def test_per_request_covers_the_queue(self):
+        policy = PerRequest()
+        assert policy.scale_out(None, view(queued=3)) == 3
+        assert policy.scale_out(None, view(queued=3, booting_slots=2)) == 1
+        assert policy.scale_out(None, view(queued=2, booting_slots=2)) == 0
+
+    def test_per_request_rounds_up_by_concurrency(self):
+        policy = PerRequest()
+        assert policy.scale_out(None, view(queued=5, max_concurrency=4)) == 2
+
+    def test_target_utilization_adds_headroom(self):
+        policy = TargetUtilization(target=0.5)
+        # 4 in flight at target 0.5 wants 8 slots; 4 live containers -> 4 more.
+        decided = policy.scale_out(
+            None, view(in_flight=4, live_containers=4)
+        )
+        assert decided == 4
+
+    def test_target_utilization_always_covers_backlog(self):
+        policy = TargetUtilization(target=1.0)
+        # Six queued need six slots; one live container holds one of them.
+        assert policy.scale_out(None, view(queued=6, live_containers=1)) == 5
+
+    def test_panic_needs_a_baseline_to_contrast_against(self):
+        policy = PanicWindow(stable_window_s=60.0, panic_window_s=6.0)
+        state = policy.new_state()
+        # A scale-from-zero pair is NOT a burst: with no quiet history
+        # both windows see the same rate, so the ratio stays 1.
+        for at in (0.0, 0.5):
+            policy.observe_arrival(state, at)
+            policy.scale_out(state, view(now=at, queued=1))
+        assert not state.panicking(0.5)
+        assert state.episodes == []
+        # Sparse baseline traffic, then a genuine burst against it.
+        for at in (10.0, 20.0, 30.0, 40.0, 50.0):
+            policy.observe_arrival(state, at)
+            policy.scale_out(state, view(now=at, queued=1))
+        assert not state.panicking(50.0)
+        last = 0.0
+        for i in range(6):
+            last = 60.0 + 0.1 * i
+            policy.observe_arrival(state, last)
+            policy.scale_out(state, view(now=last, queued=1))
+        assert state.panicking(last)
+        assert state.episodes
+        # The episode opened at the first trigger and was extended while
+        # the burst persisted: the deadline tracks the latest trigger.
+        assert state.episodes[-1][1] == pytest.approx(
+            last + policy.stable_window_s
+        )
+
+    def test_steady_traffic_never_panics(self):
+        policy = PanicWindow(stable_window_s=60.0, panic_window_s=6.0)
+        state = policy.new_state()
+        # One arrival every 2 s: both windows always estimate the same
+        # rate (history-normalized), so the burst factor stays 1 from
+        # the very first arrival — including during startup.
+        for i in range(120):
+            now = 2.0 * i
+            policy.observe_arrival(state, now)
+            policy.scale_out(state, view(now=now, queued=1))
+        assert state.episodes == []
+        assert not state.panicking(0.0)
+
+
+class TestSingleRequestEquivalence:
+    def test_all_policies_identical_for_one_isolated_request(
+        self, config, platform_config
+    ):
+        policies = (
+            PerRequest(),
+            TargetUtilization(target=0.6, scale_to_zero_grace_s=30.0),
+            PanicWindow(target=0.6),
+        )
+        records = []
+        for policy in policies:
+            platform = ClusterPlatform(
+                config=SimPlatformConfig(
+                    cold_platform_ms=100.0,
+                    runtime_init_ms=30.0,
+                    warm_platform_ms=1.0,
+                    jitter_sigma=0.05,
+                ),
+                fleet=FleetConfig(policy=policy),
+                seed=42,
+            )
+            platform.deploy(config)
+            records.append(platform.invoke("app", "main", at=0.0))
+            assert platform.fleet_stats("app").containers_spawned == 1
+        assert records[0] == records[1] == records[2]
+
+
+class TestScaleDownBehaviour:
+    def test_scale_to_zero_grace_extends_only_last_container(
+        self, config, platform_config
+    ):
+        policy = TargetUtilization(target=1.0, scale_to_zero_grace_s=100.0)
+        platform = make_platform(
+            platform_config, policy, max_containers=8, keep_alive_s=10.0
+        )
+        platform.deploy(config)
+        for _ in range(4):
+            platform.submit("app", "main", at=0.0)
+        platform.run()
+        # Past keep-alive every container but the graced last one is gone.
+        assert platform.live_containers("app", at=30.0) == 1
+        # Past keep-alive + grace the fleet reaches zero.
+        assert platform.live_containers("app", at=130.0) == 0
+
+    def test_panic_suspends_keep_alive_expiry(self, config, platform_config):
+        policy = PanicWindow(
+            target=1.0, stable_window_s=60.0, panic_window_s=6.0
+        )
+        platform = make_platform(
+            platform_config, policy, max_containers=16, keep_alive_s=5.0
+        )
+        platform.deploy(config)
+        # Sparse baseline (every request cold: gaps exceed keep-alive),
+        # then a burst the detector can contrast against it.
+        for at in (0.0, 10.0, 20.0, 30.0, 40.0, 50.0):
+            platform.submit("app", "main", at=at)
+        for i in range(8):
+            platform.submit("app", "main", at=60.0 + 0.001 * i)
+        platform.run()
+        state = platform.scaling_state("app")
+        assert state.episodes  # the burst (not the baseline) panicked
+        assert state.episodes[0][0] >= 60.0
+        until = state.panic_until
+        # Keep-alive (5 s) elapsed long ago, but scale-down is suspended:
+        # the burst's containers all survive to the panic deadline.
+        assert platform.live_containers("app", at=until - 1.0) == 8
+        # After the panic deadline the fleet drains normally.
+        assert platform.live_containers("app", at=until + 1.0) == 0
+        probe = platform.invoke("app", "main", at=until - 1.0)
+        assert not probe.cold
+
+    def test_per_request_expiry_is_plain_keep_alive(self, config, platform_config):
+        platform = make_platform(
+            platform_config, PerRequest(), keep_alive_s=5.0
+        )
+        platform.deploy(config)
+        first = platform.invoke("app", "main", at=0.0)
+        platform.run()  # drain the completion so the container goes idle
+        finished = first.timestamp + first.e2e_ms / 1000.0
+        assert platform.live_containers("app", at=finished + 4.9) == 1
+        assert platform.live_containers("app", at=finished + 5.1) == 0
+
+
+class TestSheddingInteraction:
+    """Bounded-queue shedding under each policy: a shed request must not
+    trigger scale-out (and never feeds the policy's traffic estimate)."""
+
+    @pytest.mark.parametrize(
+        "policy",
+        [PerRequest(), TargetUtilization(target=0.7), PanicWindow(target=0.7)],
+        ids=lambda p: p.name,
+    )
+    def test_shed_request_boots_no_container(
+        self, config, platform_config, policy
+    ):
+        platform = ClusterPlatform(
+            config=platform_config,
+            fleet=FleetConfig(
+                max_containers=2, queue_capacity=0, policy=policy
+            ),
+        )
+        platform.deploy(config)
+        for _ in range(6):
+            platform.submit("app", "main", at=0.0)
+        records = platform.run()
+        stats = platform.fleet_stats("app")
+        # Two bookable slots: four of six arrivals are shed, and the shed
+        # ones bring no containers with them.
+        assert stats.rejected == 4
+        assert len(records) == 2
+        assert stats.containers_spawned == 2
+
+    def test_shed_requests_invisible_to_panic_estimate(
+        self, config, platform_config
+    ):
+        policy = PanicWindow(target=1.0)
+        platform = ClusterPlatform(
+            config=platform_config,
+            fleet=FleetConfig(
+                max_containers=2, queue_capacity=0, policy=policy
+            ),
+        )
+        platform.deploy(config)
+        for i in range(10):
+            platform.submit("app", "main", at=0.001 * i)
+        platform.run()
+        stats = platform.fleet_stats("app")
+        state = platform.scaling_state("app")
+        admitted = stats.arrivals - stats.rejected
+        assert stats.rejected == 8
+        assert len(state.arrivals) == admitted
+
+    def test_sync_invoke_still_raises_when_shed(self, config, platform_config):
+        platform = ClusterPlatform(
+            config=platform_config,
+            fleet=FleetConfig(
+                max_containers=1,
+                queue_capacity=0,
+                policy=TargetUtilization(target=0.5),
+            ),
+        )
+        platform.deploy(config)
+        platform.submit("app", "main", at=0.0)
+        with pytest.raises(WorkloadError):
+            platform.invoke("app", "main", at=0.0)
+
+
+class TestFederationInteraction:
+    """Shedding + autoscaler policies compose with cross-region failover."""
+
+    @pytest.mark.parametrize(
+        "policy",
+        [PerRequest(), TargetUtilization(target=0.7), PanicWindow(target=0.7)],
+        ids=lambda p: p.name,
+    )
+    def test_failover_routes_around_shedding_fleet(self, config, policy):
+        federation = RegionFederation(
+            RegionTopology.fully_connected(("us", "eu"), default_ms=50.0),
+            policy=LeastLoadedPolicy(),
+            platform=SimPlatformConfig(
+                cold_platform_ms=100.0, runtime_init_ms=30.0, warm_platform_ms=1.0
+            ),
+            fleet=FleetConfig(
+                max_containers=1, queue_capacity=0, policy=policy
+            ),
+        )
+        federation.deploy(config)
+        for i in range(4):
+            federation.submit("app", "main", at=0.001 * i, origin="us")
+        federation.run()
+        served = federation.served_counts("app")
+        # Two bookable slots across the topology: the router uses both
+        # regions, the overflow is shed, and — the invariant under test —
+        # the shed requests boot no containers anywhere.
+        assert sum(served.values()) == 4
+        assert min(served.values()) >= 1
+        stats = federation.region_stats("app")
+        assert sum(s.rejected for s in stats.values()) == 2
+        assert sum(s.completed for s in stats.values()) == 2
+        for region in ("us", "eu"):
+            assert (
+                federation.platform(region).fleet_stats("app").containers_spawned
+                == 1
+            )
+
+    def test_per_region_scaling_policy_override(self, config):
+        topology = RegionTopology(
+            (
+                RegionSpec(
+                    "bursty",
+                    fleet=FleetConfig(
+                        max_containers=16,
+                        keep_alive_s=5.0,
+                        policy=PanicWindow(target=1.0),
+                    ),
+                ),
+                RegionSpec("steady"),
+            ),
+            default_ms=50.0,
+        )
+        federation = RegionFederation(
+            topology,
+            policy=LeastLoadedPolicy(),
+            platform=SimPlatformConfig(
+                cold_platform_ms=100.0, runtime_init_ms=30.0, warm_platform_ms=1.0
+            ),
+            fleet=FleetConfig(max_containers=16, keep_alive_s=5.0),
+        )
+        federation.deploy(config)
+        bursty = federation.platform("bursty")
+        steady = federation.platform("steady")
+        assert isinstance(
+            bursty._fleet("app").policy, PanicWindow
+        )
+        assert steady._fleet("app").policy == PerRequest()
+
+
+class TestCostView:
+    def test_fleet_stats_price_gb_seconds(self, config, platform_config):
+        platform = make_platform(platform_config, PerRequest(), keep_alive_s=10.0)
+        platform.deploy(config)
+        platform.invoke("app", "main", at=0.0)
+        pricing = PricingModel(
+            per_gb_second=0.001,
+            per_million_requests=100.0,
+            cold_start_surcharge=0.5,
+        )
+        stats = platform.fleet_stats("app", pricing=pricing)
+        assert stats.gb_seconds > 0.0
+        assert stats.cost.compute_cost == pytest.approx(stats.gb_seconds * 0.001)
+        assert stats.cost.request_cost == pytest.approx(1 * 100.0 / 1e6)
+        assert stats.cost.cold_start_cost == pytest.approx(0.5)
+        assert stats.cost.total_cost == pytest.approx(
+            stats.cost.compute_cost
+            + stats.cost.request_cost
+            + stats.cost.cold_start_cost
+        )
+        assert stats.cost.per_1k_requests == pytest.approx(
+            stats.cost.total_cost * 1000.0
+        )
+
+    def test_gb_seconds_weigh_lifetime_by_memory(self, config, platform_config):
+        platform = make_platform(platform_config, PerRequest(), keep_alive_s=10.0)
+        platform.deploy(config)
+        record = platform.invoke("app", "main", at=0.0)
+        stats = platform.fleet_stats("app")
+        assert stats.gb_seconds == pytest.approx(
+            stats.container_seconds * record.memory_mb / 1024.0
+        )
+
+    def test_default_pricing_used_when_unspecified(self, config, platform_config):
+        platform = make_platform(platform_config, PerRequest())
+        platform.deploy(config)
+        platform.invoke("app", "main", at=0.0)
+        stats = platform.fleet_stats("app")
+        assert stats.cost.total_cost > 0.0
+
+    def test_retirements_record_lazy_reaps(self, config, platform_config):
+        platform = make_platform(platform_config, PerRequest(), keep_alive_s=5.0)
+        platform.deploy(config)
+        first = platform.invoke("app", "main", at=0.0)
+        assert platform.retirements("app") == []
+        platform.invoke("app", "main", at=100.0)
+        retired = platform.retirements("app")
+        assert len(retired) == 1
+        container_id, at = retired[0]
+        assert container_id == first.container_id
+        finished = first.timestamp + first.e2e_ms / 1000.0
+        assert at == pytest.approx(finished + 5.0)
+
+
+class TestFleetView:
+    def test_demand_sums_queue_and_in_flight(self):
+        assert view(queued=3, in_flight=2).demand == 5
+
+    def test_view_is_immutable(self):
+        with pytest.raises(Exception):
+            view().queued = 7
+
+    def test_base_idle_expiry_is_keep_alive(self):
+        assert ScalingPolicy().idle_expiry(None, 10.0, 60.0, True) == 70.0
+
+    def test_panic_idle_expiry_defers_to_panic_deadline(self):
+        policy = PanicWindow()
+        state = policy.new_state()
+        state.panic_until = 500.0
+        assert policy.idle_expiry(state, 10.0, 60.0, False) == 500.0
+        assert policy.idle_expiry(state, 490.0, 60.0, False) == 550.0
+        assert not math.isinf(state.panic_until)

@@ -1,0 +1,177 @@
+"""Property-based tests for autoscaler policy invariants.
+
+Four invariants hold for *any* schedule and parameterization:
+
+* **Cap safety** — no policy ever grows a fleet past ``max_containers``.
+* **Panic suspends scale-down** — under :class:`PanicWindow`, no
+  container retires strictly inside a panic episode.
+* **Scale to zero** — under :class:`TargetUtilization`, an empty tail
+  always drains the fleet to zero containers (keep-alive plus the
+  scale-to-zero grace later).
+* **Single-request equivalence** — for one isolated request all three
+  policies produce the identical record and boot exactly one container,
+  so the policy space only diverges once there is *concurrency* to
+  manage.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.faas.autoscale import PanicWindow, PerRequest, TargetUtilization
+from repro.faas.cluster import ClusterPlatform, FleetConfig
+from repro.faas.sim import EntryBehavior, SimAppConfig, SimPlatformConfig
+from repro.workloads.arrival import bursty_schedule, poisson_schedule
+from repro.workloads.popularity import zipf_mix
+
+_seeds = st.integers(min_value=0, max_value=2**32 - 1)
+_targets = st.floats(min_value=0.2, max_value=1.0, allow_nan=False)
+_rates = st.floats(min_value=1.0, max_value=20.0, allow_nan=False)
+_max_containers = st.integers(min_value=1, max_value=6)
+
+_POLICIES = st.one_of(
+    st.just(PerRequest()),
+    _targets.map(lambda t: TargetUtilization(target=t)),
+    _targets.map(lambda t: PanicWindow(target=t, stable_window_s=30.0)),
+)
+
+
+@pytest.fixture(scope="module")
+def app_config():
+    from repro.synthlib.spec import Ecosystem
+    from tests.conftest import make_dependent_library, make_small_library
+
+    ecosystem = Ecosystem([make_small_library(), make_dependent_library()])
+    ecosystem.validate()
+    return SimAppConfig(
+        name="app",
+        ecosystem=ecosystem,
+        handler_imports=("libx",),
+        entries=(
+            EntryBehavior("main", calls=("libx:use_core",), handler_self_ms=200.0),
+            EntryBehavior("heavy", calls=("libx:use_extra",), handler_self_ms=200.0),
+        ),
+    )
+
+
+def _platform(app_config, policy, max_containers, seed, keep_alive_s=10.0):
+    platform = ClusterPlatform(
+        config=SimPlatformConfig(
+            cold_platform_ms=100.0, runtime_init_ms=30.0, warm_platform_ms=1.0
+        ),
+        fleet=FleetConfig(
+            max_containers=max_containers,
+            keep_alive_s=keep_alive_s,
+            policy=policy,
+        ),
+        seed=seed,
+    )
+    platform.deploy(app_config)
+    return platform
+
+
+class TestCapSafety:
+    @given(
+        seed=_seeds, rate=_rates, policy=_POLICIES, max_containers=_max_containers
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_fleet_never_exceeds_max_containers(
+        self, app_config, seed, rate, policy, max_containers
+    ):
+        platform = _platform(app_config, policy, max_containers, seed)
+        mix = zipf_mix(["main", "heavy"], seed=3)
+        for at, entry in poisson_schedule(mix, rate, duration_s=60.0, seed=seed):
+            platform.submit("app", entry, at=at)
+        platform.run()
+        stats = platform.fleet_stats("app")
+        assert stats.peak_containers <= max_containers
+        assert len(platform._fleet("app").containers) <= max_containers
+
+
+class TestPanicSuspendsScaleDown:
+    @given(seed=_seeds, burst_rate=st.floats(min_value=8.0, max_value=30.0))
+    @settings(max_examples=20, deadline=None)
+    def test_no_retirement_inside_a_panic_episode(
+        self, app_config, seed, burst_rate
+    ):
+        policy = PanicWindow(
+            target=0.7, stable_window_s=40.0, panic_window_s=4.0
+        )
+        platform = _platform(app_config, policy, 16, seed, keep_alive_s=3.0)
+        mix = zipf_mix(["main", "heavy"], seed=3)
+        schedule = bursty_schedule(
+            mix,
+            base_rate_per_s=0.2,
+            burst_rate_per_s=burst_rate,
+            period_s=30.0,
+            burst_fraction=0.2,
+            duration_s=300.0,
+            seed=seed,
+        )
+        for at, entry in schedule:
+            platform.submit("app", entry, at=at)
+        platform.run(until=400.0)
+        state = platform.scaling_state("app")
+        retired = platform.retirements("app")
+        assert state.episodes  # the bursts did trigger panic
+        for _, at in retired:
+            for start, until in state.episodes:
+                assert not start < at < until, (
+                    f"container retired at {at} inside panic [{start}, {until}]"
+                )
+
+
+class TestScaleToZero:
+    @given(
+        seed=_seeds,
+        rate=_rates,
+        target=_targets,
+        grace=st.floats(min_value=0.0, max_value=60.0),
+    )
+    @settings(max_examples=20, deadline=None)
+    def test_empty_tail_drains_fleet_to_zero(
+        self, app_config, seed, rate, target, grace
+    ):
+        policy = TargetUtilization(target=target, scale_to_zero_grace_s=grace)
+        platform = _platform(app_config, policy, 8, seed, keep_alive_s=10.0)
+        mix = zipf_mix(["main", "heavy"], seed=3)
+        for at, entry in poisson_schedule(mix, rate, duration_s=30.0, seed=seed):
+            platform.submit("app", entry, at=at)
+        platform.run()
+        tail = platform.clock.now() + 10.0 + grace + 1.0
+        platform.run(until=tail)
+        assert platform.live_containers("app") == 0
+
+
+class TestSingleRequestEquivalence:
+    @given(
+        seed=_seeds,
+        at=st.floats(min_value=0.0, max_value=1000.0, allow_nan=False),
+        jitter=st.sampled_from([0.0, 0.05]),
+        target=_targets,
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_one_isolated_request_is_policy_invariant(
+        self, app_config, seed, at, jitter, target
+    ):
+        records = []
+        for policy in (
+            PerRequest(),
+            TargetUtilization(target=target, scale_to_zero_grace_s=17.0),
+            PanicWindow(target=target),
+        ):
+            platform = ClusterPlatform(
+                config=SimPlatformConfig(
+                    cold_platform_ms=100.0,
+                    runtime_init_ms=30.0,
+                    warm_platform_ms=1.0,
+                    jitter_sigma=jitter,
+                ),
+                fleet=FleetConfig(policy=policy),
+                seed=seed,
+            )
+            platform.deploy(app_config)
+            records.append(platform.invoke("app", "main", at=at))
+            platform.run()
+            assert platform.fleet_stats("app").containers_spawned == 1
+        assert records[0] == records[1] == records[2]

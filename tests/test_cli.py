@@ -107,7 +107,7 @@ class TestCommands:
         )
         assert code == 0
         out = capsys.readouterr().out
-        assert "policy  : locality" in out
+        assert "routing : locality" in out
         assert "us" in out and "eu" in out
         assert "served locally" in out
         assert "network mean/p95" in out
@@ -175,3 +175,88 @@ class TestCommands:
         out = capsys.readouterr().out
         assert "optimized workspace written" in out
         assert (tmp_path / "v2" / "handler.py").is_file()
+
+
+class TestAutoscalerFlags:
+    def test_cluster_accepts_scaling_policy(self):
+        args = build_parser().parse_args(
+            ["cluster", "--app", "R-GB", "--policy", "panic-window",
+             "--target", "0.5", "--panic-threshold", "3.0"]
+        )
+        assert args.scaling_policy == "panic-window"
+        assert args.target == 0.5
+        assert args.panic_threshold == 3.0
+
+    def test_cluster_default_policy_is_per_request(self):
+        args = build_parser().parse_args(["cluster", "--app", "R-GB"])
+        assert args.scaling_policy == "per-request"
+
+    def test_cluster_rejects_unknown_policy(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                ["cluster", "--app", "R-GB", "--policy", "reactive"]
+            )
+
+    def test_regions_keeps_routing_and_scaling_policies_apart(self):
+        args = build_parser().parse_args(
+            ["regions", "--app", "R-GB", "--policy", "locality",
+             "--scaling-policy", "target-utilization", "--grace", "30"]
+        )
+        assert args.policy == "locality"
+        assert args.scaling_policy == "target-utilization"
+        assert args.grace == 30.0
+
+    def test_cluster_reports_cost_view(self, capsys):
+        code = main(
+            ["cluster", "--app", "R-GB", "--rate", "4", "--duration", "60",
+             "--keep-alive", "30", "--policy", "target-utilization",
+             "--target", "0.6"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "policy             : target-utilization" in out
+        assert "GB-seconds" in out
+        assert "cost per 1k req" in out
+
+    def test_regions_reports_cost_column(self, capsys):
+        code = main(
+            ["regions", "--app", "R-GB", "--regions", "us,eu",
+             "--rates", "4,1", "--duration", "60",
+             "--scaling-policy", "panic-window"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "scaling : panic-window" in out
+        assert "$ / 1k" in out
+        assert "federation cost" in out
+
+    def test_stray_policy_flags_fail_loudly(self):
+        from repro.common.errors import SpecError
+
+        # --target with the default per-request policy is a forgotten
+        # --policy, not a silent no-op.
+        with pytest.raises(SpecError):
+            main(["cluster", "--app", "R-GB", "--duration", "30",
+                  "--target", "0.5"])
+        with pytest.raises(SpecError):
+            main(["cluster", "--app", "R-GB", "--duration", "30",
+                  "--policy", "target-utilization", "--panic-window", "3"])
+
+    def test_zeroed_pricing_flags_zero_the_cost(self, capsys):
+        code = main(
+            ["cluster", "--app", "R-GB", "--rate", "2", "--duration", "60",
+             "--price-gb-second", "0", "--price-million-requests", "0",
+             "--cold-start-surcharge", "0"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "total cost         : $0.000000" in out
+
+    def test_bad_policy_parameter_is_a_spec_error(self):
+        from repro.common.errors import SpecError
+
+        with pytest.raises(SpecError):
+            main(
+                ["cluster", "--app", "R-GB", "--duration", "30",
+                 "--policy", "target-utilization", "--target", "1.5"]
+            )

@@ -3,8 +3,11 @@
 import pytest
 
 from repro.metrics import (
+    DEFAULT_PRICING,
+    CostSummary,
     LatencySummary,
     MemorySummary,
+    PricingModel,
     SpeedupReport,
     mean,
     percentile,
@@ -89,3 +92,49 @@ class TestSummaries:
         assert report.init_speedup == 2.0
         assert report.e2e_speedup == 2.0
         assert report.memory_reduction == 1.5
+
+
+class TestCostModel:
+    def test_pricing_defaults_are_lambda_like(self):
+        assert DEFAULT_PRICING.per_gb_second == pytest.approx(0.0000166667)
+        assert DEFAULT_PRICING.per_million_requests == pytest.approx(0.20)
+        assert DEFAULT_PRICING.cold_start_surcharge == 0.0
+
+    def test_pricing_rejects_negative_rates(self):
+        with pytest.raises(ValueError):
+            PricingModel(per_gb_second=-1.0)
+        with pytest.raises(ValueError):
+            PricingModel(per_million_requests=-0.2)
+        with pytest.raises(ValueError):
+            PricingModel(cold_start_surcharge=-0.01)
+
+    def test_cost_summary_decomposes(self):
+        pricing = PricingModel(
+            per_gb_second=0.01, per_million_requests=1000.0, cold_start_surcharge=0.5
+        )
+        cost = CostSummary.from_usage(
+            gb_seconds=100.0, requests=2000, container_boots=4, pricing=pricing
+        )
+        assert cost.compute_cost == pytest.approx(1.0)
+        assert cost.request_cost == pytest.approx(2.0)
+        assert cost.cold_start_cost == pytest.approx(2.0)
+        assert cost.total_cost == pytest.approx(5.0)
+        assert cost.per_1k_requests == pytest.approx(2.5)
+
+    def test_zero_requests_yield_zero_normalized_cost(self):
+        cost = CostSummary.from_usage(gb_seconds=0.0, requests=0, container_boots=0)
+        assert cost.total_cost == 0.0
+        assert cost.per_1k_requests == 0.0
+
+    def test_negative_usage_rejected(self):
+        with pytest.raises(ValueError):
+            CostSummary.from_usage(gb_seconds=-1.0, requests=0, container_boots=0)
+        with pytest.raises(ValueError):
+            CostSummary.from_usage(gb_seconds=0.0, requests=-1, container_boots=0)
+        with pytest.raises(ValueError):
+            CostSummary.from_usage(gb_seconds=0.0, requests=0, container_boots=-1)
+
+    def test_default_pricing_used_when_omitted(self):
+        cost = CostSummary.from_usage(gb_seconds=1000.0, requests=1000, container_boots=0)
+        assert cost.compute_cost == pytest.approx(1000.0 * DEFAULT_PRICING.per_gb_second)
+        assert cost.request_cost == pytest.approx(0.0002)
