@@ -15,6 +15,12 @@ Sub-commands mirror the tool's workflow plus the evaluation harness:
   across federated fleets under a latency-aware routing policy (and an
   autoscaler chosen via ``--scaling-policy``), printing per-region
   metrics, per-region $-cost, and the routing summary
+* ``slimstart replay --apps 24``          — stream a production-shaped
+  trace fleet (Zipf handlers, workload-shift events) through the cluster
+  simulator — or, with ``--regions``, the federation — at bounded
+  memory, printing the per-window time series (cold-start rate, p95
+  queueing, shed rate, GB-seconds, $) that makes shift transients
+  visible
 * ``slimstart optimize --workspace DIR``  — rewrite a real workspace from
   a plan JSON file
 """
@@ -26,7 +32,7 @@ import json
 import sys
 
 from repro.apps import benchmark_apps
-from repro.common.errors import SpecError
+from repro.common.errors import SpecError, WorkloadError
 from repro.apps.catalog import APP_DEFINITIONS, app_by_key
 from repro.apps.model import bench_platform_config, instantiate
 from repro.core.pipeline import PipelineConfig, SlimStart
@@ -39,7 +45,8 @@ from repro.faas.autoscale import (
 )
 from repro.faas.cluster import ClusterPlatform, FleetConfig, replay_cluster_workload
 from repro.faas.gateway import Gateway
-from repro.metrics import DEFAULT_PRICING, PricingModel
+from repro.faas.replaydeploy import deploy_trace, expose_trace
+from repro.metrics import DEFAULT_PRICING, PricingModel, WindowAccumulator
 from repro.faas.region import (
     POLICY_NAMES,
     FederatedGateway,
@@ -51,6 +58,16 @@ from repro.faas.region import (
 from repro.faas.sim import SimPlatform
 from repro.plan import DeferralPlan
 from repro.workloads.arrival import poisson_schedule, regional_poisson_schedules
+from repro.workloads.replay import (
+    ARRIVAL_MODEL_NAMES,
+    HashAffinity,
+    PopularityWeighted,
+    as_paths,
+    assign_regions,
+    compile_trace,
+    make_arrival_model,
+)
+from repro.workloads.trace import TraceGenerator
 
 
 def _build_tool(args: argparse.Namespace) -> SlimStart:
@@ -189,6 +206,37 @@ def _pricing(args: argparse.Namespace) -> PricingModel:
     )
 
 
+def _add_fleet_arguments(
+    parser: argparse.ArgumentParser, scaling_flag: str, max_containers: int
+) -> None:
+    """The fleet/autoscaler/pricing flag block every replay command shares.
+
+    ``cluster``, ``regions``, and ``replay`` all configure the same
+    :class:`FleetConfig` surface; this helper (plus :func:`_fleet_config`
+    on the consuming side) keeps the plumbing in one place so a new flag
+    lands on all three subcommands at once.
+    """
+    parser.add_argument("--max-containers", type=int, default=max_containers)
+    parser.add_argument("--max-concurrency", type=int, default=1)
+    parser.add_argument("--keep-alive", type=float, default=120.0)
+    parser.add_argument(
+        "--queue-capacity", type=int, default=None, help="bounded queue; sheds beyond"
+    )
+    parser.add_argument("--seed", type=int, default=7)
+    _add_scaling_arguments(parser, scaling_flag)
+
+
+def _fleet_config(args: argparse.Namespace) -> FleetConfig:
+    """Build the fleet every subcommand deploys from the shared flags."""
+    return FleetConfig(
+        max_containers=args.max_containers,
+        max_concurrency=args.max_concurrency,
+        keep_alive_s=args.keep_alive,
+        queue_capacity=args.queue_capacity,
+        policy=_scaling_policy(args, args.scaling_policy),
+    )
+
+
 def _add_scaling_arguments(parser: argparse.ArgumentParser, flag: str) -> None:
     parser.add_argument(
         flag,
@@ -254,12 +302,7 @@ def cmd_cluster(args: argparse.Namespace) -> int:
     app = instantiate(app_by_key(args.app))
     platform = ClusterPlatform(
         config=bench_platform_config(record_traces=False),
-        fleet=FleetConfig(
-            max_containers=args.max_containers,
-            max_concurrency=args.max_concurrency,
-            keep_alive_s=args.keep_alive,
-            policy=_scaling_policy(args, args.scaling_policy),
-        ),
+        fleet=_fleet_config(args),
         seed=args.seed,
     )
     config = app.sim_config()
@@ -316,13 +359,7 @@ def cmd_regions(args: argparse.Namespace) -> int:
         topology,
         policy=make_policy(args.policy, spillover_load=args.spillover),
         platform=bench_platform_config(record_traces=False),
-        fleet=FleetConfig(
-            max_containers=args.max_containers,
-            max_concurrency=args.max_concurrency,
-            keep_alive_s=args.keep_alive,
-            queue_capacity=args.queue_capacity,
-            policy=_scaling_policy(args, args.scaling_policy),
-        ),
+        fleet=_fleet_config(args),
         seed=args.seed,
     )
     federation.deploy(app.sim_config())
@@ -371,6 +408,119 @@ def cmd_regions(args: argparse.Namespace) -> int:
     print(f"network mean/p95   : {routing.network_ms.mean_ms:8.2f} / "
           f"{routing.network_ms.p95_ms:.2f} ms")
     print(f"federation cost    : ${total_cost:.6f}")
+    return 0
+
+
+def cmd_replay(args: argparse.Namespace) -> int:
+    try:
+        shift_hours = tuple(
+            float(hour) for hour in args.shift_hours.split(",") if hour.strip()
+        )
+    except ValueError:
+        print(f"--shift-hours must be comma-separated numbers; got {args.shift_hours!r}")
+        return 1
+    trace = TraceGenerator(
+        app_count=args.apps,
+        duration_hours=args.duration_hours,
+        window_hours=args.window_hours,
+        seed=args.seed,
+        mean_requests_per_window=args.requests_per_window,
+        shift_hours=shift_hours,
+    ).generate()
+    stream = compile_trace(
+        trace,
+        model=make_arrival_model(args.arrival_model),
+        seed=args.seed,
+        scale=args.scale,
+    )
+    fleet = _fleet_config(args)
+    accumulator = WindowAccumulator(
+        window_s=args.window_hours * 3600.0, pricing=_pricing(args)
+    )
+    served = None
+    if args.regions:
+        regions = [name.strip() for name in args.regions.split(",") if name.strip()]
+        # Build the assigner first: a bad --region-weights list must fail
+        # before any federation is built or trace fleet deployed.
+        if args.assignment == "hash-affinity":
+            assigner = HashAffinity(regions)
+        else:
+            weights = None
+            if args.region_weights:
+                try:
+                    weights = [float(w) for w in args.region_weights.split(",")]
+                except ValueError:
+                    print(
+                        "--region-weights must be comma-separated numbers; "
+                        f"got {args.region_weights!r}"
+                    )
+                    return 1
+            try:
+                assigner = PopularityWeighted(regions, weights=weights, seed=args.seed)
+            except WorkloadError as error:
+                print(f"--region-weights invalid: {error}")
+                return 1
+        topology = RegionTopology.fully_connected(regions, default_ms=args.latency)
+        federation = RegionFederation(
+            topology,
+            policy=make_policy(args.routing, spillover_load=args.spillover),
+            platform=bench_platform_config(record_traces=False),
+            fleet=fleet,
+            seed=args.seed,
+        )
+        deploy_trace(federation, trace, exec_ms=args.exec_ms)
+        gateway = FederatedGateway(platform=federation)
+        expose_trace(gateway, trace)
+        summary = gateway.submit_stream(
+            as_paths(assign_regions(stream, assigner)), accumulator
+        )
+        served = federation.served_counts()
+    else:
+        platform = ClusterPlatform(
+            config=bench_platform_config(record_traces=False),
+            fleet=fleet,
+            seed=args.seed,
+        )
+        deploy_trace(platform, trace, exec_ms=args.exec_ms)
+        gateway = Gateway(platform)
+        expose_trace(gateway, trace)
+        summary = gateway.submit_stream(as_paths(stream), accumulator)
+    if summary.arrivals == 0:
+        print("trace compiled to zero arrivals; increase --scale or --requests-per-window")
+        return 1
+    print(
+        f"trace    : {args.apps} apps x {len(summary.windows)} windows "
+        f"({args.window_hours:.0f} h), model {args.arrival_model}, "
+        f"scale {args.scale:g}, seed {args.seed}"
+    )
+    shifts = ",".join(f"{hour:g}" for hour in shift_hours) or "none"
+    print(f"policy   : {args.scaling_policy}   shift hours : {shifts}")
+    if served is not None:
+        routed = "  ".join(f"{region}={count}" for region, count in served.items())
+        print(f"routing  : {args.routing} ({args.assignment})   served: {routed}")
+    print()
+    header = (
+        f"{'window':>6s} {'start h':>8s} {'arrivals':>8s} {'done':>8s} "
+        f"{'shed%':>6s} {'cold%':>6s} {'q p95 ms':>9s} {'GB-s':>9s} {'$':>10s}"
+    )
+    print(header)
+    print("-" * len(header))
+    for window in summary.windows:
+        print(
+            f"{window.index:6d} {window.start_s / 3600.0:8.1f} "
+            f"{window.arrivals:8d} {window.completed:8d} "
+            f"{window.shed_rate:6.1%} {window.cold_start_rate:6.1%} "
+            f"{window.queue_p95_ms:9.2f} {window.gb_seconds:9.1f} "
+            f"{window.cost.total_cost:10.6f}"
+        )
+    print()
+    print(f"arrivals           : {summary.arrivals:10d}")
+    print(f"completed          : {summary.completed:10d}")
+    print(f"shed               : {summary.shed:10d}")
+    print(f"cold-start rate    : {summary.cold_start_rate:10.4f}")
+    print(f"GB-seconds         : {summary.gb_seconds:10.1f}")
+    print(f"total cost         : ${summary.cost.total_cost:.6f}")
+    print(f"cost per 1k req    : ${summary.cost.per_1k_requests:.6f}")
     return 0
 
 
@@ -435,11 +585,7 @@ def build_parser() -> argparse.ArgumentParser:
     cluster.add_argument("--app", required=True, help="application key, e.g. R-SA")
     cluster.add_argument("--rate", type=float, default=5.0, help="arrivals per second")
     cluster.add_argument("--duration", type=float, default=600.0, help="seconds of traffic")
-    cluster.add_argument("--max-containers", type=int, default=16)
-    cluster.add_argument("--max-concurrency", type=int, default=1)
-    cluster.add_argument("--keep-alive", type=float, default=120.0)
-    cluster.add_argument("--seed", type=int, default=7)
-    _add_scaling_arguments(cluster, "--policy")
+    _add_fleet_arguments(cluster, "--policy", max_containers=16)
 
     regions = sub.add_parser(
         "regions",
@@ -475,14 +621,91 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="locality policy: spill when origin load reaches this",
     )
-    regions.add_argument("--max-containers", type=int, default=8)
-    regions.add_argument("--max-concurrency", type=int, default=1)
-    regions.add_argument("--keep-alive", type=float, default=120.0)
-    regions.add_argument(
-        "--queue-capacity", type=int, default=None, help="bounded queue; sheds beyond"
+    _add_fleet_arguments(regions, "--scaling-policy", max_containers=8)
+
+    replay = sub.add_parser(
+        "replay",
+        help="stream a production-shaped trace through the simulators",
+        epilog=(
+            "Generates the paper's Fig. 3/Fig. 10 fleet shape (Zipf "
+            "handler popularity, multi-entry apps, workload-shift events "
+            "at --shift-hours), compiles it into a lazy globally "
+            "time-ordered arrival stream (--arrival-model "
+            "uniform|poisson|diurnal), and streams it through the "
+            "cluster simulator — or a multi-region federation when "
+            "--regions is given (--assignment maps each app to its "
+            "origin region; --routing picks the serving region). "
+            "Metrics fold into per-window accumulators at bounded "
+            "memory, so multi-day, million-request replays fit in RAM; "
+            "the report is the per-window time series where shift-event "
+            "transients stay visible."
+        ),
     )
-    regions.add_argument("--seed", type=int, default=7)
-    _add_scaling_arguments(regions, "--scaling-policy")
+    replay.add_argument("--apps", type=int, default=24, help="trace fleet size")
+    replay.add_argument(
+        "--duration-hours", type=float, default=96.0, help="trace length, hours"
+    )
+    replay.add_argument(
+        "--window-hours", type=float, default=12.0, help="trace window size, hours"
+    )
+    replay.add_argument(
+        "--requests-per-window",
+        type=float,
+        default=600.0,
+        help="mean requests per app per window",
+    )
+    replay.add_argument(
+        "--scale",
+        type=float,
+        default=1.0,
+        help="multiply every window count (0.01 = 1%% volume smoke test)",
+    )
+    replay.add_argument(
+        "--arrival-model",
+        choices=ARRIVAL_MODEL_NAMES,
+        default="uniform",
+        help="intra-window arrival process",
+    )
+    replay.add_argument(
+        "--shift-hours",
+        default="48,72",
+        help="comma-separated workload-shift event hours ('' for none)",
+    )
+    replay.add_argument(
+        "--exec-ms", type=float, default=2.0, help="handler self-time per request"
+    )
+    replay.add_argument(
+        "--regions",
+        default=None,
+        help="comma-separated region names; enables federated replay",
+    )
+    replay.add_argument(
+        "--assignment",
+        choices=("hash-affinity", "popularity-weighted"),
+        default="hash-affinity",
+        help="app -> origin-region assignment",
+    )
+    replay.add_argument(
+        "--region-weights",
+        default=None,
+        help="popularity-weighted assignment: comma-separated region weights",
+    )
+    replay.add_argument(
+        "--routing",
+        choices=POLICY_NAMES,
+        default="least-loaded",
+        help="federated replay: routing policy",
+    )
+    replay.add_argument(
+        "--latency", type=float, default=80.0, help="inter-region latency, ms"
+    )
+    replay.add_argument(
+        "--spillover",
+        type=int,
+        default=None,
+        help="locality routing: spill when origin load reaches this",
+    )
+    _add_fleet_arguments(replay, "--policy", max_containers=8)
 
     optimize = sub.add_parser("optimize", help="apply a plan to a real workspace")
     optimize.add_argument("--workspace", required=True)
@@ -500,6 +723,7 @@ def main(argv: list[str] | None = None) -> int:
         "table2": cmd_table2,
         "cluster": cmd_cluster,
         "regions": cmd_regions,
+        "replay": cmd_replay,
         "optimize": cmd_optimize,
     }
     return handlers[args.command](args)

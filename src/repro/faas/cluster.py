@@ -36,6 +36,13 @@ fleets:
   a :class:`~repro.metrics.PricingModel` into a
   :class:`~repro.metrics.CostSummary`, so autoscaler experiments report
   dollars next to cold-start rate and queueing percentiles.
+* **Streaming replay** — :meth:`ClusterPlatform.run_stream` consumes a
+  lazy arrival stream (e.g. a compiled production trace from
+  :func:`repro.workloads.replay.compile_trace`) incrementally, folding
+  records into a :class:`~repro.metrics.WindowAccumulator` instead of
+  materializing them, so multi-day million-request replays run at
+  O(windows) memory.  Event processing is bit-identical to the batch
+  ``submit()``/``run()`` path.
 
 The service-cost model is shared with the single-pool simulator through
 :func:`repro.faas.sim.compiled_app`, so a :class:`~repro.plan.DeferralPlan`
@@ -57,6 +64,7 @@ import itertools
 import math
 from collections import deque
 from dataclasses import dataclass, field
+from typing import Callable, Iterable
 
 from repro.common.clock import VirtualClock
 from repro.common.errors import DeploymentError, SpecError, WorkloadError
@@ -76,6 +84,8 @@ from repro.metrics import (
     LatencySummary,
     PricingModel,
     RateSummary,
+    WindowAccumulator,
+    WindowedSummary,
 )
 from repro.plan import DeferralPlan
 
@@ -204,6 +214,49 @@ class _PendingRequest:
     arrival: float
 
 
+@dataclass(frozen=True)
+class _StreamSinks:
+    """Where a streaming replay's per-event facts go instead of RAM.
+
+    While installed (see :meth:`ClusterPlatform.run_stream`), completed
+    records, shed arrivals, and container retirements are handed to
+    these callbacks the moment they happen and are *not* retained on the
+    fleet — the platform's memory stays O(live containers + queued
+    requests) no matter how long the replay runs.
+    """
+
+    record: Callable[[InvocationRecord], None]
+    shed: Callable[[float], None]  # shed request's arrival time
+    provision: Callable[[float, float, float], None]  # start, end, memory_mb
+
+    @classmethod
+    def into(
+        cls,
+        accumulator: WindowAccumulator,
+        on_record: Callable[[InvocationRecord], None] | None = None,
+    ) -> "_StreamSinks":
+        """Sinks that fold everything into one windowed accumulator.
+
+        The single definition of what a streamed completion contributes
+        (arrival-window attribution, cold flag, queueing wait) — shared
+        by the cluster's and the federation's ``run_stream`` so the two
+        paths cannot diverge.  ``on_record`` taps the record stream.
+        """
+
+        def deliver(record: InvocationRecord) -> None:
+            accumulator.observe_completion(
+                record.timestamp, record.cold, record.queue_ms
+            )
+            if on_record is not None:
+                on_record(record)
+
+        return cls(
+            record=deliver,
+            shed=accumulator.observe_shed,
+            provision=accumulator.observe_provision,
+        )
+
+
 class _Fleet:
     """Mutable per-application fleet state."""
 
@@ -272,6 +325,7 @@ class ClusterPlatform:
         self._dropped: set[int] = set()
         self._last_arrival = self.clock.now()
         self._jitter_rngs: dict[str, SeededRNG] = {}
+        self._stream: _StreamSinks | None = None
 
     # -- deployment --------------------------------------------------------
 
@@ -377,6 +431,69 @@ class ClusterPlatform:
             produced.extend(fleet.records[before[name]:])
         produced.sort(key=lambda record: (record.timestamp + record.e2e_ms / 1000.0))
         return produced
+
+    def run_stream(
+        self,
+        arrivals: Iterable[tuple[float, str, str]],
+        accumulator: WindowAccumulator,
+        on_record: Callable[[InvocationRecord], None] | None = None,
+    ) -> WindowedSummary:
+        """Consume an arrival stream incrementally at bounded memory.
+
+        ``arrivals`` yields ``(arrival_s, app, entry)`` in non-decreasing
+        time order (e.g. from :func:`repro.workloads.replay.compile_trace`).
+        Each arrival is submitted and the event heap is drained up to its
+        timestamp before the next one is pulled, so the heap only ever
+        holds the causal frontier — never the whole schedule.  Completed
+        records, shed arrivals, and container retirements fold straight
+        into ``accumulator`` (a :class:`~repro.metrics.WindowAccumulator`)
+        instead of accumulating on the fleets, which is what lets a
+        million-request, multi-day replay run in O(windows) memory.
+
+        Event processing is bit-identical to the materialized
+        ``submit()``-then-``run()`` path — same heap, same tie-breaking —
+        so a streamed replay produces exactly the records a batch replay
+        would (pinned by ``tests/faas/test_stream.py``).  ``on_record``
+        taps the record stream (tests, exports); leave it ``None`` to
+        retain nothing.  While streaming, per-record history
+        (:meth:`records`, :meth:`fleet_stats`, :meth:`retirements`) is
+        not collected; the returned :class:`~repro.metrics.WindowedSummary`
+        is the run's report.
+        """
+        if self._stream is not None:
+            raise WorkloadError("a streaming replay is already in progress")
+        self._stream = _StreamSinks.into(accumulator, on_record)
+        try:
+            for at, name, entry in arrivals:
+                accumulator.observe_arrival(at)
+                self.submit(name, entry, at=at)
+                while self._events and self._events[0][0] <= at:
+                    self._step()
+            while self._events:
+                self._step()
+            self._flush_provisioned()
+        finally:
+            self._stream = None
+        return accumulator.finalize()
+
+    def _flush_provisioned(self) -> None:
+        """Report still-live containers' provisioned time to the stream.
+
+        Containers retired mid-replay streamed their lifetimes through
+        :meth:`_retire`; the tail of the fleet is still alive (or expired
+        but not yet lazily reaped) when the arrival stream ends, so its
+        GB-seconds are flushed here, mirroring :meth:`fleet_stats`'
+        alive-container accounting.
+        """
+        now = self.clock.now()
+        for fleet in self._fleets.values():
+            for container in fleet.containers:
+                end = min(now, self._expiry(fleet, container, now))
+                self._stream.provision(
+                    container.spawned_at,
+                    max(end, container.spawned_at),
+                    container.memory_mb,
+                )
 
     # -- results -----------------------------------------------------------
 
@@ -552,13 +669,18 @@ class ClusterPlatform:
         # estimate); for the eager PerRequest policy the two orderings
         # are provably identical, which the golden regression pins.
         capacity = fleet.fleet_config.queue_capacity
+        shed_self = False
         if capacity is not None:
             bookable = self._bookable_capacity(fleet, at)
             while len(fleet.queue) - bookable > capacity:
                 shed = fleet.queue.pop()  # newest arrival loses
                 fleet.rejected += 1
-                self._dropped.add(shed.token)
-        if token in self._dropped:
+                shed_self = shed_self or shed.token == token
+                if self._stream is not None:
+                    self._stream.shed(shed.arrival)
+                else:
+                    self._dropped.add(shed.token)
+        if shed_self or token in self._dropped:
             return
         fleet.policy.observe_arrival(fleet.policy_state, at)
         self._scale(fleet, at)
@@ -663,7 +785,14 @@ class ClusterPlatform:
         lifetime = max(0.0, at - container.spawned_at)
         fleet.retired_container_seconds += lifetime
         fleet.retired_gb_seconds += lifetime * container.memory_mb / 1024.0
-        fleet.retirements.append((container.container_id, at))
+        if self._stream is not None:
+            self._stream.provision(
+                container.spawned_at,
+                container.spawned_at + lifetime,
+                container.memory_mb,
+            )
+        else:
+            fleet.retirements.append((container.container_id, at))
 
     def _view(self, fleet: _Fleet, now: float) -> FleetView:
         """Snapshot the fleet for a scaling decision (live containers only)."""
@@ -793,8 +922,14 @@ class ClusterPlatform:
         )
         if cold:
             fleet.cold_starts += 1
-        fleet.records.append(record)
-        self._finished[request.token] = record
+        if self._stream is not None:
+            # Streaming replay: the record flows to the sink and is gone;
+            # retaining it (or the token -> record map) would make memory
+            # O(requests), the exact failure mode run_stream exists to fix.
+            self._stream.record(record)
+        else:
+            fleet.records.append(record)
+            self._finished[request.token] = record
         self._push(finish, _COMPLETE, (fleet.config.name, container.seq, request.token))
 
     def _fleet_jitter(self, fleet: _Fleet) -> float:

@@ -129,3 +129,46 @@ class Gateway:
         for at, entry in schedule:
             decisions.extend(self.submit(f"/{app}/{entry}", at))
         return decisions
+
+    def submit_stream(self, stream, accumulator, on_record=None):
+        """Stream ``(arrival_s, path)`` pairs through the platform.
+
+        The streaming analogue of :meth:`submit_schedule` for back ends
+        exposing ``run_stream`` (the cluster simulator): each arrival is
+        routed (hit counts bumped, monitor fed) and handed to the
+        platform *incrementally*, and completed records fold into
+        ``accumulator`` (a :class:`~repro.metrics.WindowAccumulator`)
+        rather than materializing.  Returns the finalized
+        :class:`~repro.metrics.WindowedSummary`.  Monitor window
+        decisions are observed but not collected — a million-request
+        replay must not build a decision list either.
+        """
+        run_stream = getattr(self.platform, "run_stream", None)
+        if run_stream is None:
+            raise DeploymentError(
+                f"platform {type(self.platform).__name__} does not support "
+                "streaming replay; use submit_schedule() instead"
+            )
+        arrivals = (
+            (at, app, entry)
+            for at, app, entry, *_ in self._route_arrivals(stream)
+        )
+        return run_stream(arrivals, accumulator, on_record=on_record)
+
+    def _route_arrivals(self, stream):
+        """Route a lazy ``(arrival_s, path, *extras)`` stream.
+
+        The shared front half of every streaming submit path: resolves
+        each function URL, bumps hit counts, feeds the monitor, and
+        yields ``(arrival_s, app, entry, *extras)`` — extras (e.g. an
+        origin region) pass through untouched for subclasses to consume.
+        """
+        for item in stream:
+            at, path = item[0], item[1]
+            route = self._routes.get(path)
+            if route is None:
+                raise DeploymentError(f"no route for path {path!r}")
+            self._hits[path] = self._hits.get(path, 0) + 1
+            if self.monitor is not None:
+                self.monitor.observe(route.entry, at)
+            yield (at, route.app, route.entry, *item[2:])

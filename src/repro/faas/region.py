@@ -41,16 +41,16 @@ from __future__ import annotations
 import heapq
 import itertools
 from dataclasses import dataclass, field
-from typing import Iterable, Mapping, Sequence
+from typing import Callable, Iterable, Mapping, Sequence
 
 from repro.common.clock import VirtualClock
 from repro.common.errors import DeploymentError, SpecError, WorkloadError
 from repro.common.rng import derive_seed
-from repro.faas.cluster import ClusterPlatform, FleetConfig, FleetStats
+from repro.faas.cluster import ClusterPlatform, FleetConfig, FleetStats, _StreamSinks
 from repro.faas.events import InvocationRecord
 from repro.faas.gateway import Gateway
 from repro.faas.sim import SimAppConfig, SimPlatformConfig
-from repro.metrics import PricingModel, RoutingSummary
+from repro.metrics import PricingModel, RoutingSummary, WindowAccumulator, WindowedSummary
 from repro.plan import DeferralPlan
 
 
@@ -361,6 +361,12 @@ class RegionFederation:
         self._delivery_seq = itertools.count()
         self._last_submit = self.clock.now()
         self._record_marks: dict[tuple[str, str], int] = {}
+        #: Requests routed to each (region, app), maintained incrementally
+        #: so :meth:`served_counts` never scans the assignment list (and
+        #: keeps working in streaming mode, where assignments are not
+        #: retained at all).
+        self._served: dict[tuple[str, str], int] = {}
+        self._streaming = False
         #: Routed-but-undelivered arrivals per (region, app): requests
         #: still on the wire.  Policies must see them, or near-simultaneous
         #: submissions over a slow link would all pile onto the region that
@@ -436,16 +442,21 @@ class RegionFederation:
                 f"policy {self.policy.name!r} chose invalid region {chosen!r}"
             )
         network_ms = self.topology.latency_ms(origin_name, chosen)
-        self.assignments.append(
-            RouteAssignment(
-                app=name,
-                entry=entry,
-                origin=origin_name,
-                region=chosen,
-                at=at,
-                network_ms=network_ms,
+        self._served[(chosen, name)] = self._served.get((chosen, name), 0) + 1
+        if not self._streaming:
+            # Streaming replays must not retain one RouteAssignment per
+            # request; they report routing through served_counts() and
+            # the windowed accumulator instead of routing_summary().
+            self.assignments.append(
+                RouteAssignment(
+                    app=name,
+                    entry=entry,
+                    origin=origin_name,
+                    region=chosen,
+                    at=at,
+                    network_ms=network_ms,
+                )
             )
-        )
         heapq.heappush(
             self._deliveries,
             (
@@ -478,6 +489,50 @@ class RegionFederation:
                 self._record_marks[(region, app)] = len(records)
         produced.sort(key=lambda record: (record.timestamp + record.e2e_ms / 1000.0))
         return produced
+
+    def run_stream(
+        self,
+        arrivals: Iterable[tuple[float, str, str, str | None]],
+        accumulator: WindowAccumulator,
+        on_record: Callable[[InvocationRecord], None] | None = None,
+    ) -> WindowedSummary:
+        """Consume a region-tagged arrival stream at bounded memory.
+
+        The federated analogue of
+        :meth:`~repro.faas.cluster.ClusterPlatform.run_stream`:
+        ``arrivals`` yields ``(arrival_s, app, entry, origin)`` in
+        non-decreasing origin-time order (e.g. a compiled trace run
+        through :func:`repro.workloads.replay.assign_regions`).  Each
+        arrival is routed at its origin time — :meth:`submit` already
+        advances every region to that instant, so the stream drains
+        incrementally — while completed records, shed arrivals, and
+        container retirements from *all* regions fold into one shared
+        ``accumulator``.  Per-request routing assignments are not
+        retained (see :meth:`served_counts` for the O(regions × apps)
+        view); records attribute to the window of their *regional*
+        arrival, so a forwarded request's wire time shifts its window
+        exactly as it shifts its regional timestamp.
+        """
+        if self._streaming or any(
+            platform._stream is not None for platform in self.platforms.values()
+        ):
+            raise WorkloadError("a streaming replay is already in progress")
+        sinks = _StreamSinks.into(accumulator, on_record)
+        self._streaming = True
+        for platform in self.platforms.values():
+            platform._stream = sinks
+        try:
+            for at, name, entry, origin in arrivals:
+                accumulator.observe_arrival(at)
+                self.submit(name, entry, at=at, origin=origin)
+            self.run()
+            for platform in self.platforms.values():
+                platform._flush_provisioned()
+        finally:
+            self._streaming = False
+            for platform in self.platforms.values():
+                platform._stream = None
+        return accumulator.finalize()
 
     def _advance(self, to: float) -> None:
         """Process all regional events with timestamps <= ``to``.
@@ -526,9 +581,9 @@ class RegionFederation:
     def served_counts(self, name: str | None = None) -> dict[str, int]:
         """Requests routed to each region (including not-yet-delivered)."""
         counts = {region: 0 for region in self.topology.names()}
-        for assignment in self.assignments:
-            if name is None or assignment.app == name:
-                counts[assignment.region] += 1
+        for (region, app), count in self._served.items():
+            if name is None or app == name:
+                counts[region] += count
         return counts
 
     def routing_summary(self) -> RoutingSummary:
@@ -587,6 +642,25 @@ class FederatedGateway(Gateway):
             origin = item[2] if len(item) > 2 else None
             decisions.extend(self.submit(f"/{app}/{entry}", at, origin=origin))
         return decisions
+
+    def submit_stream(self, stream, accumulator, on_record=None):
+        """Stream ``(arrival_s, path[, origin])`` through the federation.
+
+        The region-tagged analogue of :meth:`Gateway.submit_stream`:
+        items may carry an origin region (the shape
+        :func:`repro.workloads.replay.as_paths` produces from an
+        :func:`~repro.workloads.replay.assign_regions`-tagged stream);
+        untagged items originate in the topology's first region.  Routes
+        each arrival (hit counts, monitor) and delegates to
+        :meth:`RegionFederation.run_stream`, returning the finalized
+        :class:`~repro.metrics.WindowedSummary`.
+        """
+
+        arrivals = (
+            (at, app, entry, extras[0] if extras else None)
+            for at, app, entry, *extras in self._route_arrivals(stream)
+        )
+        return self.platform.run_stream(arrivals, accumulator, on_record=on_record)
 
 
 def replay_federated_workload(

@@ -1,10 +1,11 @@
 """Latency, memory, and rate statistics used throughout the evaluation
 harness — including the cluster fleet metrics (offered load, queueing
 delay percentiles), the multi-region routing aggregation
-(:class:`RoutingSummary`: locality fraction, forwarding hop cost), and
-the fleet cost view (:class:`CostSummary` over a configurable
+(:class:`RoutingSummary`: locality fraction, forwarding hop cost), the
+fleet cost view (:class:`CostSummary` over a configurable
 :class:`PricingModel`: GB-seconds, cold-start surcharge, $ per 1k
-requests)."""
+requests), and the bounded-memory windowed time series streaming replays
+fold into (:class:`WindowAccumulator` → :class:`WindowedSummary`)."""
 
 from repro.metrics.stats import (
     DEFAULT_PRICING,
@@ -19,6 +20,11 @@ from repro.metrics.stats import (
     percentile,
     speedup,
 )
+from repro.metrics.windows import (
+    WindowAccumulator,
+    WindowedSummary,
+    WindowStats,
+)
 
 __all__ = [
     "DEFAULT_PRICING",
@@ -29,6 +35,9 @@ __all__ = [
     "RateSummary",
     "RoutingSummary",
     "SpeedupReport",
+    "WindowAccumulator",
+    "WindowedSummary",
+    "WindowStats",
     "mean",
     "percentile",
     "speedup",

@@ -1,4 +1,6 @@
-"""Workload substrate: entry-point popularity, arrivals, production traces."""
+"""Workload substrate: entry-point popularity, arrivals, production
+traces, and the streaming replay compiler that turns traces into lazy,
+globally time-ordered arrival streams (:mod:`repro.workloads.replay`)."""
 
 from repro.workloads.popularity import EntryMix, zipf_mix
 from repro.workloads.arrival import (
@@ -9,6 +11,21 @@ from repro.workloads.arrival import (
     poisson_schedule,
     regional_poisson_schedules,
     tag_schedule,
+)
+from repro.workloads.replay import (
+    ARRIVAL_MODEL_NAMES,
+    ArrivalModel,
+    DiurnalArrivals,
+    ExplicitMap,
+    HashAffinity,
+    PoissonArrivals,
+    PopularityWeighted,
+    RegionAssigner,
+    UniformArrivals,
+    as_paths,
+    assign_regions,
+    compile_trace,
+    make_arrival_model,
 )
 from repro.workloads.trace import AppTrace, ProductionTrace, TraceGenerator
 
@@ -22,6 +39,19 @@ __all__ = [
     "merge_tagged_schedules",
     "regional_poisson_schedules",
     "tag_schedule",
+    "ARRIVAL_MODEL_NAMES",
+    "ArrivalModel",
+    "DiurnalArrivals",
+    "ExplicitMap",
+    "HashAffinity",
+    "PoissonArrivals",
+    "PopularityWeighted",
+    "RegionAssigner",
+    "UniformArrivals",
+    "as_paths",
+    "assign_regions",
+    "compile_trace",
+    "make_arrival_model",
     "AppTrace",
     "ProductionTrace",
     "TraceGenerator",

@@ -1,0 +1,363 @@
+"""Streaming trace replay: lazy arrival streams from production traces.
+
+:class:`~repro.workloads.trace.ProductionTrace` describes a fleet as
+*windowed invocation counts* — per app, per 12-hour window, per handler.
+The simulators consume *arrivals* — globally time-ordered ``(second, app,
+entry)`` events.  This module compiles the former into the latter without
+ever materializing the full request list, which is what lets a multi-day,
+million-request trace drive :class:`~repro.faas.cluster.ClusterPlatform`
+or :class:`~repro.faas.region.RegionFederation` at bounded memory:
+
+* **Intra-window arrival models** (:class:`ArrivalModel`) expand one
+  window's count into arrival times: :class:`UniformArrivals` (order
+  statistics of i.i.d. uniforms — a Poisson process conditioned on the
+  count), :class:`PoissonArrivals` (an *unconditioned* Poisson process at
+  the window's mean rate, so per-window volumes wobble like real
+  traffic), and :class:`DiurnalArrivals` (intensity modulated by the time
+  of day, so a 12-hour window is front- or back-loaded depending on where
+  it sits in the diurnal cycle).
+* **Lazy compilation** (:func:`compile_trace`): each app is a generator
+  that expands one window at a time; ``heapq.merge`` interleaves the
+  per-app generators into one globally non-decreasing stream.  Peak
+  memory is O(apps × one window's arrivals), never O(total requests).
+* **Region assignment** (:class:`RegionAssigner`): :func:`assign_regions`
+  tags each event with an origin region — hash-affinity (stable app →
+  home-region mapping), popularity-weighted (regions draw apps in
+  proportion to configured weights), or an explicit map — producing the
+  ``(at, app, entry, origin)`` stream the federation's streaming path
+  consumes.
+Deploying the trace's synthetic apps onto a platform is the job of
+:mod:`repro.faas.replaydeploy` (``trace_app_config`` / ``deploy_trace``
+/ ``expose_trace``) — this module stays below the ``faas`` layer and
+never imports it.
+
+Everything is deterministic: per-(app, window, handler) RNGs derive from
+the replay seed by label, so adding an app or reordering handlers never
+perturbs another app's arrivals, and identical seeds reproduce identical
+streams event-for-event.
+"""
+
+from __future__ import annotations
+
+import heapq
+import math
+from dataclasses import dataclass
+from typing import Iterable, Iterator, Mapping, Protocol, runtime_checkable
+
+from repro.common.errors import WorkloadError
+from repro.common.rng import SeededRNG, derive_seed
+from repro.workloads.trace import AppTrace, ProductionTrace
+
+#: One compiled arrival: ``(arrival_s, app, entry)``.
+ReplayEvent = tuple[float, str, str]
+#: A region-tagged arrival: ``(arrival_s, app, entry, origin_region)``.
+TaggedReplayEvent = tuple[float, str, str, str]
+
+
+# -- intra-window arrival models -------------------------------------------
+
+
+@runtime_checkable
+class ArrivalModel(Protocol):
+    """Expands one window's invocation count into arrival times.
+
+    Implementations return *sorted* times in ``[start_s, start_s +
+    window_s)`` and must be pure functions of the RNG handed to them —
+    the replay compiler derives one RNG per (app, window, handler), so a
+    model never observes global state.
+    """
+
+    name: str
+
+    def times(
+        self, rng: SeededRNG, start_s: float, window_s: float, count: int
+    ) -> list[float]:
+        ...  # pragma: no cover - protocol stub
+
+
+def _clip(value: float, start_s: float, window_s: float) -> float:
+    """Keep float arithmetic from leaking an arrival past the window end."""
+    end = start_s + window_s
+    return min(max(value, start_s), math.nextafter(end, start_s))
+
+
+@dataclass(frozen=True)
+class UniformArrivals:
+    """I.i.d. uniform arrival times — Poisson conditioned on the count.
+
+    Exactly ``count`` arrivals per window, spread without intra-window
+    structure; the faithful reading of "this window saw N invocations".
+    """
+
+    name: str = "uniform"
+
+    def times(
+        self, rng: SeededRNG, start_s: float, window_s: float, count: int
+    ) -> list[float]:
+        return sorted(
+            _clip(rng.uniform(start_s, start_s + window_s), start_s, window_s)
+            for _ in range(count)
+        )
+
+
+@dataclass(frozen=True)
+class PoissonArrivals:
+    """An unconditioned Poisson process at the window's mean rate.
+
+    The window count becomes an *intensity* (``count / window_s``); the
+    realized number of arrivals is Poisson-distributed around it, so
+    replays carry the sampling noise production traffic would.
+    """
+
+    name: str = "poisson"
+
+    def times(
+        self, rng: SeededRNG, start_s: float, window_s: float, count: int
+    ) -> list[float]:
+        if count <= 0:
+            return []
+        rate = count / window_s
+        times: list[float] = []
+        now = start_s
+        while True:
+            now += rng.expovariate(rate)
+            if now >= start_s + window_s:
+                return times
+            times.append(now)
+
+
+@dataclass(frozen=True)
+class DiurnalArrivals:
+    """Diurnal ramp: intensity follows the time of day.
+
+    Arrival intensity within the window is ``1 + amplitude * sin(2π *
+    (t - peak_hour·3600) / period)`` (floored at a small positive value),
+    evaluated on ``sub_bins`` sub-intervals; each of the window's
+    ``count`` arrivals picks a sub-interval in proportion to its
+    intensity, then lands uniformly inside it.  A 12-hour trace window
+    therefore front- or back-loads depending on where it sits in the
+    day, and consecutive windows join into a continuous diurnal wave.
+    """
+
+    amplitude: float = 0.8
+    period_s: float = 86_400.0
+    peak_hour: float = 14.0  # intensity peaks at 14:00 trace time
+    sub_bins: int = 24
+    name: str = "diurnal"
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.amplitude <= 1.0:
+            raise WorkloadError(f"amplitude must be in [0, 1]: {self.amplitude}")
+        if self.period_s <= 0:
+            raise WorkloadError(f"period must be positive: {self.period_s}")
+        if self.sub_bins < 1:
+            raise WorkloadError(f"need at least one sub-bin: {self.sub_bins}")
+
+    def _intensity(self, at_s: float) -> float:
+        phase = 2.0 * math.pi * (at_s - self.peak_hour * 3600.0) / self.period_s
+        # The peak lands at peak_hour (cos of the offset phase).
+        return max(1e-6, 1.0 + self.amplitude * math.cos(phase))
+
+    def times(
+        self, rng: SeededRNG, start_s: float, window_s: float, count: int
+    ) -> list[float]:
+        if count <= 0:
+            return []
+        bin_s = window_s / self.sub_bins
+        centers = [start_s + (index + 0.5) * bin_s for index in range(self.sub_bins)]
+        weights = [self._intensity(center) for center in centers]
+        bins = list(range(self.sub_bins))
+        times = []
+        for _ in range(count):
+            index = rng.weighted_choice(bins, weights)
+            low = start_s + index * bin_s
+            times.append(_clip(rng.uniform(low, low + bin_s), start_s, window_s))
+        times.sort()
+        return times
+
+
+#: CLI-facing arrival-model registry (see ``slimstart replay``).
+ARRIVAL_MODEL_NAMES = ("uniform", "poisson", "diurnal")
+
+
+def make_arrival_model(name: str) -> ArrivalModel:
+    """Build an intra-window arrival model from its CLI name."""
+    if name == "uniform":
+        return UniformArrivals()
+    if name == "poisson":
+        return PoissonArrivals()
+    if name == "diurnal":
+        return DiurnalArrivals()
+    raise WorkloadError(
+        f"unknown arrival model: {name!r} (choose from {ARRIVAL_MODEL_NAMES})"
+    )
+
+
+# -- trace compilation ------------------------------------------------------
+
+
+def compile_trace(
+    trace: ProductionTrace,
+    model: ArrivalModel | None = None,
+    seed: int = 0,
+    start_s: float = 0.0,
+    scale: float = 1.0,
+) -> Iterator[ReplayEvent]:
+    """Compile a trace into a lazy, globally time-ordered arrival stream.
+
+    Yields ``(arrival_s, app, entry)`` with non-decreasing arrival times.
+    Each app advances one window at a time through ``model`` (default
+    :class:`UniformArrivals`); ``scale`` multiplies every window count
+    (deterministic rounding), so the same trace replays at 1 % volume for
+    a smoke test or full volume for the real experiment.  The result is a
+    generator — peak memory is one window's arrivals per app, regardless
+    of the trace's total request count.
+    """
+    if scale <= 0:
+        raise WorkloadError(f"scale must be positive: {scale}")
+    arrival_model = model if model is not None else UniformArrivals()
+    window_s = trace.window_hours * 3600.0
+
+    def app_stream(index: int, app: AppTrace) -> Iterator[tuple]:
+        for window_index, counts in enumerate(app.windows):
+            window_start = start_s + window_index * window_s
+            batch: list[tuple] = []
+            for entry in app.handlers:  # stable handler order
+                count = int(round(counts.get(entry, 0) * scale))
+                if count <= 0:
+                    continue
+                rng = SeededRNG(
+                    derive_seed(seed, "replay", app.name, window_index, entry)
+                )
+                for at in arrival_model.times(rng, window_start, window_s, count):
+                    batch.append((at, index, entry))
+            batch.sort()
+            yield from batch
+
+    streams = [app_stream(index, app) for index, app in enumerate(trace.apps)]
+    names = [app.name for app in trace.apps]
+    for at, index, entry in heapq.merge(*streams):
+        yield (at, names[index], entry)
+
+
+def as_paths(
+    stream: Iterable[ReplayEvent] | Iterable[TaggedReplayEvent],
+) -> Iterator[tuple]:
+    """Project a replay stream onto conventional gateway URLs.
+
+    ``(at, app, entry)`` becomes ``(at, "/<app>/<entry>")`` — the shape
+    :meth:`repro.faas.gateway.Gateway.submit_stream` consumes — and any
+    trailing fields (e.g. the origin region added by
+    :func:`assign_regions`) pass through unchanged, so the same helper
+    feeds the federated gateway's stream path.
+    """
+    for item in stream:
+        at, app, entry = item[0], item[1], item[2]
+        yield (at, f"/{app}/{entry}", *item[3:])
+
+
+# -- region assignment ------------------------------------------------------
+
+
+@runtime_checkable
+class RegionAssigner(Protocol):
+    """Maps an application to the region its traffic originates in.
+
+    Assignment is per *app*, not per request: a production tenant's
+    clients sit somewhere, so all of an app's arrivals share one origin
+    (routing policies may still serve them elsewhere).  Implementations
+    must be deterministic in the app name alone.
+    """
+
+    name: str
+
+    def region_for(self, app: str) -> str:
+        ...  # pragma: no cover - protocol stub
+
+
+def _check_regions(regions: tuple[str, ...]) -> tuple[str, ...]:
+    if not regions:
+        raise WorkloadError("assigner needs at least one region")
+    if len(set(regions)) != len(regions):
+        raise WorkloadError(f"duplicate regions: {regions}")
+    return regions
+
+
+class HashAffinity:
+    """Stable hash of the app name picks its home region.
+
+    Independent of app order and of the other apps in the trace: adding
+    an app never moves an existing one.
+    """
+
+    name = "hash-affinity"
+
+    def __init__(self, regions: Iterable[str]) -> None:
+        self.regions = _check_regions(tuple(regions))
+
+    def region_for(self, app: str) -> str:
+        return self.regions[derive_seed(0, "affinity", app) % len(self.regions)]
+
+
+class PopularityWeighted:
+    """Regions draw apps in proportion to configured popularity weights.
+
+    Models a skewed user base (most tenants sit in the big region).  The
+    draw is seeded per app, so assignment is stable under app reordering.
+    """
+
+    name = "popularity-weighted"
+
+    def __init__(
+        self,
+        regions: Iterable[str],
+        weights: Iterable[float] | None = None,
+        seed: int = 0,
+    ) -> None:
+        self.regions = _check_regions(tuple(regions))
+        self.weights = (
+            tuple(weights) if weights is not None else (1.0,) * len(self.regions)
+        )
+        if len(self.weights) != len(self.regions):
+            raise WorkloadError(
+                f"{len(self.regions)} regions but {len(self.weights)} weights"
+            )
+        if any(weight < 0 for weight in self.weights) or sum(self.weights) <= 0:
+            raise WorkloadError(f"invalid region weights: {self.weights}")
+        self.seed = seed
+
+    def region_for(self, app: str) -> str:
+        rng = SeededRNG(derive_seed(self.seed, "assign", app))
+        return rng.weighted_choice(self.regions, self.weights)
+
+
+class ExplicitMap:
+    """A hand-written app → region map, with an optional default."""
+
+    name = "explicit"
+
+    def __init__(self, mapping: Mapping[str, str], default: str | None = None) -> None:
+        self.mapping = dict(mapping)
+        self.default = default
+
+    def region_for(self, app: str) -> str:
+        region = self.mapping.get(app, self.default)
+        if region is None:
+            raise WorkloadError(f"no region assigned for app {app!r}")
+        return region
+
+
+def assign_regions(
+    stream: Iterable[ReplayEvent], assigner: RegionAssigner
+) -> Iterator[TaggedReplayEvent]:
+    """Tag each replay event with its app's origin region (lazily).
+
+    The per-app assignment is memoized, so the assigner is consulted once
+    per app — O(apps) state on top of the stream's own bounded buffer.
+    """
+    homes: dict[str, str] = {}
+    for at, app, entry in stream:
+        home = homes.get(app)
+        if home is None:
+            home = homes[app] = assigner.region_for(app)
+        yield at, app, entry, home

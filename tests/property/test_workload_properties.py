@@ -164,3 +164,96 @@ class TestScheduleTools:
         for gap_start, gap_length in idle_gaps(schedule, keep_alive):
             assert gap_length > keep_alive
             assert any(at == pytest.approx(gap_start) for at, _ in schedule)
+
+
+class TestTaggedScheduleProperties:
+    """The invariants the replay heap-merge relies on, pinned for the
+    region-tagged schedule tools: determinism under a fixed seed and
+    global non-decreasing time order with per-stream counts preserved."""
+
+    @given(mixes(), mixes(), _seeds)
+    @settings(max_examples=30)
+    def test_merge_tagged_preserves_order_and_counts(self, mix_a, mix_b, seed):
+        from repro.workloads.arrival import merge_tagged_schedules
+
+        one = poisson_schedule(mix_a, 2.0, 100.0, seed=seed)
+        two = poisson_schedule(mix_b, 3.0, 100.0, seed=seed + 1)
+        merged = merge_tagged_schedules([("us", one), ("eu", two)])
+        times = [at for at, _, _ in merged]
+        assert times == sorted(times)
+        assert len(merged) == len(one) + len(two)
+        assert sum(1 for _, _, region in merged if region == "us") == len(one)
+        assert [
+            (at, entry) for at, entry, region in merged if region == "eu"
+        ] == two
+
+    @given(mixes(), mixes(), _seeds)
+    @settings(max_examples=30)
+    def test_merge_tagged_deterministic_under_fixed_inputs(self, mix_a, mix_b, seed):
+        from repro.workloads.arrival import merge_tagged_schedules
+
+        streams = [
+            ("us", poisson_schedule(mix_a, 2.0, 80.0, seed=seed)),
+            ("eu", poisson_schedule(mix_b, 1.0, 80.0, seed=seed + 1)),
+        ]
+        assert merge_tagged_schedules(streams) == merge_tagged_schedules(streams)
+
+    @given(mixes(), _seeds)
+    @settings(max_examples=30)
+    def test_regional_poisson_sorted_and_deterministic(self, mix, seed):
+        from repro.workloads.arrival import regional_poisson_schedules
+
+        rates = {"us": 3.0, "eu": 1.0, "ap": 0.5}
+        one = regional_poisson_schedules(mix, rates, duration_s=120.0, seed=seed)
+        two = regional_poisson_schedules(mix, rates, duration_s=120.0, seed=seed)
+        assert one == two
+        times = [at for at, _, _ in one]
+        assert times == sorted(times)
+        assert {region for _, _, region in one} <= set(rates)
+
+    @given(mixes(), _seeds)
+    @settings(max_examples=20)
+    def test_regional_poisson_regions_are_independent(self, mix, seed):
+        """Adding a region never perturbs the other regions' streams."""
+        from repro.workloads.arrival import regional_poisson_schedules
+
+        base = regional_poisson_schedules(
+            mix, {"us": 2.0, "eu": 1.0}, duration_s=100.0, seed=seed
+        )
+        widened = regional_poisson_schedules(
+            mix, {"us": 2.0, "eu": 1.0, "ap": 4.0}, duration_s=100.0, seed=seed
+        )
+        kept = [item for item in widened if item[2] != "ap"]
+        assert kept == base
+
+
+class TestReplayStreamProperties:
+    """The replay compiler's core invariants: globally non-decreasing
+    arrival times, determinism under a fixed seed, and exact volume for
+    count-preserving arrival models."""
+
+    @given(
+        st.integers(min_value=1, max_value=5),
+        st.integers(min_value=1, max_value=4),
+        _seeds,
+        _seeds,
+    )
+    @settings(max_examples=20, deadline=None)
+    def test_compiled_stream_sorted_deterministic_exact(
+        self, apps, windows, trace_seed, replay_seed
+    ):
+        from repro.workloads.replay import compile_trace
+        from repro.workloads.trace import TraceGenerator
+
+        trace = TraceGenerator(
+            app_count=apps,
+            duration_hours=windows * 6.0,
+            window_hours=6.0,
+            mean_requests_per_window=60.0,
+            seed=trace_seed,
+        ).generate()
+        events = list(compile_trace(trace, seed=replay_seed))
+        times = [at for at, _, _ in events]
+        assert times == sorted(times)
+        assert events == list(compile_trace(trace, seed=replay_seed))
+        assert len(events) == sum(app.total_invocations() for app in trace.apps)

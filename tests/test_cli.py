@@ -260,3 +260,99 @@ class TestAutoscalerFlags:
                 ["cluster", "--app", "R-GB", "--duration", "30",
                  "--policy", "target-utilization", "--target", "1.5"]
             )
+
+
+class TestReplayCommand:
+    def test_parser_defaults(self):
+        args = build_parser().parse_args(["replay"])
+        assert args.command == "replay"
+        assert args.apps == 24
+        assert args.arrival_model == "uniform"
+        assert args.scaling_policy == "per-request"
+        assert args.regions is None
+        assert args.max_containers == 8
+        assert args.queue_capacity is None
+
+    def test_replay_prints_window_series(self, capsys):
+        code = main(
+            ["replay", "--apps", "4", "--duration-hours", "24",
+             "--window-hours", "12", "--scale", "0.05", "--seed", "11"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "window" in out and "cold%" in out and "GB-s" in out
+        assert "cold-start rate" in out
+        assert "cost per 1k req" in out
+
+    def test_replay_is_deterministic_under_seed(self, capsys):
+        argv = ["replay", "--apps", "3", "--duration-hours", "24",
+                "--window-hours", "12", "--scale", "0.05", "--seed", "23",
+                "--arrival-model", "diurnal"]
+        assert main(argv) == 0
+        first = capsys.readouterr().out
+        assert main(argv) == 0
+        assert capsys.readouterr().out == first
+
+    def test_replay_federated_mode_reports_routing(self, capsys):
+        code = main(
+            ["replay", "--apps", "4", "--duration-hours", "24",
+             "--window-hours", "12", "--scale", "0.05", "--seed", "3",
+             "--regions", "us,eu", "--routing", "locality",
+             "--assignment", "popularity-weighted", "--region-weights", "3,1"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "routing  : locality (popularity-weighted)" in out
+        assert "us=" in out and "eu=" in out
+
+    def test_replay_accepts_scaling_policy_flags(self, capsys):
+        code = main(
+            ["replay", "--apps", "3", "--duration-hours", "24",
+             "--window-hours", "12", "--scale", "0.05", "--seed", "3",
+             "--policy", "panic-window", "--panic-threshold", "3.0"]
+        )
+        assert code == 0
+        assert "policy   : panic-window" in capsys.readouterr().out
+
+    def test_replay_rejects_malformed_shift_hours(self, capsys):
+        code = main(["replay", "--shift-hours", "4,x"])
+        assert code == 1
+        assert "comma-separated numbers" in capsys.readouterr().out
+
+    def test_replay_rejects_malformed_region_weights(self, capsys):
+        code = main(
+            ["replay", "--apps", "2", "--regions", "us,eu",
+             "--assignment", "popularity-weighted", "--region-weights", "1,x"]
+        )
+        assert code == 1
+        assert "region-weights" in capsys.readouterr().out
+
+    def test_replay_rejects_unknown_arrival_model(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["replay", "--arrival-model", "fractal"])
+
+    def test_replay_zero_arrivals_fails_loudly(self, capsys):
+        code = main(
+            ["replay", "--apps", "1", "--duration-hours", "12",
+             "--requests-per-window", "0.0001", "--scale", "0.0001"]
+        )
+        assert code == 1
+        assert "zero arrivals" in capsys.readouterr().out
+
+    def test_cluster_gained_shared_queue_capacity_flag(self, capsys):
+        code = main(
+            ["cluster", "--app", "R-GB", "--rate", "8", "--duration", "60",
+             "--max-containers", "1", "--queue-capacity", "0",
+             "--keep-alive", "30"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "rejected" in out
+
+    def test_replay_rejects_mismatched_region_weights(self, capsys):
+        code = main(
+            ["replay", "--apps", "2", "--regions", "us,eu",
+             "--assignment", "popularity-weighted", "--region-weights", "1,2,3"]
+        )
+        assert code == 1
+        assert "--region-weights invalid" in capsys.readouterr().out

@@ -138,3 +138,122 @@ class TestCostModel:
         cost = CostSummary.from_usage(gb_seconds=1000.0, requests=1000, container_boots=0)
         assert cost.compute_cost == pytest.approx(1000.0 * DEFAULT_PRICING.per_gb_second)
         assert cost.request_cost == pytest.approx(0.0002)
+
+
+class TestWindowedMetrics:
+    def make_accumulator(self, window_s=60.0, pricing=None):
+        from repro.metrics import WindowAccumulator
+
+        return WindowAccumulator(window_s=window_s, pricing=pricing)
+
+    def test_window_bucketing_by_arrival_time(self):
+        acc = self.make_accumulator(window_s=60.0)
+        for at in (0.0, 59.9, 60.0, 125.0):
+            acc.observe_arrival(at)
+        summary = acc.finalize()
+        assert [w.index for w in summary.windows] == [0, 1, 2]
+        assert [w.arrivals for w in summary.windows] == [2, 1, 1]
+        assert summary.arrivals == 4
+
+    def test_completion_attributes_to_arrival_window(self):
+        acc = self.make_accumulator(window_s=60.0)
+        acc.observe_arrival(59.0)
+        # Long service: the request finishes minutes later, but its
+        # metrics belong to the window it arrived in.
+        acc.observe_completion(59.0, cold=True, queue_ms=500.0)
+        summary = acc.finalize()
+        assert len(summary.windows) == 1
+        window = summary.windows[0]
+        assert window.completed == 1
+        assert window.cold_starts == 1
+        assert window.cold_start_rate == 1.0
+
+    def test_shed_rate(self):
+        acc = self.make_accumulator()
+        for _ in range(4):
+            acc.observe_arrival(1.0)
+        acc.observe_shed(1.0)
+        summary = acc.finalize()
+        assert summary.windows[0].shed_rate == pytest.approx(0.25)
+        assert summary.shed == 1
+
+    def test_queue_percentile_estimate_within_half_octave(self):
+        acc = self.make_accumulator()
+        for value in [10.0] * 95 + [1000.0] * 5:
+            acc.observe_arrival(0.0)
+            acc.observe_completion(0.0, cold=False, queue_ms=value)
+        window = acc.finalize().windows[0]
+        # p95 sits at the 10 ms mass; the log-histogram estimate must be
+        # within one half-octave bucket (factor sqrt(2)) of the truth.
+        assert 10.0 / 1.5 <= window.queue_p95_ms <= 10.0 * 1.5
+        assert window.queue_mean_ms == pytest.approx(0.95 * 10.0 + 0.05 * 1000.0)
+
+    def test_gb_seconds_spread_across_windows(self):
+        acc = self.make_accumulator(window_s=60.0)
+        acc.observe_arrival(0.0)
+        # One 1024-MB container provisioned from 30 s to 90 s: half its
+        # GB-seconds land in window 0, half in window 1.
+        acc.observe_provision(30.0, 90.0, 1024.0)
+        summary = acc.finalize()
+        by_index = {w.index: w for w in summary.windows}
+        assert by_index[0].gb_seconds == pytest.approx(30.0)
+        assert by_index[1].gb_seconds == pytest.approx(30.0)
+        assert summary.gb_seconds == pytest.approx(60.0)
+        assert by_index[0].boots == 1
+        assert by_index[1].boots == 0
+
+    def test_cost_uses_pricing_model(self):
+        from repro.metrics import PricingModel
+
+        pricing = PricingModel(
+            per_gb_second=0.01, per_million_requests=0.0, cold_start_surcharge=0.5
+        )
+        acc = self.make_accumulator(window_s=60.0, pricing=pricing)
+        acc.observe_arrival(0.0)
+        acc.observe_completion(0.0, cold=True, queue_ms=1.0)
+        acc.observe_provision(0.0, 10.0, 1024.0)
+        summary = acc.finalize()
+        assert summary.cost.total_cost == pytest.approx(10.0 * 0.01 + 0.5)
+
+    def test_series_and_window_at(self):
+        acc = self.make_accumulator(window_s=60.0)
+        acc.observe_arrival(10.0)
+        acc.observe_arrival(70.0)
+        acc.observe_arrival(70.0)
+        summary = acc.finalize()
+        assert summary.series("arrivals") == [1, 2]
+        assert summary.window_at(75.0).arrivals == 2
+        assert summary.window_at(500.0) is None
+
+    def test_validation(self):
+        from repro.metrics import WindowAccumulator
+
+        with pytest.raises(ValueError):
+            WindowAccumulator(window_s=0.0)
+        acc = self.make_accumulator()
+        with pytest.raises(ValueError):
+            acc.observe_completion(0.0, cold=False, queue_ms=-1.0)
+        with pytest.raises(ValueError):
+            acc.observe_provision(10.0, 5.0, 128.0)
+
+    def test_empty_accumulator_finalizes_cleanly(self):
+        summary = self.make_accumulator().finalize()
+        assert summary.windows == ()
+        assert summary.arrivals == 0
+        assert summary.cold_start_rate == 0.0
+        assert summary.cost.total_cost == 0.0
+
+    def test_histogram_quantile_edges(self):
+        from repro.metrics.windows import _LatencyHistogram
+
+        hist = _LatencyHistogram()
+        assert hist.quantile(0.5) == 0.0  # empty
+        hist.observe(0.0)
+        assert hist.quantile(0.5) == pytest.approx(0.1)  # floor bucket
+        with pytest.raises(ValueError):
+            hist.quantile(1.5)
+        with pytest.raises(ValueError):
+            hist.observe(-1.0)
+        # A huge value clamps into the last bucket instead of overflowing.
+        hist.observe(1e12)
+        assert hist.quantile(1.0) > 1e6
