@@ -1,0 +1,138 @@
+"""Replay throughput benchmark — requests/sec at 1/2/4 shard workers.
+
+Every replay figure in this repo rides on the cluster event loop, but
+until this benchmark nothing *measured* it: throughput regressions would
+surface only as mysteriously slower CI.  This file pins the perf
+trajectory:
+
+* replays a seeded ~170k-request production-shaped trace through
+  :func:`repro.workloads.shard.replay_sharded` at 1, 2, and 4 worker
+  processes, reporting requests/sec (best of ``ROUNDS``);
+* asserts the three runs produce **bit-identical** ``WindowedSummary``
+  objects — the sharding exactness property, exercised at full benchmark
+  scale on every CI run;
+* writes ``BENCH_replay_throughput.json`` at the repo root (uploaded as
+  a CI artifact) and **fails if throughput regresses more than 25 %**
+  against the numbers committed in that file.
+
+The committed baseline also records the pre-optimization (PR 4 era)
+single-core measurement on the same trace, so the file documents the
+hot-path pass's speedup, not just the current absolute number.  To
+re-baseline after an intentional perf change, run this file and commit
+the rewritten JSON.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from pathlib import Path
+
+import pytest
+
+from benchmarks.conftest import print_header
+from repro.faas.cluster import FleetConfig
+from repro.faas.sim import SimPlatformConfig
+from repro.workloads.shard import ShardReplaySpec, replay_sharded
+from repro.workloads.trace import TraceGenerator
+
+BENCH_PATH = Path(__file__).resolve().parents[1] / "BENCH_replay_throughput.json"
+#: Baseline loaded BEFORE this run overwrites the file.
+COMMITTED = json.loads(BENCH_PATH.read_text()) if BENCH_PATH.exists() else None
+
+#: ~172k requests: 20 apps x 10 one-hour windows, one shift event.
+TRACE = dict(
+    app_count=20,
+    duration_hours=10.0,
+    window_hours=1.0,
+    mean_requests_per_window=520.0,
+    shift_hours=(5.0,),
+    seed=42,
+)
+SPEC = ShardReplaySpec(
+    platform=SimPlatformConfig(record_traces=False),
+    fleet=FleetConfig(max_containers=4, keep_alive_s=30.0),
+    seed=9,
+    replay_seed=7,
+    window_s=3600.0,
+)
+WORKER_COUNTS = (1, 2, 4)
+ROUNDS = 2  # best-of; replays are deterministic, timing is not
+#: Single-core requests/sec measured on this trace at the PR 4 tree,
+#: before the event-loop hot-path pass (same machine class as the
+#: committed results).  Kept for the speedup column of the JSON.
+PRE_OPTIMIZATION_RPS = 69_355.0
+#: CI regression tolerance vs the committed JSON: generous enough for
+#: runner-to-runner jitter, tight enough to catch a real hot-path slip.
+ALLOWED_REGRESSION = 0.25
+
+
+@pytest.fixture(scope="module")
+def measured():
+    trace = TraceGenerator(**TRACE).generate()
+    requests = sum(app.total_invocations() for app in trace.apps)
+    results = {}
+    summaries = {}
+    for workers in WORKER_COUNTS:
+        best = None
+        for _ in range(ROUNDS):
+            start = time.perf_counter()
+            summary = replay_sharded(trace, SPEC, workers=workers)
+            elapsed = time.perf_counter() - start
+            best = elapsed if best is None else min(best, elapsed)
+        summaries[workers] = summary
+        results[str(workers)] = {
+            "elapsed_s": round(best, 4),
+            "requests_per_s": round(requests / best, 1),
+            "speedup_vs_pre_optimization": round(
+                requests / best / PRE_OPTIMIZATION_RPS, 2
+            ),
+        }
+    return trace, requests, results, summaries
+
+
+def test_throughput_measured_and_written(measured):
+    trace, requests, results, summaries = measured
+
+    # The exactness property at benchmark scale: scaling the worker
+    # count must never change the merged summary, bit for bit.
+    assert summaries[2] == summaries[1]
+    assert summaries[4] == summaries[1]
+    assert summaries[1].completed == requests
+
+    payload = {
+        "benchmark": "replay_throughput",
+        "trace": TRACE,
+        "requests": requests,
+        "pre_optimization_rps": PRE_OPTIMIZATION_RPS,
+        "workers": results,
+    }
+    BENCH_PATH.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+
+    print_header(
+        f"Replay throughput — {requests} requests, sharded across processes"
+    )
+    print(f"{'workers':>7s} {'elapsed s':>10s} {'req/s':>10s} {'vs pre-opt':>10s}")
+    for workers in WORKER_COUNTS:
+        row = results[str(workers)]
+        print(
+            f"{workers:7d} {row['elapsed_s']:10.3f} "
+            f"{row['requests_per_s']:10.0f} "
+            f"{row['speedup_vs_pre_optimization']:9.2f}x"
+        )
+    print(f"\nwritten to {BENCH_PATH.name}")
+
+
+def test_no_regression_vs_committed_baseline(measured):
+    if COMMITTED is None:
+        pytest.skip("no committed BENCH_replay_throughput.json to compare against")
+    _, _, results, _ = measured
+    for workers, row in COMMITTED["workers"].items():
+        committed_rps = row["requests_per_s"]
+        measured_rps = results[workers]["requests_per_s"]
+        floor = committed_rps * (1.0 - ALLOWED_REGRESSION)
+        assert measured_rps >= floor, (
+            f"{workers}-worker replay throughput regressed: "
+            f"{measured_rps:.0f} req/s vs committed {committed_rps:.0f} "
+            f"(floor {floor:.0f})"
+        )

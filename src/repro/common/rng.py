@@ -39,8 +39,23 @@ class SeededRNG:
         """Return an independent generator for a named sub-domain."""
         return SeededRNG(derive_seed(self.seed, *labels))
 
+    def getstate(self):
+        """The underlying generator state (for checkpoint serialization)."""
+        return self._random.getstate()
+
+    def setstate(self, state) -> None:
+        """Restore a state captured by :meth:`getstate`."""
+        self._random.setstate(state)
+
     def uniform(self, low: float, high: float) -> float:
         return self._random.uniform(low, high)
+
+    def uniform_list(self, low: float, high: float, count: int) -> list[float]:
+        """``count`` uniform draws as a list; identical stream to calling
+        :meth:`uniform` ``count`` times (the bound-method batch form exists
+        for hot paths that draw thousands of values per call)."""
+        draw = self._random.uniform
+        return [draw(low, high) for _ in range(count)]
 
     def randint(self, low: int, high: int) -> int:
         return self._random.randint(low, high)

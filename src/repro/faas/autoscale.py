@@ -43,12 +43,16 @@ from typing import ClassVar
 from repro.common.errors import SpecError
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class FleetView:
     """An autoscaler policy's immutable snapshot of one fleet.
 
     Captured after request dispatch, so ``queued`` counts only arrivals
-    that no live container could absorb.
+    that no live container could absorb.  The snapshot is only valid for
+    the duration of the ``scale_out`` call it is handed to: the cluster
+    reuses one view object per fleet (refreshing it in place between
+    decisions) to keep the scale path allocation-free, so policies must
+    not retain references across calls.
 
     Attributes:
         now: Virtual time of the decision (seconds).
@@ -98,10 +102,48 @@ class ScalingPolicy:
         """Fresh per-fleet mutable state (``None`` for stateless policies)."""
         return None
 
+    def export_state(self, state) -> object | None:
+        """JSON-safe form of the per-fleet state, for checkpoints.
+
+        Stateless policies (``new_state()`` returns ``None``) inherit
+        this no-op; stateful ones must override both this and
+        :meth:`restore_state` or their fleets cannot be checkpointed by
+        :mod:`repro.faas.snapshot`.
+        """
+        if state is not None:
+            raise SpecError(
+                f"policy {type(self).__name__} carries state but does not "
+                "implement export_state/restore_state"
+            )
+        return None
+
+    def restore_state(self, data):
+        """Rebuild per-fleet state from :meth:`export_state`'s output."""
+        if data is not None:
+            raise SpecError(
+                f"policy {type(self).__name__} cannot restore state: {data!r}"
+            )
+        return self.new_state()
+
     def uses_last_of_fleet(self) -> bool:
         """Whether ``idle_expiry`` reads ``last_of_fleet`` — computing it
         is O(fleet) per expiry check, so the cluster skips it when the
         policy doesn't care."""
+        return False
+
+    def reactive_only(self) -> bool:
+        """Whether the cluster may skip this policy on warm-hit arrivals.
+
+        Return ``True`` only when *both* hold: ``scale_out`` returns 0
+        whenever ``view.queued == 0`` without mutating ``state``, and
+        ``observe_arrival`` is a no-op.  The cluster then serves the
+        common arrival — a warm container free, nothing queued — on a
+        fast path that never consults the policy; for a policy meeting
+        the contract the fast path is provably behaviour-identical
+        (pinned for :class:`PerRequest` by the golden regression).
+        Policies holding warm headroom or traffic estimates must return
+        ``False`` (the default).
+        """
         return False
 
     def observe_arrival(self, state, now: float) -> None:
@@ -123,6 +165,12 @@ class ScalingPolicy:
         ``last_of_fleet`` is true for the container that would retire
         last under the base keep-alive ordering — the one whose
         retirement scales the fleet to zero.
+
+        Implementations must never return *earlier* than ``idle_since +
+        keep_alive_s``: the configured keep-alive is the floor, policies
+        may only extend it (grace periods, panic suspensions).  The
+        cluster's reap-scan hint relies on that floor to prove no
+        container can retire before a given virtual time.
         """
         return idle_since + keep_alive_s
 
@@ -140,6 +188,12 @@ class PerRequest(ScalingPolicy):
     """
 
     name: ClassVar[str] = "per-request"
+
+    def reactive_only(self) -> bool:
+        # scale_out below is a pure function of the queue (0 when empty),
+        # and observe_arrival is the base no-op: warm-hit arrivals may
+        # legally bypass the policy machinery.
+        return True
 
     def scale_out(self, state, view: FleetView) -> int:
         deficit = view.queued - view.booting_slots
@@ -275,6 +329,30 @@ class PanicWindow(TargetUtilization):
 
     def new_state(self) -> _PanicState:
         return _PanicState()
+
+    def export_state(self, state: _PanicState) -> dict:
+        """JSON-safe dump of the sliding history + panic episode state."""
+        return {
+            "arrivals": list(state.arrivals),
+            "started_at": state.started_at,
+            # -inf (never panicked) is not JSON-representable; mark None.
+            "panic_until": (
+                None if math.isinf(state.panic_until) else state.panic_until
+            ),
+            "panic_peak": state.panic_peak,
+            "episodes": [list(episode) for episode in state.episodes],
+        }
+
+    def restore_state(self, data: dict) -> _PanicState:
+        state = _PanicState()
+        state.arrivals = deque(data["arrivals"])
+        state.started_at = data["started_at"]
+        state.panic_until = (
+            -math.inf if data["panic_until"] is None else data["panic_until"]
+        )
+        state.panic_peak = data["panic_peak"]
+        state.episodes = [list(episode) for episode in data["episodes"]]
+        return state
 
     def observe_arrival(self, state: _PanicState, now: float) -> None:
         if state.started_at is None:

@@ -44,6 +44,30 @@ fleets:
   O(windows) memory.  Event processing is bit-identical to the batch
   ``submit()``/``run()`` path.
 
+The event loop is the throughput floor of every replay experiment, so its
+hot path is deliberately allocation-light (see
+``benchmarks/test_perf_replay_throughput.py`` for the measured floor):
+
+* the common arrival — a warm container free, nothing queued — is served
+  on a **fast path** that skips the queue, the admission check, and the
+  scaling-policy consultation entirely (only legal for policies that
+  declare :meth:`~repro.faas.autoscale.ScalingPolicy.reactive_only`);
+* keep-alive reaping is gated by a per-fleet **expiry hint**
+  (``_Fleet.reap_until``): no container can retire before it, so the
+  per-arrival fleet scan is skipped until virtual time crosses it;
+* fleet/container/request state objects carry ``__slots__``, containers
+  are indexed by a ``seq -> container`` dict instead of a linear scan,
+  and each fleet reuses **one mutable
+  :class:`~repro.faas.autoscale.FleetView`** snapshot for scale decisions
+  instead of constructing a frozen dataclass per arrival;
+* streamed completions skip :class:`InvocationRecord` construction
+  altogether when no ``on_record`` tap is installed — the accumulator
+  needs only (app, arrival, cold, queue wait).
+
+All of it is proven bit-identical to the straightforward implementation
+by the golden regression (``tests/faas/test_golden_regression.py``) and
+the stream-equivalence suite (``tests/faas/test_stream.py``).
+
 The service-cost model is shared with the single-pool simulator through
 :func:`repro.faas.sim.compiled_app`, so a :class:`~repro.plan.DeferralPlan`
 shortens cluster cold starts exactly as it shortens ``SimPlatform`` cold
@@ -59,11 +83,10 @@ workload monitor.
 
 from __future__ import annotations
 
-import heapq
-import itertools
 import math
 from collections import deque
 from dataclasses import dataclass, field
+from heapq import heappop, heappush
 from typing import Callable, Iterable
 
 from repro.common.clock import VirtualClock
@@ -191,7 +214,7 @@ class FleetStats:
     cost: CostSummary
 
 
-@dataclass
+@dataclass(slots=True)
 class _FleetContainer:
     container_id: str
     seq: int
@@ -207,7 +230,7 @@ class _FleetContainer:
     last_release: float = 0.0
 
 
-@dataclass
+@dataclass(slots=True)
 class _PendingRequest:
     token: int
     entry: str
@@ -219,15 +242,23 @@ class _StreamSinks:
     """Where a streaming replay's per-event facts go instead of RAM.
 
     While installed (see :meth:`ClusterPlatform.run_stream`), completed
-    records, shed arrivals, and container retirements are handed to
-    these callbacks the moment they happen and are *not* retained on the
-    fleet — the platform's memory stays O(live containers + queued
-    requests) no matter how long the replay runs.
+    requests, shed arrivals, and container provisioned lifetimes are
+    handed to these callbacks the moment they happen and are *not*
+    retained on the fleet — the platform's memory stays O(live containers
+    + queued requests) no matter how long the replay runs.
+
+    ``complete`` receives the completion facts the accumulator needs
+    ``(app, arrival_s, cold, queue_ms)``; the full
+    :class:`InvocationRecord` is only constructed when ``record`` is
+    non-``None`` (an ``on_record`` tap was installed) — skipping the
+    record object on the no-tap path is one of the hot-path wins, and is
+    safe because the record is a pure function of the same facts.
     """
 
-    record: Callable[[InvocationRecord], None]
+    complete: Callable[[str, float, bool, float], None]
     shed: Callable[[float], None]  # shed request's arrival time
-    provision: Callable[[float, float, float], None]  # start, end, memory_mb
+    provision: Callable[[str, float, float, float], None]  # app, start, end, MB
+    record: Callable[[InvocationRecord], None] | None = None
 
     @classmethod
     def into(
@@ -238,27 +269,61 @@ class _StreamSinks:
         """Sinks that fold everything into one windowed accumulator.
 
         The single definition of what a streamed completion contributes
-        (arrival-window attribution, cold flag, queueing wait) — shared
-        by the cluster's and the federation's ``run_stream`` so the two
-        paths cannot diverge.  ``on_record`` taps the record stream.
+        (arrival-window attribution, cold flag, queueing wait, the app
+        as the accumulator's source label) — shared by the cluster's and
+        the federation's ``run_stream`` so the two paths cannot diverge.
+        ``on_record`` taps the record stream.
         """
+        observe_completion = accumulator.observe_completion
 
-        def deliver(record: InvocationRecord) -> None:
-            accumulator.observe_completion(
-                record.timestamp, record.cold, record.queue_ms
-            )
-            if on_record is not None:
-                on_record(record)
+        def complete(app: str, arrival_s: float, cold: bool, queue_ms: float) -> None:
+            observe_completion(arrival_s, cold, queue_ms, source=app)
+
+        def provision(app: str, start_s: float, end_s: float, memory_mb: float) -> None:
+            accumulator.observe_provision(start_s, end_s, memory_mb, source=app)
 
         return cls(
-            record=deliver,
+            complete=complete,
             shed=accumulator.observe_shed,
-            provision=accumulator.observe_provision,
+            provision=provision,
+            record=on_record,
         )
 
 
 class _Fleet:
     """Mutable per-application fleet state."""
+
+    __slots__ = (
+        "config",
+        "plan",
+        "fleet_config",
+        "compiled",
+        "policy",
+        "policy_state",
+        "wants_last",
+        "fast_path",
+        "name",
+        "cost_scale",
+        "max_concurrency",
+        "keep_alive_s",
+        "view",
+        "containers",
+        "by_seq",
+        "queue",
+        "records",
+        "arrivals",
+        "rejected",
+        "cold_starts",
+        "spawned",
+        "peak_containers",
+        "retired_container_seconds",
+        "retired_gb_seconds",
+        "retirements",
+        "first_arrival",
+        "last_arrival",
+        "reap_until",
+        "jitter_rng",
+    )
 
     def __init__(
         self,
@@ -275,7 +340,31 @@ class _Fleet:
         #: Whether idle-expiry decisions need the (O(n)) last-of-fleet
         #: flag; policies that don't read it keep the hot path O(1).
         self.wants_last = self.policy.uses_last_of_fleet()
+        #: Whether the warm-and-free arrival fast path may skip the
+        #: policy consultation entirely (see ScalingPolicy.reactive_only).
+        self.fast_path = self.policy.reactive_only()
+        # Hot-path caches of frozen config fields (attribute chains cost).
+        self.name = config.name
+        self.cost_scale = config.cost_scale
+        self.max_concurrency = fleet_config.max_concurrency
+        self.keep_alive_s = fleet_config.keep_alive_s
+        #: The one FleetView this fleet's scale decisions reuse; only the
+        #: dynamic fields are overwritten per decision (see
+        #: ClusterPlatform._view).
+        self.view = FleetView(
+            now=0.0,
+            queued=0,
+            in_flight=0,
+            live_containers=0,
+            booting_containers=0,
+            booting_slots=0,
+            ready_slots=0,
+            max_containers=fleet_config.max_containers,
+            max_concurrency=fleet_config.max_concurrency,
+            keep_alive_s=fleet_config.keep_alive_s,
+        )
         self.containers: list[_FleetContainer] = []
+        self.by_seq: dict[int, _FleetContainer] = {}
         self.queue: deque[_PendingRequest] = deque()
         self.records: list[InvocationRecord] = []
         self.arrivals = 0
@@ -288,7 +377,16 @@ class _Fleet:
         self.retirements: list[tuple[str, float]] = []
         self.first_arrival: float | None = None
         self.last_arrival: float | None = None
-
+        #: Expiry hint: no container of this fleet can retire strictly
+        #: before this virtual time, so arrival processing skips the
+        #: keep-alive reap scan until the clock crosses it.  Maintained
+        #: by ClusterPlatform._reap as the min of the idle survivors'
+        #: *base* expiries (idle_since + keep_alive, the floor every
+        #: policy's idle_expiry must respect) and ``scan_time +
+        #: keep_alive`` (the earliest a currently busy/booting container
+        #: could retire after going idle later).
+        self.reap_until = -math.inf
+        self.jitter_rng: SeededRNG | None = None
 
 
 class ClusterPlatform:
@@ -317,15 +415,18 @@ class ClusterPlatform:
         self.clock = clock or VirtualClock()
         self.seed = seed
         self._fleets: dict[str, _Fleet] = {}
-        self._container_ids = itertools.count(1)
         self._events: list[tuple[float, int, int, tuple]] = []
-        self._event_seq = itertools.count()
-        self._tokens = itertools.count()
+        # Plain int counters (not itertools.count): same speed on the hot
+        # path, and serializable by repro.faas.snapshot for checkpoints.
+        self._next_container_seq = 1
+        self._next_event_seq = 0
+        self._next_token = 0
         self._finished: dict[int, InvocationRecord] = {}
         self._dropped: set[int] = set()
         self._last_arrival = self.clock.now()
-        self._jitter_rngs: dict[str, SeededRNG] = {}
         self._stream: _StreamSinks | None = None
+        self._stream_accumulator: WindowAccumulator | None = None
+        self._jitter_sigma = self.config.jitter_sigma
 
     # -- deployment --------------------------------------------------------
 
@@ -358,6 +459,8 @@ class ClusterPlatform:
         for container in fleet.containers:
             self._retire(fleet, container, now)
         fleet.containers.clear()
+        fleet.by_seq.clear()
+        fleet.reap_until = -math.inf
         fleet.plan = plan
         fleet.compiled = compiled_app(fleet.config, plan)
 
@@ -391,8 +494,11 @@ class ClusterPlatform:
                 f"arrival {arrival} is in the past (last={self._last_arrival})"
             )
         self._last_arrival = arrival
-        token = next(self._tokens)
-        self._push(arrival, _ARRIVAL, (name, entry, token))
+        token = self._next_token
+        self._next_token = token + 1
+        seq = self._next_event_seq
+        self._next_event_seq = seq + 1
+        heappush(self._events, (arrival, _ARRIVAL, seq, (name, entry, token)))
         return token
 
     def invoke(self, name: str, entry: str, at: float | None = None) -> InvocationRecord:
@@ -419,13 +525,19 @@ class ClusterPlatform:
         Returns the records completed by this call, in completion order.
         """
         before = {name: len(fleet.records) for name, fleet in self._fleets.items()}
-        while self._events:
-            if until is not None and self._events[0][0] > until:
+        events = self._events
+        step = self._step
+        while events:
+            if until is not None and events[0][0] > until:
                 break
-            self._step()
+            step()
         if until is not None and self.clock.now() < until:
             self.clock.advance_to(until)
+        # Per-request bookkeeping for synchronous callers is complete once
+        # the heap drains: clearing both maps here is what keeps repeated
+        # batch runs at O(live state), not O(all requests ever shed).
         self._finished.clear()
+        self._dropped.clear()
         produced: list[InvocationRecord] = []
         for name, fleet in self._fleets.items():
             produced.extend(fleet.records[before[name]:])
@@ -437,6 +549,7 @@ class ClusterPlatform:
         arrivals: Iterable[tuple[float, str, str]],
         accumulator: WindowAccumulator,
         on_record: Callable[[InvocationRecord], None] | None = None,
+        flush_at: float | None = None,
     ) -> WindowedSummary:
         """Consume an arrival stream incrementally at bounded memory.
 
@@ -455,41 +568,107 @@ class ClusterPlatform:
         so a streamed replay produces exactly the records a batch replay
         would (pinned by ``tests/faas/test_stream.py``).  ``on_record``
         taps the record stream (tests, exports); leave it ``None`` to
-        retain nothing.  While streaming, per-record history
-        (:meth:`records`, :meth:`fleet_stats`, :meth:`retirements`) is
-        not collected; the returned :class:`~repro.metrics.WindowedSummary`
-        is the run's report.
+        retain nothing — the hot path then skips record construction
+        entirely.  While streaming, per-record history (:meth:`records`,
+        :meth:`fleet_stats`, :meth:`retirements`) is not collected; the
+        returned :class:`~repro.metrics.WindowedSummary` is the run's
+        report.
+
+        ``flush_at`` overrides the virtual time at which still-alive
+        containers' provisioned tails are truncated (default: the clock
+        after the last event).  Sharded replays pass ``math.inf`` so
+        every container is charged to its natural keep-alive expiry — a
+        quantity independent of which shard observed it, which is part
+        of the sharding exactness argument (see
+        :mod:`repro.workloads.shard`).
         """
+        self.stream_begin(accumulator, on_record)
+        try:
+            events = self._events
+            step = self._step
+            observe_arrival = accumulator.observe_arrival
+            submit = self.submit
+            for at, name, entry in arrivals:
+                observe_arrival(at)
+                submit(name, entry, at=at)
+                while events and events[0][0] <= at:
+                    step()
+            while events:
+                step()
+            self._flush_provisioned(flush_at)
+        finally:
+            self._stream = None
+            self._stream_accumulator = None
+        return accumulator.finalize()
+
+    # -- incremental streaming surface ------------------------------------
+    #
+    # run_stream() in three resumable pieces, for drivers that need to act
+    # between arrivals (repro.faas.snapshot writes checkpoints there).
+    # stream_begin + N x stream_feed + stream_end is bit-identical to one
+    # run_stream call over the same arrivals.
+
+    def stream_begin(
+        self,
+        accumulator: WindowAccumulator,
+        on_record: Callable[[InvocationRecord], None] | None = None,
+    ) -> None:
+        """Install streaming sinks (see :meth:`run_stream`)."""
         if self._stream is not None:
             raise WorkloadError("a streaming replay is already in progress")
         self._stream = _StreamSinks.into(accumulator, on_record)
+        self._stream_accumulator = accumulator
+
+    def stream_feed(self, at: float, name: str, entry: str) -> None:
+        """Feed one arrival and drain the event heap up to its time."""
+        self._stream_accumulator.observe_arrival(at)
+        self.submit(name, entry, at=at)
+        events = self._events
+        step = self._step
+        while events and events[0][0] <= at:
+            step()
+
+    def stream_end(self, flush_at: float | None = None) -> WindowedSummary:
+        """Drain remaining events, flush tails, finalize the summary."""
         try:
-            for at, name, entry in arrivals:
-                accumulator.observe_arrival(at)
-                self.submit(name, entry, at=at)
-                while self._events and self._events[0][0] <= at:
-                    self._step()
+            step = self._step
             while self._events:
-                self._step()
-            self._flush_provisioned()
+                step()
+            self._flush_provisioned(flush_at)
         finally:
+            accumulator = self._stream_accumulator
             self._stream = None
+            self._stream_accumulator = None
         return accumulator.finalize()
 
-    def _flush_provisioned(self) -> None:
+    def stream_abort(self) -> None:
+        """Uninstall streaming sinks after an interrupted stream.
+
+        Leaves fleet/heap state exactly as the last processed event left
+        it, so a checkpoint written earlier stays consistent; the
+        platform refuses further streaming until a fresh
+        :meth:`stream_begin`.
+        """
+        self._stream = None
+        self._stream_accumulator = None
+
+    def _flush_provisioned(self, flush_at: float | None = None) -> None:
         """Report still-live containers' provisioned time to the stream.
 
         Containers retired mid-replay streamed their lifetimes through
         :meth:`_retire`; the tail of the fleet is still alive (or expired
         but not yet lazily reaped) when the arrival stream ends, so its
         GB-seconds are flushed here, mirroring :meth:`fleet_stats`'
-        alive-container accounting.
+        alive-container accounting.  ``flush_at`` overrides the
+        truncation time (``math.inf`` charges full keep-alive tails).
         """
-        now = self.clock.now()
+        now = self.clock.now() if flush_at is None else flush_at
+        provision = self._stream.provision
         for fleet in self._fleets.values():
             for container in fleet.containers:
                 end = min(now, self._expiry(fleet, container, now))
-                self._stream.provision(
+                provision(
+                    fleet.name,
                     container.spawned_at,
                     max(end, container.spawned_at),
                     container.memory_mb,
@@ -633,15 +812,19 @@ class ClusterPlatform:
     # -- event loop --------------------------------------------------------
 
     def _push(self, at: float, kind: int, payload: tuple) -> None:
-        heapq.heappush(self._events, (at, kind, next(self._event_seq), payload))
+        seq = self._next_event_seq
+        self._next_event_seq = seq + 1
+        heappush(self._events, (at, kind, seq, payload))
 
     def _step(self) -> bool:
         """Process one event; returns False when the heap is empty."""
-        if not self._events:
+        events = self._events
+        if not events:
             return False
-        at, kind, _, payload = heapq.heappop(self._events)
-        if at > self.clock.now():
-            self.clock.advance_to(at)
+        at, kind, _, payload = heappop(events)
+        clock = self.clock
+        if at > clock.now():
+            clock.advance_to(at)
         if kind == _ARRIVAL:
             self._on_arrival(at, *payload)
         elif kind == _READY:
@@ -656,7 +839,30 @@ class ClusterPlatform:
         if fleet.first_arrival is None:
             fleet.first_arrival = at
         fleet.last_arrival = at
-        self._reap(fleet, at)
+        if at > fleet.reap_until:
+            self._reap(fleet, at)
+        # Fast path for the overwhelmingly common replay arrival: nothing
+        # queued and a warm container has a free slot.  The request can
+        # never be shed (the queue stays empty), and a reactive-only
+        # policy provably neither boots nor mutates state for it, so the
+        # queue/admission/scaling machinery is skipped wholesale.  The
+        # reap above (or the hint that made it unnecessary) guarantees no
+        # candidate below is expired.
+        if fleet.fast_path and not fleet.queue:
+            best = None
+            mc = fleet.max_concurrency
+            for container in fleet.containers:
+                if container.ready_at > at or container.active >= mc:
+                    continue
+                if best is None or (
+                    container.active,
+                    container.last_release,
+                    container.seq,
+                ) > (best.active, best.last_release, best.seq):
+                    best = container
+            if best is not None:
+                self._start_service(fleet, best, entry, at, at, token)
+                return
         fleet.queue.append(_PendingRequest(token=token, entry=entry, arrival=at))
         self._dispatch(fleet, at)
         # Admission control runs after dispatch but BEFORE scale-out: a
@@ -687,31 +893,27 @@ class ClusterPlatform:
 
     def _on_ready(self, at: float, name: str, container_seq: int) -> None:
         fleet = self._fleets[name]
-        container = self._container_by_seq(fleet, container_seq)
+        container = fleet.by_seq.get(container_seq)
         if container is None:
             return  # retired by a redeploy while booting
         container.idle_since = at
         container.last_release = at
-        self._dispatch(fleet, at)
+        if fleet.queue:
+            self._dispatch(fleet, at)
 
     def _on_complete(
         self, at: float, name: str, container_seq: int, token: int
     ) -> None:
         fleet = self._fleets[name]
-        container = self._container_by_seq(fleet, container_seq)
+        container = fleet.by_seq.get(container_seq)
         if container is not None:
-            container.active -= 1
+            active = container.active - 1
+            container.active = active
             container.last_release = at
-            if container.active == 0:
+            if active == 0:
                 container.idle_since = at
-            self._dispatch(fleet, at)
-
-    @staticmethod
-    def _container_by_seq(fleet: _Fleet, seq: int) -> _FleetContainer | None:
-        for container in fleet.containers:
-            if container.seq == seq:
-                return container
-        return None
+            if fleet.queue:
+                self._dispatch(fleet, at)
 
     # -- fleet mechanics ---------------------------------------------------
 
@@ -727,7 +929,7 @@ class ClusterPlatform:
         return fleet.policy.idle_expiry(
             fleet.policy_state,
             container.idle_since,
-            fleet.fleet_config.keep_alive_s,
+            fleet.keep_alive_s,
             fleet.wants_last and self._last_of_fleet(fleet, container, now),
         )
 
@@ -769,15 +971,31 @@ class ClusterPlatform:
         return spare + (config.max_containers - alive) * config.max_concurrency
 
     def _reap(self, fleet: _Fleet, now: float) -> None:
-        """Retire containers whose keep-alive elapsed strictly before now."""
+        """Retire containers whose keep-alive elapsed strictly before now.
+
+        Also refreshes the fleet's expiry hint (``reap_until``): the
+        earliest virtual time any container could possibly retire, i.e.
+        the min of idle survivors' base expiries and ``now +
+        keep_alive_s`` (a container busy or booting now cannot go idle
+        before ``now``).  Arrivals before the hint skip this scan.
+        """
+        keep_alive = fleet.keep_alive_s
+        hint = now + keep_alive
         survivors: list[_FleetContainer] = []
+        by_seq = fleet.by_seq
         for container in fleet.containers:
             expiry = self._expiry(fleet, container, now)
             if expiry < now:
                 self._retire(fleet, container, expiry)
+                del by_seq[container.seq]
             else:
                 survivors.append(container)
+                if container.active == 0 and container.ready_at <= now:
+                    base = container.idle_since + keep_alive
+                    if base < hint:
+                        hint = base
         fleet.containers = survivors
+        fleet.reap_until = hint
 
     def _retire(
         self, fleet: _Fleet, container: _FleetContainer, at: float
@@ -787,6 +1005,7 @@ class ClusterPlatform:
         fleet.retired_gb_seconds += lifetime * container.memory_mb / 1024.0
         if self._stream is not None:
             self._stream.provision(
+                fleet.name,
                 container.spawned_at,
                 container.spawned_at + lifetime,
                 container.memory_mb,
@@ -795,12 +1014,17 @@ class ClusterPlatform:
             fleet.retirements.append((container.container_id, at))
 
     def _view(self, fleet: _Fleet, now: float) -> FleetView:
-        """Snapshot the fleet for a scaling decision (live containers only)."""
-        mc = fleet.fleet_config.max_concurrency
+        """Refresh the fleet's reusable scale-decision snapshot.
+
+        Only called from :meth:`_scale`, immediately after arrival
+        processing reaped (or proved reap-free via the hint), so every
+        container in the list is live — no expiry probe needed here.
+        The returned view is the fleet's single reused instance; it is
+        only valid until the next scale decision.
+        """
+        mc = fleet.max_concurrency
         live = booting = in_flight = booting_slots = ready_slots = 0
         for container in fleet.containers:
-            if self._expiry(fleet, container, now) < now:
-                continue
             live += 1
             if container.ready_at > now:
                 booting += 1
@@ -808,18 +1032,16 @@ class ClusterPlatform:
             else:
                 in_flight += container.active
                 ready_slots += mc - container.active
-        return FleetView(
-            now=now,
-            queued=len(fleet.queue),
-            in_flight=in_flight,
-            live_containers=live,
-            booting_containers=booting,
-            booting_slots=booting_slots,
-            ready_slots=ready_slots,
-            max_containers=fleet.fleet_config.max_containers,
-            max_concurrency=mc,
-            keep_alive_s=fleet.fleet_config.keep_alive_s,
-        )
+        view = fleet.view
+        write = object.__setattr__
+        write(view, "now", now)
+        write(view, "queued", len(fleet.queue))
+        write(view, "in_flight", in_flight)
+        write(view, "live_containers", live)
+        write(view, "booting_containers", booting)
+        write(view, "booting_slots", booting_slots)
+        write(view, "ready_slots", ready_slots)
+        return view
 
     def _scale(self, fleet: _Fleet, now: float) -> None:
         """Boot however many containers the fleet's policy asks for."""
@@ -831,15 +1053,16 @@ class ClusterPlatform:
 
     def _spawn(self, fleet: _Fleet, now: float) -> None:
         compiled = fleet.compiled
-        scale = fleet.config.cost_scale
+        scale = fleet.cost_scale
         jitter = self._fleet_jitter(fleet)
         init_ms = (
             compiled.eager_init_cost_ms * scale + self.config.runtime_init_ms
         ) * jitter
         boot_s = (self.config.cold_platform_ms + init_ms) / 1000.0
-        seq = next(self._container_ids)
+        seq = self._next_container_seq
+        self._next_container_seq = seq + 1
         container = _FleetContainer(
-            container_id=f"{fleet.config.name}-f{seq}",
+            container_id=f"{fleet.name}-f{seq}",
             seq=seq,
             spawned_at=now,
             ready_at=now + boot_s,
@@ -849,9 +1072,10 @@ class ClusterPlatform:
             + compiled.eager_memory_kb / 1024.0,
         )
         fleet.containers.append(container)
+        fleet.by_seq[seq] = container
         fleet.spawned += 1
         fleet.peak_containers = max(fleet.peak_containers, len(fleet.containers))
-        self._push(container.ready_at, _READY, (fleet.config.name, seq))
+        self._push(container.ready_at, _READY, (fleet.name, seq))
 
     def _select(self, fleet: _Fleet, now: float) -> _FleetContainer | None:
         """Pick the serving container: pack the busiest, then most recent.
@@ -864,7 +1088,7 @@ class ClusterPlatform:
         for container in fleet.containers:
             if container.ready_at > now:
                 continue
-            if container.active >= fleet.fleet_config.max_concurrency:
+            if container.active >= fleet.max_concurrency:
                 continue
             if self._expiry(fleet, container, now) < now:
                 continue
@@ -880,67 +1104,91 @@ class ClusterPlatform:
             if container is None:
                 return
             request = fleet.queue.popleft()
-            self._start_service(fleet, container, request, now)
+            self._start_service(
+                fleet, container, request.entry, request.arrival, now, request.token
+            )
 
     def _start_service(
         self,
         fleet: _Fleet,
         container: _FleetContainer,
-        request: _PendingRequest,
+        entry: str,
+        arrival: float,
         now: float,
+        token: int,
     ) -> None:
-        compiled_entry = fleet.compiled.entries[request.entry]
-        scale = fleet.config.cost_scale
+        compiled_entry = fleet.compiled.entries[entry]
         cold = container.virgin
-        container.virgin = False
         container.active += 1
 
         lazy_ms = 0.0
-        if cold or request.entry not in container.seen_entries:
-            lazy_ms = fleet.compiled.charge_first_use(
-                compiled_entry, container, cold
-            )
-        container.seen_entries.add(request.entry)
+        if cold:
+            container.virgin = False
+            lazy_ms = fleet.compiled.charge_first_use(compiled_entry, container, True)
+            container.seen_entries.add(entry)
+            fleet.cold_starts += 1
+        elif entry not in container.seen_entries:
+            lazy_ms = fleet.compiled.charge_first_use(compiled_entry, container, False)
+            container.seen_entries.add(entry)
 
         exec_ms = (
-            compiled_entry.total_self_ms * scale + lazy_ms
+            compiled_entry.total_self_ms * fleet.cost_scale + lazy_ms
         ) * self._fleet_jitter(fleet)
         service_ms = self.config.warm_platform_ms + exec_ms
         finish = now + service_ms / 1000.0
-        queue_ms = (now - request.arrival) * 1000.0
-        record = InvocationRecord(
-            app=fleet.config.name,
-            entry=request.entry,
-            timestamp=request.arrival,
-            cold=cold,
-            init_ms=container.init_ms if cold else 0.0,
-            exec_ms=exec_ms,
-            e2e_ms=queue_ms + service_ms,
-            memory_mb=container.memory_mb,
-            container_id=container.container_id,
-            queue_ms=queue_ms,
-        )
-        if cold:
-            fleet.cold_starts += 1
-        if self._stream is not None:
-            # Streaming replay: the record flows to the sink and is gone;
-            # retaining it (or the token -> record map) would make memory
-            # O(requests), the exact failure mode run_stream exists to fix.
-            self._stream.record(record)
+        queue_ms = (now - arrival) * 1000.0
+        stream = self._stream
+        if stream is not None:
+            # Streaming replay: the completion facts flow to the sink and
+            # are gone; the full record object is only built when a tap
+            # asked for it.  Retaining records (or the token -> record
+            # map) would make memory O(requests), the exact failure mode
+            # run_stream exists to fix.
+            stream.complete(fleet.name, arrival, cold, queue_ms)
+            if stream.record is not None:
+                stream.record(
+                    InvocationRecord(
+                        app=fleet.name,
+                        entry=entry,
+                        timestamp=arrival,
+                        cold=cold,
+                        init_ms=container.init_ms if cold else 0.0,
+                        exec_ms=exec_ms,
+                        e2e_ms=queue_ms + service_ms,
+                        memory_mb=container.memory_mb,
+                        container_id=container.container_id,
+                        queue_ms=queue_ms,
+                    )
+                )
         else:
+            record = InvocationRecord(
+                app=fleet.name,
+                entry=entry,
+                timestamp=arrival,
+                cold=cold,
+                init_ms=container.init_ms if cold else 0.0,
+                exec_ms=exec_ms,
+                e2e_ms=queue_ms + service_ms,
+                memory_mb=container.memory_mb,
+                container_id=container.container_id,
+                queue_ms=queue_ms,
+            )
             fleet.records.append(record)
-            self._finished[request.token] = record
-        self._push(finish, _COMPLETE, (fleet.config.name, container.seq, request.token))
+            self._finished[token] = record
+        seq = self._next_event_seq
+        self._next_event_seq = seq + 1
+        heappush(self._events, (finish, _COMPLETE, seq, (fleet.name, container.seq, token)))
 
     def _fleet_jitter(self, fleet: _Fleet) -> float:
         """Per-app latency noise; seeded per app so streams never interleave."""
-        sigma = self.config.jitter_sigma
+        sigma = self._jitter_sigma
         if sigma <= 0:
             return 1.0
-        rng = self._jitter_rngs.get(fleet.config.name)
+        rng = fleet.jitter_rng
         if rng is None:
-            rng = SeededRNG(derive_seed(self.seed, "jitter", fleet.config.name))
-            self._jitter_rngs[fleet.config.name] = rng
+            rng = fleet.jitter_rng = SeededRNG(
+                derive_seed(self.seed, "jitter", fleet.name)
+            )
         return math.exp(rng.gauss(0.0, sigma))
 
 

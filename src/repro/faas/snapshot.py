@@ -1,0 +1,405 @@
+"""Checkpoint/resume for streaming replays: serialize the simulator frontier.
+
+A multi-week production replay is hours of wall time even at the event
+loop's optimized throughput; losing it to a crash (or wanting to shard it
+across machines over time) calls for durable checkpoints.  This module
+serializes everything a mid-stream :class:`~repro.faas.cluster.ClusterPlatform`
+needs to continue *bit-identically* — as a JSON-safe dict, so checkpoints
+survive process boundaries and interpreter restarts:
+
+* **Fleet state** — every live container (boot/ready times, in-flight
+  count, loaded-module closure by dotted name, memory, idle bookkeeping),
+  the FIFO queue, the aggregate counters, and the scaling policy's
+  per-fleet mutable state (via
+  :meth:`~repro.faas.autoscale.ScalingPolicy.export_state`).
+* **Event-heap frontier** — the pending ``READY``/``COMPLETE``/``ARRIVAL``
+  events.  The heap never holds more than the causal frontier during a
+  streamed replay, so this stays small no matter how long the replay ran.
+* **RNG state** — each fleet's jitter generator, so latency noise resumes
+  mid-stream instead of replaying from the seed.
+* **Accumulator state** — the per-window counters, histograms, and
+  per-source float partials of the
+  :class:`~repro.metrics.WindowAccumulator`.
+
+Floats round-trip through JSON losslessly (shortest-repr), so a resumed
+replay's final :class:`~repro.metrics.WindowedSummary` equals an
+uninterrupted run's bit for bit (pinned by ``tests/faas/test_snapshot.py``).
+
+The arrival *stream* itself is not serialized — compiled traces are lazy
+generators.  Instead :func:`run_stream_checkpointed` records how many
+arrivals were consumed; on resume the caller passes a freshly compiled
+(deterministic) stream and the driver skips that many events.  Checkpoints
+are written at window boundaries, where they cost one JSON dump per
+simulated window.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import os
+from itertools import islice
+from pathlib import Path
+from typing import Callable, Iterable
+
+from repro.common.errors import DeploymentError, WorkloadError
+from repro.common.rng import SeededRNG, derive_seed
+from repro.faas.cluster import ClusterPlatform, _FleetContainer
+from repro.faas.events import InvocationRecord
+from repro.metrics import PricingModel, WindowAccumulator, WindowedSummary
+from repro.metrics.windows import _Window
+
+#: Bumped whenever the checkpoint layout changes incompatibly.
+CHECKPOINT_FORMAT = 1
+
+
+# -- RNG state ---------------------------------------------------------------
+
+
+def _rng_state(rng: SeededRNG | None) -> list | None:
+    if rng is None:
+        return None
+    version, internal, gauss_next = rng.getstate()
+    return [version, list(internal), gauss_next]
+
+
+def _restore_rng(seed: int, name: str, data: list | None) -> SeededRNG | None:
+    if data is None:
+        return None
+    rng = SeededRNG(derive_seed(seed, "jitter", name))
+    version, internal, gauss_next = data
+    rng.setstate((version, tuple(internal), gauss_next))
+    return rng
+
+
+# -- platform state ----------------------------------------------------------
+
+
+def platform_state(platform: ClusterPlatform) -> dict:
+    """Serialize a cluster's runtime state as a JSON-safe dict.
+
+    Captures replay state only: per-record batch history
+    (``records()``/``retirements()``) and synchronous bookkeeping are
+    deliberately excluded — snapshots are taken mid-stream, where both
+    are empty.  Raises :class:`WorkloadError` when that precondition does
+    not hold (drain with ``run()`` first).
+    """
+    if platform._finished or platform._dropped:
+        raise WorkloadError(
+            "cannot snapshot a platform with unconsumed synchronous results; "
+            "drain with run() first"
+        )
+    if platform.clock.pending_events:
+        raise WorkloadError("cannot snapshot a clock with scheduled callbacks")
+    fleets: dict[str, dict] = {}
+    for name, fleet in platform._fleets.items():
+        if fleet.records or fleet.retirements:
+            raise WorkloadError(
+                f"cannot snapshot fleet {name!r} with batch history; "
+                "clear_history() first (streamed replays never hit this)"
+            )
+        fleets[name] = {
+            "arrivals": fleet.arrivals,
+            "rejected": fleet.rejected,
+            "cold_starts": fleet.cold_starts,
+            "spawned": fleet.spawned,
+            "peak_containers": fleet.peak_containers,
+            "retired_container_seconds": fleet.retired_container_seconds,
+            "retired_gb_seconds": fleet.retired_gb_seconds,
+            "first_arrival": fleet.first_arrival,
+            "last_arrival": fleet.last_arrival,
+            "reap_until": (
+                None if math.isinf(fleet.reap_until) else fleet.reap_until
+            ),
+            "queue": [
+                [request.token, request.entry, request.arrival]
+                for request in fleet.queue
+            ],
+            "containers": [
+                {
+                    "container_id": container.container_id,
+                    "seq": container.seq,
+                    "spawned_at": container.spawned_at,
+                    "ready_at": container.ready_at,
+                    "init_ms": container.init_ms,
+                    "loaded": sorted(key.dotted for key in container.loaded),
+                    "memory_mb": container.memory_mb,
+                    "seen_entries": sorted(container.seen_entries),
+                    "active": container.active,
+                    "virgin": container.virgin,
+                    "idle_since": container.idle_since,
+                    "last_release": container.last_release,
+                }
+                for container in fleet.containers
+            ],
+            "policy_state": fleet.policy.export_state(fleet.policy_state),
+            "jitter_rng": _rng_state(fleet.jitter_rng),
+        }
+    return {
+        "clock_s": platform.clock.now(),
+        "last_arrival": platform._last_arrival,
+        "next_container_seq": platform._next_container_seq,
+        "next_event_seq": platform._next_event_seq,
+        "next_token": platform._next_token,
+        "events": [
+            [at, kind, seq, list(payload)] for at, kind, seq, payload in platform._events
+        ],
+        "fleets": fleets,
+    }
+
+
+def restore_platform(platform: ClusterPlatform, state: dict) -> None:
+    """Restore :func:`platform_state` output onto a freshly deployed cluster.
+
+    ``platform`` must already carry the same deployments (apps, plans,
+    fleet configs, platform config, seed) the snapshot was taken under —
+    the snapshot holds runtime state, not specifications.  App-name
+    mismatches raise :class:`DeploymentError`; spec divergence beyond the
+    names is the caller's contract, exactly like handing ``run_stream`` a
+    different trace.
+    """
+    if set(state["fleets"]) != set(platform._fleets):
+        raise DeploymentError(
+            f"snapshot covers apps {sorted(state['fleets'])}, platform has "
+            f"{platform.app_names()}"
+        )
+    from repro.faas.cluster import _PendingRequest  # cycle-free local import
+
+    platform.clock.advance_to(state["clock_s"])
+    platform._last_arrival = state["last_arrival"]
+    platform._next_container_seq = state["next_container_seq"]
+    platform._next_event_seq = state["next_event_seq"]
+    platform._next_token = state["next_token"]
+    platform._events = [
+        (at, kind, seq, tuple(payload))
+        for at, kind, seq, payload in state["events"]
+    ]
+    platform._events.sort()  # heap invariant (serialized order is the heap's)
+    for name, data in state["fleets"].items():
+        fleet = platform._fleets[name]
+        ecosystem = fleet.config.ecosystem
+        fleet.arrivals = data["arrivals"]
+        fleet.rejected = data["rejected"]
+        fleet.cold_starts = data["cold_starts"]
+        fleet.spawned = data["spawned"]
+        fleet.peak_containers = data["peak_containers"]
+        fleet.retired_container_seconds = data["retired_container_seconds"]
+        fleet.retired_gb_seconds = data["retired_gb_seconds"]
+        fleet.first_arrival = data["first_arrival"]
+        fleet.last_arrival = data["last_arrival"]
+        fleet.reap_until = (
+            -math.inf if data["reap_until"] is None else data["reap_until"]
+        )
+        fleet.queue.clear()
+        for token, entry, arrival in data["queue"]:
+            fleet.queue.append(
+                _PendingRequest(token=token, entry=entry, arrival=arrival)
+            )
+        fleet.containers = [
+            _FleetContainer(
+                container_id=item["container_id"],
+                seq=item["seq"],
+                spawned_at=item["spawned_at"],
+                ready_at=item["ready_at"],
+                init_ms=item["init_ms"],
+                loaded={ecosystem.parse_module(dotted) for dotted in item["loaded"]},
+                memory_mb=item["memory_mb"],
+                seen_entries=set(item["seen_entries"]),
+                active=item["active"],
+                virgin=item["virgin"],
+                idle_since=item["idle_since"],
+                last_release=item["last_release"],
+            )
+            for item in data["containers"]
+        ]
+        fleet.by_seq = {container.seq: container for container in fleet.containers}
+        fleet.policy_state = fleet.policy.restore_state(data["policy_state"])
+        fleet.jitter_rng = _restore_rng(platform.seed, name, data["jitter_rng"])
+
+
+# -- accumulator state -------------------------------------------------------
+
+
+def accumulator_state(accumulator: WindowAccumulator) -> dict:
+    """Serialize a window accumulator's per-window state."""
+    return {
+        "window_s": accumulator.window_s,
+        "pricing": {
+            "per_gb_second": accumulator.pricing.per_gb_second,
+            "per_million_requests": accumulator.pricing.per_million_requests,
+            "cold_start_surcharge": accumulator.pricing.cold_start_surcharge,
+        },
+        "windows": {
+            str(index): {
+                "arrivals": window.arrivals,
+                "completed": window.completed,
+                "shed": window.shed,
+                "cold": window.cold,
+                "boots": window.boots,
+                "queue_counts": list(window.queue.counts),
+                "queue_total": window.queue.total,
+                "queue_sums": dict(window.queue_sums),
+                "gb_sums": dict(window.gb_sums),
+            }
+            for index, window in accumulator._windows.items()
+        },
+    }
+
+
+def restore_accumulator(accumulator: WindowAccumulator, state: dict) -> None:
+    """Restore :func:`accumulator_state` output onto a fresh accumulator.
+
+    The accumulator must be configured as the snapshot was (window size,
+    pricing) — a mismatch means the resume got different CLI flags than
+    the original run, which would silently corrupt the series.
+    """
+    if accumulator.window_s != state["window_s"]:
+        raise WorkloadError(
+            f"checkpoint used window_s={state['window_s']}, "
+            f"accumulator has {accumulator.window_s}"
+        )
+    pricing = PricingModel(**state["pricing"])
+    if accumulator.pricing != pricing:
+        raise WorkloadError(
+            f"checkpoint used pricing {pricing}, accumulator has "
+            f"{accumulator.pricing}"
+        )
+    accumulator._windows.clear()
+    accumulator._cached_index = None
+    accumulator._cached_window = None
+    for key, data in state["windows"].items():
+        window = _Window()
+        window.arrivals = data["arrivals"]
+        window.completed = data["completed"]
+        window.shed = data["shed"]
+        window.cold = data["cold"]
+        window.boots = data["boots"]
+        window.queue.counts = list(data["queue_counts"])
+        window.queue.total = data["queue_total"]
+        window.queue_sums = dict(data["queue_sums"])
+        window.gb_sums = dict(data["gb_sums"])
+        accumulator._windows[int(key)] = window
+
+
+# -- the checkpointed streaming driver --------------------------------------
+
+
+def write_checkpoint(
+    path: str | Path,
+    platform: ClusterPlatform,
+    accumulator: WindowAccumulator,
+    consumed: int,
+    fingerprint: dict | None = None,
+) -> None:
+    """Atomically persist a replay checkpoint to ``path``.
+
+    ``consumed`` is the number of arrivals already fed from the
+    (deterministic, recompilable) stream; resume skips exactly that many.
+    ``fingerprint`` is an opaque JSON-safe description of everything the
+    stream and platform were built from (seeds, scales, fleet flags…);
+    resume refuses a checkpoint whose fingerprint differs, since skipping
+    into a *different* deterministic stream would silently blend two
+    workloads into one report.
+    """
+    payload = {
+        "format": CHECKPOINT_FORMAT,
+        "consumed": consumed,
+        "apps": sorted(platform.app_names()),
+        "fingerprint": fingerprint,
+        "platform": platform_state(platform),
+        "accumulator": accumulator_state(accumulator),
+    }
+    path = Path(path)
+    scratch = path.with_suffix(path.suffix + ".tmp")
+    scratch.write_text(json.dumps(payload))
+    os.replace(scratch, path)
+
+
+def load_checkpoint(path: str | Path) -> dict:
+    """Read a checkpoint written by :func:`write_checkpoint`."""
+    data = json.loads(Path(path).read_text())
+    if data.get("format") != CHECKPOINT_FORMAT:
+        raise WorkloadError(
+            f"unsupported checkpoint format {data.get('format')!r} in {path}"
+        )
+    return data
+
+
+def run_stream_checkpointed(
+    platform: ClusterPlatform,
+    arrivals: Iterable[tuple[float, str, str]],
+    accumulator: WindowAccumulator,
+    path: str | Path,
+    every_s: float | None = None,
+    on_record: Callable[[InvocationRecord], None] | None = None,
+    flush_at: float | None = None,
+    keep: bool = False,
+    fingerprint: dict | None = None,
+) -> WindowedSummary:
+    """:meth:`ClusterPlatform.run_stream` with durable window checkpoints.
+
+    Bit-identical to a plain ``run_stream`` over the same arrivals (it
+    drives the same ``stream_begin``/``stream_feed``/``stream_end``
+    machinery), with one addition: before feeding the first arrival of
+    each new ``every_s`` period (default: the accumulator's window), the
+    platform + accumulator state and the count of arrivals consumed so
+    far are written to ``path``.  If ``path`` already exists, the run
+    *resumes* from it instead of starting over: the caller hands in the
+    platform freshly deployed, the accumulator freshly configured, and
+    the arrival stream freshly compiled — everything deterministic — and
+    the driver restores the serialized state and skips the consumed
+    prefix.  On success the checkpoint is deleted unless ``keep``.
+
+    An interrupted run (crash, KeyboardInterrupt) leaves the newest
+    checkpoint on disk; rerunning the same command continues it.
+    """
+    path = Path(path)
+    consumed = 0
+    if path.exists():
+        data = load_checkpoint(path)
+        if data["apps"] != sorted(platform.app_names()):
+            raise DeploymentError(
+                f"checkpoint {path} covers apps {data['apps']}, "
+                f"platform has {platform.app_names()}"
+            )
+        if data.get("fingerprint") != fingerprint:
+            raise WorkloadError(
+                f"checkpoint {path} was written by a differently-configured "
+                f"replay (checkpoint fingerprint {data.get('fingerprint')!r}, "
+                f"this run {fingerprint!r}); resuming would blend two "
+                "workloads — delete the checkpoint or rerun with the "
+                "original flags"
+            )
+        restore_platform(platform, data["platform"])
+        restore_accumulator(accumulator, data["accumulator"])
+        consumed = data["consumed"]
+    every = accumulator.window_s if every_s is None else every_s
+    if every <= 0:
+        raise WorkloadError(f"checkpoint period must be positive: {every}")
+    platform.stream_begin(accumulator, on_record)
+    feed = platform.stream_feed
+    boundary: int | None = None
+    try:
+        stream = iter(arrivals)
+        if consumed:
+            stream = islice(stream, consumed, None)
+        for at, name, entry in stream:
+            index = int(at // every)
+            if boundary is None:
+                boundary = index
+            elif index > boundary:
+                write_checkpoint(
+                    path, platform, accumulator, consumed, fingerprint
+                )
+                boundary = index
+            feed(at, name, entry)
+            consumed += 1
+    except BaseException:
+        # Keep the newest on-disk checkpoint for resume, but leave the
+        # platform out of streaming mode so state stays inspectable.
+        platform.stream_abort()
+        raise
+    summary = platform.stream_end(flush_at)
+    if not keep:
+        path.unlink(missing_ok=True)
+    return summary

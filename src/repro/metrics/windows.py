@@ -14,7 +14,13 @@ paper's workload-shift events exist to produce.  This module folds a record
   lifetime overlaps, so keep-alive tails show up in the window that paid
   for them, and each window is priced through the PR 3
   :class:`~repro.metrics.stats.PricingModel` into a
-  :class:`~repro.metrics.stats.CostSummary`.
+  :class:`~repro.metrics.stats.CostSummary`;
+* float sums (queue waits, GB-seconds) are kept **per source** (the
+  producers label them by application), so two accumulators that observed
+  *disjoint* source sets merge losslessly: :meth:`WindowedSummary.merge`
+  rebuilds every derived metric from the summed integer counts and the
+  per-source partials, which is what makes a sharded multi-process replay
+  (:mod:`repro.workloads.shard`) bit-identical to a single-process one.
 
 The producer side lives in :meth:`repro.faas.cluster.ClusterPlatform.run_stream`
 and :meth:`repro.faas.region.RegionFederation.run_stream`, which feed an
@@ -25,7 +31,8 @@ whole run as a :class:`WindowedSummary` time series.
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass
+from dataclasses import dataclass, field
+from typing import Iterable, Sequence
 
 from repro.metrics.stats import DEFAULT_PRICING, CostSummary, PricingModel
 
@@ -39,15 +46,38 @@ _HIST_RATIO = math.sqrt(2.0)
 _LOG_RATIO = math.log(_HIST_RATIO)
 
 
-class _LatencyHistogram:
-    """Fixed-size log-spaced latency histogram (bounded-memory quantiles)."""
+def _histogram_quantile(counts: Sequence[int], total: int, q: float) -> float:
+    """Latency at quantile ``q`` in [0, 1] (geometric bucket midpoint)."""
+    if not 0.0 <= q <= 1.0:
+        raise ValueError(f"quantile out of range: {q}")
+    if total == 0:
+        return 0.0
+    rank = q * total
+    running = 0
+    for index, count in enumerate(counts):
+        running += count
+        if running >= rank:
+            if index == 0:
+                return _HIST_FLOOR_MS
+            lower = _HIST_FLOOR_MS * _HIST_RATIO ** (index - 1)
+            return lower * math.sqrt(_HIST_RATIO)
+    return _HIST_FLOOR_MS * _HIST_RATIO ** (_HIST_BUCKETS - 1)
 
-    __slots__ = ("counts", "total", "sum_ms")
+
+class _LatencyHistogram:
+    """Fixed-size log-spaced latency histogram (bounded-memory quantiles).
+
+    Holds integer bucket counts only; per-source running sums live on the
+    window so they stay losslessly mergeable (integer counts merge by
+    addition; a single float running sum would not, since float addition
+    is order-dependent).
+    """
+
+    __slots__ = ("counts", "total")
 
     def __init__(self) -> None:
         self.counts = [0] * _HIST_BUCKETS
         self.total = 0
-        self.sum_ms = 0.0
 
     def observe(self, value_ms: float) -> None:
         if value_ms < 0:
@@ -61,27 +91,31 @@ class _LatencyHistogram:
             )
         self.counts[index] += 1
         self.total += 1
-        self.sum_ms += value_ms
-
-    def mean(self) -> float:
-        return self.sum_ms / self.total if self.total else 0.0
 
     def quantile(self, q: float) -> float:
         """Latency at quantile ``q`` in [0, 1] (geometric bucket midpoint)."""
-        if not 0.0 <= q <= 1.0:
-            raise ValueError(f"quantile out of range: {q}")
-        if self.total == 0:
-            return 0.0
-        rank = q * self.total
-        running = 0
-        for index, count in enumerate(self.counts):
-            running += count
-            if running >= rank:
-                if index == 0:
-                    return _HIST_FLOOR_MS
-                lower = _HIST_FLOOR_MS * _HIST_RATIO ** (index - 1)
-                return lower * math.sqrt(_HIST_RATIO)
-        return _HIST_FLOOR_MS * _HIST_RATIO ** (_HIST_BUCKETS - 1)
+        return _histogram_quantile(self.counts, self.total, q)
+
+
+def _sum_by_source(sums: dict[str, float]) -> float:
+    """Combine per-source partial sums in sorted-source order.
+
+    The one definition of "total" shared by :meth:`WindowAccumulator.finalize`
+    and :meth:`WindowedSummary.merge`: as long as the per-source partials
+    are identical, the combined float is identical — the keystone of the
+    sharded-replay exactness argument.
+    """
+    return sum(sums[source] for source in sorted(sums))
+
+
+def _merge_sums(
+    into: dict[str, float], pairs: Iterable[tuple[str, float]]
+) -> None:
+    for source, value in pairs:
+        if source in into:
+            into[source] += value
+        else:
+            into[source] = value
 
 
 @dataclass(frozen=True)
@@ -106,6 +140,13 @@ class WindowStats:
         boots: Containers whose boot started in this window.
         cost: The window priced as its own mini-run
             (:class:`~repro.metrics.stats.CostSummary`).
+        queue_histogram: The 64 log-spaced queue-wait bucket counts this
+            window accumulated (see module docstring for the geometry).
+        queue_sum_ms_by_source: Exact per-source partial sums of queue
+            waits, sorted by source label — the state that makes
+            :meth:`WindowedSummary.merge` lossless.
+        gb_seconds_by_source: Exact per-source partial sums of
+            provisioned GB-seconds, sorted by source label.
     """
 
     index: int
@@ -122,6 +163,9 @@ class WindowStats:
     gb_seconds: float
     boots: int
     cost: CostSummary
+    queue_histogram: tuple[int, ...] = (0,) * _HIST_BUCKETS
+    queue_sum_ms_by_source: tuple[tuple[str, float], ...] = ()
+    gb_seconds_by_source: tuple[tuple[str, float], ...] = ()
 
 
 @dataclass(frozen=True)
@@ -143,6 +187,7 @@ class WindowedSummary:
     cold_start_rate: float
     gb_seconds: float
     cost: CostSummary
+    pricing: PricingModel = field(default=DEFAULT_PRICING)
 
     def series(self, field: str) -> list[float]:
         """One metric as a time series, e.g. ``series("cold_start_rate")``."""
@@ -156,11 +201,63 @@ class WindowedSummary:
                 return window
         return None
 
+    @classmethod
+    def merge(cls, summaries: Sequence["WindowedSummary"]) -> "WindowedSummary":
+        """Losslessly merge per-shard summaries into one.
+
+        Integer counts and histogram buckets add; per-source float
+        partials concatenate (or add, should a source appear in several
+        summaries); every derived metric — means, quantiles, rates,
+        costs — is then *recomputed* from the merged state by the same
+        code ``finalize()`` uses.  When the input summaries observed
+        disjoint source sets (the app-hash sharding of
+        :mod:`repro.workloads.shard` guarantees this), the result is
+        bit-identical to the summary a single accumulator fed by all the
+        shards' events would have produced.
+        """
+        if not summaries:
+            raise ValueError("cannot merge zero summaries")
+        first = summaries[0]
+        for other in summaries[1:]:
+            if other.window_s != first.window_s:
+                raise ValueError(
+                    f"window size mismatch: {other.window_s} != {first.window_s}"
+                )
+            if other.pricing != first.pricing:
+                raise ValueError("cannot merge summaries priced differently")
+        merged: dict[int, _Window] = {}
+        for summary in summaries:
+            for stats in summary.windows:
+                window = merged.get(stats.index)
+                if window is None:
+                    window = merged[stats.index] = _Window()
+                window.arrivals += stats.arrivals
+                window.completed += stats.completed
+                window.shed += stats.shed
+                window.cold += stats.cold_starts
+                window.boots += stats.boots
+                counts = window.queue.counts
+                for index, count in enumerate(stats.queue_histogram):
+                    counts[index] += count
+                window.queue.total += sum(stats.queue_histogram)
+                _merge_sums(window.queue_sums, stats.queue_sum_ms_by_source)
+                _merge_sums(window.gb_sums, stats.gb_seconds_by_source)
+        return _summarize(merged, first.window_s, first.pricing)
+
 
 class _Window:
     """Mutable accumulation state for one window (fixed-size)."""
 
-    __slots__ = ("arrivals", "completed", "shed", "cold", "boots", "gb_seconds", "queue")
+    __slots__ = (
+        "arrivals",
+        "completed",
+        "shed",
+        "cold",
+        "boots",
+        "queue",
+        "queue_sums",
+        "gb_sums",
+    )
 
     def __init__(self) -> None:
         self.arrivals = 0
@@ -168,8 +265,68 @@ class _Window:
         self.shed = 0
         self.cold = 0
         self.boots = 0
-        self.gb_seconds = 0.0
         self.queue = _LatencyHistogram()
+        #: Per-source exact running float sums (source = app label, or
+        #: ``""`` for unlabeled producers).  Kept separate per source so
+        #: accumulators over disjoint source sets merge losslessly.
+        self.queue_sums: dict[str, float] = {}
+        self.gb_sums: dict[str, float] = {}
+
+
+def _window_stats(
+    index: int, window: _Window, window_s: float, pricing: PricingModel
+) -> WindowStats:
+    """Derive one window's public stats from its accumulation state."""
+    gb_seconds = _sum_by_source(window.gb_sums)
+    queue_sum = _sum_by_source(window.queue_sums)
+    return WindowStats(
+        index=index,
+        start_s=index * window_s,
+        end_s=(index + 1) * window_s,
+        arrivals=window.arrivals,
+        completed=window.completed,
+        shed=window.shed,
+        cold_starts=window.cold,
+        cold_start_rate=(window.cold / window.completed if window.completed else 0.0),
+        shed_rate=(window.shed / window.arrivals if window.arrivals else 0.0),
+        queue_mean_ms=queue_sum / window.completed if window.completed else 0.0,
+        queue_p95_ms=window.queue.quantile(0.95),
+        gb_seconds=gb_seconds,
+        boots=window.boots,
+        cost=CostSummary.from_usage(
+            gb_seconds, window.completed, window.boots, pricing
+        ),
+        queue_histogram=tuple(window.queue.counts),
+        queue_sum_ms_by_source=tuple(sorted(window.queue_sums.items())),
+        gb_seconds_by_source=tuple(sorted(window.gb_sums.items())),
+    )
+
+
+def _summarize(
+    windows: dict[int, _Window], window_s: float, pricing: PricingModel
+) -> WindowedSummary:
+    """Shared back half of ``finalize()`` and ``WindowedSummary.merge``."""
+    stats = [
+        _window_stats(index, windows[index], window_s, pricing)
+        for index in sorted(windows)
+    ]
+    arrivals = sum(w.arrivals for w in stats)
+    completed = sum(w.completed for w in stats)
+    cold = sum(w.cold_starts for w in stats)
+    gb_seconds = sum(w.gb_seconds for w in stats)
+    boots = sum(w.boots for w in stats)
+    return WindowedSummary(
+        window_s=window_s,
+        windows=tuple(stats),
+        arrivals=arrivals,
+        completed=completed,
+        shed=sum(w.shed for w in stats),
+        cold_starts=cold,
+        cold_start_rate=cold / completed if completed else 0.0,
+        gb_seconds=gb_seconds,
+        cost=CostSummary.from_usage(gb_seconds, completed, boots, pricing),
+        pricing=pricing,
+    )
 
 
 class WindowAccumulator:
@@ -179,7 +336,9 @@ class WindowAccumulator:
     drive (see :meth:`~repro.faas.cluster.ClusterPlatform.run_stream`);
     each touches only the fixed-size state of the windows involved, so
     peak memory is proportional to the number of *active windows*, never
-    to the number of requests.
+    to the number of requests.  ``source`` labels (one per app) keep the
+    float sums per producer, which is what lets per-shard accumulators
+    merge losslessly — see :meth:`WindowedSummary.merge`.
     """
 
     def __init__(
@@ -192,12 +351,21 @@ class WindowAccumulator:
         self.window_s = float(window_s)
         self.pricing = pricing if pricing is not None else DEFAULT_PRICING
         self._windows: dict[int, _Window] = {}
+        # One-entry lookup cache: replay streams touch the same window
+        # for thousands of consecutive observations, so the common case
+        # skips the dict probe (and the hot path skips a div + hash).
+        self._cached_index: int | None = None
+        self._cached_window: _Window | None = None
 
     def _window(self, at_s: float) -> _Window:
         index = int(at_s // self.window_s)
+        if index == self._cached_index:
+            return self._cached_window
         window = self._windows.get(index)
         if window is None:
             window = self._windows[index] = _Window()
+        self._cached_index = index
+        self._cached_window = window
         return window
 
     # -- streaming surface -------------------------------------------------
@@ -207,21 +375,30 @@ class WindowAccumulator:
         self._window(at_s).arrivals += 1
 
     def observe_completion(
-        self, arrival_s: float, cold: bool, queue_ms: float
+        self, arrival_s: float, cold: bool, queue_ms: float, source: str = ""
     ) -> None:
-        """One request finished; attributed to its *arrival* window."""
+        """One request finished; attributed to its *arrival* window.
+
+        ``source`` labels the float contribution (the platforms pass the
+        application name) so per-shard accumulators merge exactly.
+        """
         window = self._window(arrival_s)
         window.completed += 1
         if cold:
             window.cold += 1
         window.queue.observe(queue_ms)
+        sums = window.queue_sums
+        if source in sums:
+            sums[source] += queue_ms
+        else:
+            sums[source] = queue_ms
 
     def observe_shed(self, at_s: float) -> None:
         """One request was rejected by a bounded queue at ``at_s``."""
         self._window(at_s).shed += 1
 
     def observe_provision(
-        self, start_s: float, end_s: float, memory_mb: float
+        self, start_s: float, end_s: float, memory_mb: float, source: str = ""
     ) -> None:
         """One container's provisioned lifetime, spread across windows."""
         if end_s < start_s:
@@ -234,7 +411,12 @@ class WindowAccumulator:
             lo = max(start_s, index * self.window_s)
             hi = min(end_s, (index + 1) * self.window_s)
             if hi > lo:
-                self._window(lo).gb_seconds += (hi - lo) * gb
+                sums = self._window(lo).gb_sums
+                value = (hi - lo) * gb
+                if source in sums:
+                    sums[source] += value
+                else:
+                    sums[source] = value
 
     # -- results -----------------------------------------------------------
 
@@ -244,46 +426,4 @@ class WindowAccumulator:
 
     def finalize(self) -> WindowedSummary:
         """Snapshot everything accumulated as a :class:`WindowedSummary`."""
-        windows = []
-        for index in sorted(self._windows):
-            state = self._windows[index]
-            windows.append(
-                WindowStats(
-                    index=index,
-                    start_s=index * self.window_s,
-                    end_s=(index + 1) * self.window_s,
-                    arrivals=state.arrivals,
-                    completed=state.completed,
-                    shed=state.shed,
-                    cold_starts=state.cold,
-                    cold_start_rate=(
-                        state.cold / state.completed if state.completed else 0.0
-                    ),
-                    shed_rate=(
-                        state.shed / state.arrivals if state.arrivals else 0.0
-                    ),
-                    queue_mean_ms=state.queue.mean(),
-                    queue_p95_ms=state.queue.quantile(0.95),
-                    gb_seconds=state.gb_seconds,
-                    boots=state.boots,
-                    cost=CostSummary.from_usage(
-                        state.gb_seconds, state.completed, state.boots, self.pricing
-                    ),
-                )
-            )
-        arrivals = sum(w.arrivals for w in windows)
-        completed = sum(w.completed for w in windows)
-        cold = sum(w.cold_starts for w in windows)
-        gb_seconds = sum(w.gb_seconds for w in windows)
-        boots = sum(w.boots for w in windows)
-        return WindowedSummary(
-            window_s=self.window_s,
-            windows=tuple(windows),
-            arrivals=arrivals,
-            completed=completed,
-            shed=sum(w.shed for w in windows),
-            cold_starts=cold,
-            cold_start_rate=cold / completed if completed else 0.0,
-            gb_seconds=gb_seconds,
-            cost=CostSummary.from_usage(gb_seconds, completed, boots, self.pricing),
-        )
+        return _summarize(self._windows, self.window_s, self.pricing)

@@ -1,0 +1,160 @@
+"""Sharded multi-process trace replay: split by app, replay, merge exactly.
+
+A compiled trace drives one :class:`~repro.faas.cluster.ClusterPlatform`
+event loop on one core.  But the cluster gives every application its own
+container fleet, and fleets share *no* capacity, no queue, no RNG stream
+— each app's event sequence is a pure function of that app's arrivals.
+A single-cluster replay therefore factorizes: split the trace's apps into
+shards (a stable hash of the app name), replay each shard on its own
+platform — in its own *process* — and merge the per-shard windowed
+summaries.  The merge is **bit-identical** to the unsharded replay
+because:
+
+* per-app arrival streams are independent by construction
+  (:func:`~repro.workloads.replay.compile_trace` derives one RNG per
+  (app, window, handler));
+* container ids/sequence numbers only break ties *within* a fleet, and
+  relative order within a fleet is preserved under sharding;
+* every float the summary reports is accumulated **per app** inside the
+  :class:`~repro.metrics.WindowAccumulator` and recombined in one
+  canonical order by :meth:`~repro.metrics.WindowedSummary.merge`;
+* provisioned tails are flushed at the container's natural keep-alive
+  expiry (``flush_at=math.inf``) rather than at the shard's last event
+  time, which would differ between shards and the full run.
+
+``tests/workloads/test_shard.py`` pins the exactness property for
+arbitrary shard counts and app partitions; the federation is *not*
+shardable this way (regions share routing state), so sharding is a
+single-cluster capability.
+
+Process orchestration uses :class:`concurrent.futures.ProcessPoolExecutor`;
+everything a worker needs (the sub-trace, the :class:`ShardReplaySpec`)
+is a plain picklable dataclass.  Throughput at 1/2/4 workers is measured
+by ``benchmarks/test_perf_replay_throughput.py`` into
+``BENCH_replay_throughput.json``.
+"""
+
+from __future__ import annotations
+
+import math
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass
+
+from repro.common.errors import WorkloadError
+from repro.common.rng import derive_seed
+from repro.faas.cluster import ClusterPlatform, FleetConfig
+from repro.faas.replaydeploy import deploy_trace
+from repro.faas.sim import SimPlatformConfig
+from repro.metrics import PricingModel, WindowAccumulator, WindowedSummary
+from repro.workloads.replay import ArrivalModel, compile_trace
+from repro.workloads.trace import ProductionTrace
+
+
+def shard_index(app: str, shards: int) -> int:
+    """The shard a given application hashes to.
+
+    Uses the repo's process-stable BLAKE2 hash (never Python's ``hash``),
+    so the same app lands on the same shard in every worker process and
+    on every machine.
+    """
+    if shards < 1:
+        raise WorkloadError(f"need at least one shard: {shards}")
+    return derive_seed(0, "shard", app) % shards
+
+
+def shard_trace(trace: ProductionTrace, shards: int) -> list[ProductionTrace]:
+    """Split a trace into ``shards`` app-disjoint sub-traces by app hash.
+
+    Every app appears in exactly one shard (some shards may be empty for
+    small fleets); window geometry is shared.  App objects are shared,
+    not copied — traces are read-only inputs to replay.
+    """
+    out = [ProductionTrace(window_hours=trace.window_hours) for _ in range(shards)]
+    for app in trace.apps:
+        out[shard_index(app.name, shards)].apps.append(app)
+    return out
+
+
+@dataclass(frozen=True)
+class ShardReplaySpec:
+    """Everything one shard worker needs to replay its sub-trace.
+
+    A frozen, picklable bundle of the replay parameters every shard must
+    agree on — one spec drives all workers, so shards cannot diverge in
+    configuration.
+
+    Attributes:
+        platform: Platform cost constants for the per-shard cluster.
+        fleet: Fleet/autoscaler configuration deployed for every app.
+        seed: Cluster seed (jitter streams derive per app, so sharding
+            never perturbs them).
+        replay_seed: Seed for :func:`~repro.workloads.replay.compile_trace`.
+        model: Intra-window arrival model (``None`` = uniform).
+        scale: Trace volume multiplier.
+        start_s: Replay start offset on the virtual clock.
+        window_s: Accumulator window size in seconds.
+        pricing: Pricing model for the windowed cost series.
+        exec_ms: Trace-app handler self-time
+            (see :func:`repro.faas.replaydeploy.trace_app_config`).
+        base_memory_mb: Trace-app container footprint.
+    """
+
+    platform: SimPlatformConfig = SimPlatformConfig(record_traces=False)
+    fleet: FleetConfig = FleetConfig()
+    seed: int = 0
+    replay_seed: int = 0
+    model: ArrivalModel | None = None
+    scale: float = 1.0
+    start_s: float = 0.0
+    window_s: float = 3600.0
+    pricing: PricingModel | None = None
+    exec_ms: float = 2.0
+    base_memory_mb: float = 96.0
+
+
+def replay_shard(spec: ShardReplaySpec, trace: ProductionTrace) -> WindowedSummary:
+    """Replay one (sub-)trace on a fresh cluster; the shard worker body.
+
+    Also the one-shard path of :func:`replay_sharded`, so a 1-worker run
+    and an N-worker run execute literally the same code per shard.
+    Flushes provisioned tails at natural expiry (see module docstring).
+    """
+    platform = ClusterPlatform(
+        config=spec.platform, fleet=spec.fleet, seed=spec.seed
+    )
+    deploy_trace(
+        platform, trace, exec_ms=spec.exec_ms, base_memory_mb=spec.base_memory_mb
+    )
+    stream = compile_trace(
+        trace,
+        model=spec.model,
+        seed=spec.replay_seed,
+        start_s=spec.start_s,
+        scale=spec.scale,
+    )
+    accumulator = WindowAccumulator(window_s=spec.window_s, pricing=spec.pricing)
+    return platform.run_stream(stream, accumulator, flush_at=math.inf)
+
+
+def replay_sharded(
+    trace: ProductionTrace,
+    spec: ShardReplaySpec | None = None,
+    workers: int = 1,
+) -> WindowedSummary:
+    """Replay ``trace`` across ``workers`` processes; merge exactly.
+
+    ``workers=1`` runs inline (no pool) but through the identical
+    per-shard code path, so scaling the worker count never changes the
+    result — only the wall time.  Empty shards (hash collisions on small
+    fleets) are skipped.
+    """
+    spec = spec if spec is not None else ShardReplaySpec()
+    shards = [shard for shard in shard_trace(trace, workers) if shard.apps]
+    if not shards:
+        shards = [ProductionTrace(window_hours=trace.window_hours)]
+    if workers == 1 or len(shards) == 1:
+        summaries = [replay_shard(spec, shard) for shard in shards]
+    else:
+        with ProcessPoolExecutor(max_workers=len(shards)) as pool:
+            summaries = list(pool.map(replay_shard, [spec] * len(shards), shards))
+    return WindowedSummary.merge(summaries)

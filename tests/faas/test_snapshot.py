@@ -1,0 +1,315 @@
+"""Checkpoint/resume: snapshot round-trips are bit-identical.
+
+The contract of :mod:`repro.faas.snapshot` is that a replay interrupted
+at an arbitrary point and resumed *in a fresh process* from the last
+window-boundary checkpoint finishes with exactly the
+:class:`WindowedSummary` an uninterrupted run produces — fleet state,
+event-heap frontier, jitter RNGs, policy state, and accumulator all
+survive JSON serialization losslessly.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from concurrent.futures import ProcessPoolExecutor
+from pathlib import Path
+
+import pytest
+
+from repro.common.errors import DeploymentError, WorkloadError
+from repro.faas.autoscale import PanicWindow, PerRequest
+from repro.faas.cluster import ClusterPlatform, FleetConfig
+from repro.faas.replaydeploy import deploy_trace
+from repro.faas.sim import SimPlatformConfig
+from repro.faas.snapshot import (
+    accumulator_state,
+    load_checkpoint,
+    platform_state,
+    restore_accumulator,
+    restore_platform,
+    run_stream_checkpointed,
+    write_checkpoint,
+)
+from repro.metrics import PricingModel, WindowAccumulator
+from repro.workloads.replay import compile_trace
+from repro.workloads.trace import TraceGenerator
+
+TRACE = dict(
+    app_count=4,
+    duration_hours=24.0,
+    window_hours=6.0,
+    mean_requests_per_window=300.0,
+    seed=5,
+)
+PLATFORM = SimPlatformConfig(record_traces=False, jitter_sigma=0.05)
+#: A stateful policy on purpose: the panic history and episode state
+#: must survive the checkpoint too.
+FLEET = FleetConfig(
+    max_containers=3,
+    keep_alive_s=60.0,
+    policy=PanicWindow(target=0.6, stable_window_s=600.0, panic_window_s=60.0),
+)
+SCALE = 0.5
+
+
+def build_platform():
+    trace = TraceGenerator(**TRACE).generate()
+    platform = ClusterPlatform(config=PLATFORM, fleet=FLEET, seed=13)
+    deploy_trace(platform, trace)
+    return platform, compile_trace(trace, seed=3, scale=SCALE)
+
+
+class _Interrupt(Exception):
+    pass
+
+
+def interrupt_after(stream, count):
+    for index, event in enumerate(stream):
+        if index >= count:
+            raise _Interrupt()
+        yield event
+
+
+def _resume_in_fresh_process(path: str):
+    """Module-level so a worker process can run it: rebuild and resume."""
+    platform, stream = build_platform()
+    summary = run_stream_checkpointed(
+        platform, stream, WindowAccumulator(3600.0), path
+    )
+    return summary
+
+
+@pytest.fixture()
+def reference():
+    platform, stream = build_platform()
+    return platform.run_stream(stream, WindowAccumulator(3600.0))
+
+
+class TestCheckpointResume:
+    def test_uninterrupted_checkpointed_run_equals_run_stream(
+        self, tmp_path, reference
+    ):
+        platform, stream = build_platform()
+        path = tmp_path / "ckpt.json"
+        summary = run_stream_checkpointed(
+            platform, stream, WindowAccumulator(3600.0), path
+        )
+        assert summary == reference
+        assert not path.exists()  # consumed checkpoints are cleaned up
+
+    @pytest.mark.parametrize("crash_after", [1, 500, 2000, 7000])
+    def test_resume_matches_uninterrupted_run(
+        self, tmp_path, reference, crash_after
+    ):
+        path = tmp_path / "ckpt.json"
+        platform, stream = build_platform()
+        with pytest.raises(_Interrupt):
+            run_stream_checkpointed(
+                platform,
+                interrupt_after(stream, crash_after),
+                WindowAccumulator(3600.0),
+                path,
+            )
+        # The interrupted platform is left out of streaming mode.
+        assert platform._stream is None
+        platform, stream = build_platform()
+        resumed = run_stream_checkpointed(
+            platform, stream, WindowAccumulator(3600.0), path
+        )
+        assert resumed == reference
+
+    @pytest.mark.slow
+    def test_resume_in_fresh_process_matches(self, tmp_path, reference):
+        path = tmp_path / "ckpt.json"
+        platform, stream = build_platform()
+        with pytest.raises(_Interrupt):
+            run_stream_checkpointed(
+                platform,
+                interrupt_after(stream, 3000),
+                WindowAccumulator(3600.0),
+                path,
+            )
+        assert path.exists()
+        with ProcessPoolExecutor(max_workers=1) as pool:
+            resumed = pool.submit(_resume_in_fresh_process, str(path)).result()
+        assert resumed == reference
+
+    def test_keep_retains_final_checkpoint(self, tmp_path):
+        platform, stream = build_platform()
+        path = tmp_path / "ckpt.json"
+        run_stream_checkpointed(
+            platform, stream, WindowAccumulator(3600.0), path, keep=True
+        )
+        data = load_checkpoint(path)
+        assert data["consumed"] > 0
+        assert data["apps"] == sorted(platform.app_names())
+
+    def test_unsupported_format_rejected(self, tmp_path):
+        path = tmp_path / "ckpt.json"
+        path.write_text(json.dumps({"format": 999}))
+        with pytest.raises(WorkloadError):
+            load_checkpoint(path)
+
+    def test_resume_with_different_apps_rejected(self, tmp_path):
+        platform, stream = build_platform()
+        path = tmp_path / "ckpt.json"
+        with pytest.raises(_Interrupt):
+            run_stream_checkpointed(
+                platform,
+                interrupt_after(stream, 4000),
+                WindowAccumulator(3600.0),
+                path,
+            )
+        other = ClusterPlatform(config=PLATFORM, fleet=FLEET, seed=13)
+        deploy_trace(
+            other,
+            TraceGenerator(**{**TRACE, "app_count": 2}).generate(),
+        )
+        with pytest.raises(DeploymentError):
+            run_stream_checkpointed(
+                other, iter(()), WindowAccumulator(3600.0), path
+            )
+
+    def test_resume_with_different_fingerprint_rejected(self, tmp_path, reference):
+        path = tmp_path / "ckpt.json"
+        platform, stream = build_platform()
+        with pytest.raises(_Interrupt):
+            run_stream_checkpointed(
+                platform,
+                interrupt_after(stream, 4000),
+                WindowAccumulator(3600.0),
+                path,
+                fingerprint={"seed": 3, "scale": SCALE},
+            )
+        # Different replay parameters: refuse to blend two workloads.
+        platform, stream = build_platform()
+        with pytest.raises(WorkloadError):
+            run_stream_checkpointed(
+                platform,
+                stream,
+                WindowAccumulator(3600.0),
+                path,
+                fingerprint={"seed": 99, "scale": SCALE},
+            )
+        # The matching fingerprint still resumes bit-identically.
+        platform, stream = build_platform()
+        resumed = run_stream_checkpointed(
+            platform,
+            stream,
+            WindowAccumulator(3600.0),
+            path,
+            fingerprint={"seed": 3, "scale": SCALE},
+        )
+        assert resumed == reference
+
+    def test_bad_checkpoint_period_rejected(self, tmp_path):
+        platform, _ = build_platform()
+        with pytest.raises(WorkloadError):
+            run_stream_checkpointed(
+                platform,
+                iter(()),
+                WindowAccumulator(3600.0),
+                tmp_path / "ckpt.json",
+                every_s=0.0,
+            )
+
+
+class TestStateSerialization:
+    def test_platform_state_round_trips_mid_stream(self, tmp_path):
+        platform, stream = build_platform()
+        path = tmp_path / "ckpt.json"
+        with pytest.raises(_Interrupt):
+            run_stream_checkpointed(
+                platform,
+                interrupt_after(stream, 5000),
+                WindowAccumulator(3600.0),
+                path,
+            )
+        data = load_checkpoint(path)
+        fresh, _ = build_platform()
+        restore_platform(fresh, data["platform"])
+        # Serializing the restored platform reproduces the same state.
+        assert platform_state(fresh) == data["platform"]
+
+    def test_accumulator_state_round_trips(self):
+        accumulator = WindowAccumulator(60.0)
+        accumulator.observe_arrival(10.0)
+        accumulator.observe_completion(10.0, cold=True, queue_ms=4.5, source="a")
+        accumulator.observe_completion(65.0, cold=False, queue_ms=0.25, source="b")
+        accumulator.observe_shed(70.0)
+        accumulator.observe_provision(0.0, 130.0, 512.0, source="a")
+        state = accumulator_state(accumulator)
+        fresh = WindowAccumulator(60.0)
+        restore_accumulator(fresh, state)
+        assert fresh.finalize() == accumulator.finalize()
+
+    def test_accumulator_restore_rejects_config_mismatch(self):
+        accumulator = WindowAccumulator(60.0)
+        state = accumulator_state(accumulator)
+        with pytest.raises(WorkloadError):
+            restore_accumulator(WindowAccumulator(30.0), state)
+        priced = WindowAccumulator(60.0, pricing=PricingModel(per_gb_second=9.0))
+        with pytest.raises(WorkloadError):
+            restore_accumulator(priced, state)
+
+    def test_snapshot_rejects_batch_history(self):
+        platform, _ = build_platform()
+        app = platform.app_names()[0]
+        fleet = platform._fleet(app)
+        record = platform.invoke(app, fleet.config.entries[0].name, at=1.0)
+        assert record.app == app
+        with pytest.raises(WorkloadError):
+            platform_state(platform)
+
+    def test_snapshot_rejects_unconsumed_sync_results(self):
+        platform, _ = build_platform()
+        app = platform.app_names()[0]
+        fleet = platform._fleet(app)
+        platform.submit(app, fleet.config.entries[0].name, at=1.0)
+        platform.run()
+        platform.clear_history(app)
+        # run() cleared _finished/_dropped and history was cleared: fine.
+        platform_state(platform)
+
+    def test_restore_rejects_unknown_apps(self):
+        platform, _ = build_platform()
+        state = platform_state(platform)
+        other = ClusterPlatform(config=PLATFORM, fleet=FLEET, seed=13)
+        with pytest.raises(DeploymentError):
+            restore_platform(other, state)
+
+    def test_panic_state_survives_export(self):
+        policy = PanicWindow(stable_window_s=60.0, panic_window_s=6.0)
+        state = policy.new_state()
+        for at in (0.0, 0.1, 0.2, 50.0, 50.01, 50.02, 50.03):
+            policy.observe_arrival(state, at)
+        state.panic_until = 110.0
+        state.panic_peak = 4
+        state.episodes.append([50.0, 110.0])
+        restored = policy.restore_state(policy.export_state(state))
+        assert list(restored.arrivals) == list(state.arrivals)
+        assert restored.started_at == state.started_at
+        assert restored.panic_until == state.panic_until
+        assert restored.panic_peak == state.panic_peak
+        assert restored.episodes == state.episodes
+
+    def test_fresh_panic_state_exports_to_json(self):
+        policy = PanicWindow()
+        state = policy.new_state()
+        payload = json.dumps(policy.export_state(state))  # -inf made JSON-safe
+        restored = policy.restore_state(json.loads(payload))
+        assert restored.panic_until == -math.inf
+
+    def test_stateless_policy_export_is_none(self):
+        policy = PerRequest()
+        assert policy.export_state(policy.new_state()) is None
+        assert policy.restore_state(None) is None
+
+    def test_write_checkpoint_is_atomic(self, tmp_path):
+        platform, _ = build_platform()
+        accumulator = WindowAccumulator(3600.0)
+        path = tmp_path / "ckpt.json"
+        write_checkpoint(path, platform, accumulator, consumed=0)
+        assert load_checkpoint(path)["consumed"] == 0
+        assert not Path(str(path) + ".tmp").exists()

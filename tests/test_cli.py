@@ -1,6 +1,7 @@
 """Tests for the slimstart CLI."""
 
 import json
+from pathlib import Path
 
 import pytest
 
@@ -356,3 +357,109 @@ class TestReplayCommand:
         )
         assert code == 1
         assert "--region-weights invalid" in capsys.readouterr().out
+
+    def test_replay_workers_is_bit_identical_to_default_totals(self, capsys):
+        base = ["replay", "--apps", "4", "--duration-hours", "24",
+                "--window-hours", "12", "--scale", "0.05", "--seed", "11"]
+        assert main(base) == 0
+        plain = capsys.readouterr().out
+        assert main(base + ["--workers", "2"]) == 0
+        sharded = capsys.readouterr().out
+        assert "engine   : sharded, 2 worker process(es)" in sharded
+
+        def totals(out, field):
+            line = next(l for l in out.splitlines() if l.startswith(field))
+            return line.split(":")[1].strip()
+
+        # Arrival/completion counts match the plain engine exactly; the
+        # GB-second/cost lines differ only by the natural-expiry tail
+        # flush, so they are not compared here (test_shard pins the
+        # sharded engine's own exactness bit-for-bit).
+        for field in ("arrivals", "completed", "shed", "cold-start rate"):
+            assert totals(sharded, field) == totals(plain, field)
+
+    def test_replay_checkpoint_resumes_to_identical_report(self, capsys, tmp_path):
+        path = tmp_path / "replay.ckpt"
+        base = ["replay", "--apps", "3", "--duration-hours", "24",
+                "--window-hours", "12", "--scale", "0.05", "--seed", "7"]
+        assert main(base) == 0
+        plain = capsys.readouterr().out
+        assert main(base + ["--checkpoint", str(path)]) == 0
+        checkpointed = capsys.readouterr().out
+        assert checkpointed == plain  # fresh run: same engine, no resume line
+        assert not path.exists()  # completed runs clean up
+
+    def test_replay_checkpoint_refuses_mismatched_flags(self, capsys, tmp_path):
+        # A leftover checkpoint from a differently-configured replay must
+        # fail loudly instead of silently blending two workloads.
+        from repro.faas.cluster import ClusterPlatform
+        from repro.faas.replaydeploy import deploy_trace
+        from repro.faas.snapshot import write_checkpoint
+        from repro.metrics import WindowAccumulator
+        from repro.workloads.trace import TraceGenerator
+
+        trace = TraceGenerator(
+            app_count=3, duration_hours=36.0, window_hours=12.0, seed=999
+        ).generate()
+        platform = ClusterPlatform(seed=999)
+        deploy_trace(platform, trace)  # same app names as the CLI's trace
+        path = tmp_path / "stale.ckpt"
+        write_checkpoint(
+            path, platform, WindowAccumulator(12 * 3600.0),
+            consumed=5, fingerprint={"seed": 999},
+        )
+        code = main(
+            ["replay", "--apps", "3", "--duration-hours", "36",
+             "--window-hours", "12", "--scale", "0.05", "--seed", "7",
+             "--checkpoint", str(path)]
+        )
+        assert code == 1
+        out = capsys.readouterr().out
+        assert "cannot resume" in out and "differently-configured" in out
+        assert path.exists()  # the stale checkpoint is left for the user
+
+    def test_replay_workers_rejected_with_regions(self, capsys):
+        code = main(
+            ["replay", "--apps", "2", "--regions", "us,eu", "--workers", "2"]
+        )
+        assert code == 1
+        assert "single-cluster" in capsys.readouterr().out
+
+    def test_replay_single_worker_with_checkpoint_really_checkpoints(
+        self, capsys, tmp_path, monkeypatch
+    ):
+        # --workers 1 --checkpoint must use the checkpointed engine, not
+        # silently drop durability on the sharded-engine branch.
+        from repro.faas import snapshot
+
+        path = tmp_path / "w1.ckpt"
+        written = []
+        original = snapshot.write_checkpoint
+
+        def spy(target, *args, **kwargs):
+            written.append(target)
+            return original(target, *args, **kwargs)
+
+        monkeypatch.setattr(snapshot, "write_checkpoint", spy)
+        code = main(
+            ["replay", "--apps", "3", "--duration-hours", "36",
+             "--window-hours", "12", "--scale", "0.05", "--seed", "7",
+             "--workers", "1", "--checkpoint", str(path)]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "engine   : sharded" not in out
+        assert written and all(Path(p) == path for p in map(Path, written))
+        assert not path.exists()  # cleaned up on success
+
+    def test_replay_checkpoint_rejected_with_many_workers(self, capsys):
+        code = main(
+            ["replay", "--apps", "2", "--workers", "2", "--checkpoint", "x.json"]
+        )
+        assert code == 1
+        assert "cannot be combined" in capsys.readouterr().out
+
+    def test_replay_rejects_nonpositive_workers(self, capsys):
+        code = main(["replay", "--apps", "2", "--workers", "0"])
+        assert code == 1
+        assert "--workers must be at least 1" in capsys.readouterr().out

@@ -225,6 +225,55 @@ class TestWindowedMetrics:
         assert summary.window_at(75.0).arrivals == 2
         assert summary.window_at(500.0) is None
 
+    def test_merge_of_disjoint_sources_is_lossless(self):
+        from repro.metrics import WindowedSummary
+
+        def fill(acc, source, queue_ms):
+            acc.observe_arrival(10.0)
+            acc.observe_completion(10.0, cold=source == "a", queue_ms=queue_ms,
+                                   source=source)
+            acc.observe_provision(0.0, 90.0, 1024.0, source=source)
+
+        together = self.make_accumulator(window_s=60.0)
+        fill(together, "a", 3.5)
+        fill(together, "b", 7.25)
+        part_a = self.make_accumulator(window_s=60.0)
+        fill(part_a, "a", 3.5)
+        part_b = self.make_accumulator(window_s=60.0)
+        fill(part_b, "b", 7.25)
+
+        merged = WindowedSummary.merge([part_a.finalize(), part_b.finalize()])
+        assert merged == together.finalize()
+        window = merged.windows[0]
+        assert dict(window.queue_sum_ms_by_source) == {"a": 3.5, "b": 7.25}
+        assert window.completed == 2
+        assert window.cold_starts == 1
+        assert sum(window.queue_histogram) == 2
+
+    def test_merge_validation(self):
+        from repro.metrics import PricingModel, WindowedSummary
+
+        with pytest.raises(ValueError):
+            WindowedSummary.merge([])
+        base = self.make_accumulator(window_s=60.0).finalize()
+        other_window = self.make_accumulator(window_s=30.0).finalize()
+        with pytest.raises(ValueError):
+            WindowedSummary.merge([base, other_window])
+        other_pricing = self.make_accumulator(
+            window_s=60.0, pricing=PricingModel(per_gb_second=42.0)
+        ).finalize()
+        with pytest.raises(ValueError):
+            WindowedSummary.merge([base, other_pricing])
+
+    def test_merge_of_single_summary_is_identity(self):
+        from repro.metrics import WindowedSummary
+
+        acc = self.make_accumulator(window_s=60.0)
+        acc.observe_arrival(5.0)
+        acc.observe_completion(5.0, cold=False, queue_ms=2.0, source="x")
+        summary = acc.finalize()
+        assert WindowedSummary.merge([summary]) == summary
+
     def test_validation(self):
         from repro.metrics import WindowAccumulator
 

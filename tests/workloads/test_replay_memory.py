@@ -86,6 +86,62 @@ def test_100k_replay_peak_memory_is_bounded(replay_run):
 
 
 @pytest.mark.slow
+def test_stream_after_batch_run_retains_no_per_request_state():
+    """A prior batch run() must not make streaming accumulate history.
+
+    Regression guard for the batch-path bookkeeping: ``run()`` clears
+    the synchronous result map *and* the shed-token set, and a
+    subsequent ``run_stream`` must neither grow the retained batch
+    history nor any per-request structure — the tracemalloc bound here
+    is the same per-request budget the pristine-platform test pins.
+    """
+    trace = TraceGenerator(
+        app_count=6,
+        duration_hours=5.0,
+        window_hours=1.0,
+        mean_requests_per_window=1400.0,
+        seed=33,
+    ).generate()
+    platform = ClusterPlatform(
+        config=SimPlatformConfig(record_traces=False),
+        fleet=FleetConfig(max_containers=2, keep_alive_s=30.0, queue_capacity=0),
+        seed=9,
+    )
+    deploy_trace(platform, trace)
+    # Batch phase: enough of a burst that the bounded queue sheds (so
+    # the dropped-token set sees traffic) and records accumulate.
+    app = trace.apps[0]
+    for index in range(50):
+        platform.submit(app.name, app.handlers[0], at=index * 0.001)
+    batch_records = platform.run()
+    assert platform._dropped == set()  # run() cleans up shed bookkeeping
+    assert platform._finished == {}
+    retained = {name: len(platform._fleet(name).records) for name in platform.app_names()}
+    shed_before = sum(platform._fleet(name).rejected for name in platform.app_names())
+    assert shed_before > 0  # the burst really exercised the shed path
+    assert len(batch_records) + shed_before == 50
+
+    stream = compile_trace(trace, seed=7, start_s=1.0)
+    total = sum(a.total_invocations() for a in trace.apps)
+    assert total >= 40_000
+    accumulator = WindowAccumulator(window_s=3600.0)
+    tracemalloc.start()
+    baseline, _ = tracemalloc.get_traced_memory()
+    summary = platform.run_stream(stream, accumulator)
+    _, peak = tracemalloc.get_traced_memory()
+    tracemalloc.stop()
+    growth = peak - baseline
+
+    assert summary.arrivals == total
+    assert growth < total * 120, f"peak grew {growth / 1e6:.1f} MB"
+    # Streaming added nothing to the batch-path history.
+    for name in platform.app_names():
+        assert len(platform._fleet(name).records) == retained[name]
+    assert platform._dropped == set()
+    assert platform._finished == {}
+
+
+@pytest.mark.slow
 def test_accumulator_state_is_per_window_not_per_request(replay_run):
     # One accumulator window per trace hour; each is fixed-size (counters
     # plus a 64-bucket histogram), so doubling the request volume cannot
