@@ -1,0 +1,255 @@
+"""QoS offloading figure — the utility-vs-$ frontier per routing policy.
+
+The paper's QoS argument in one table: when requests carry *different*
+utilities and deadlines, where you serve them decides how much value the
+platform earns per dollar of provisioned capacity.  Two tight edge sites
+originate all traffic (app-hash affinity) in front of deep cloud
+capacity; the same seeded 4-day shift-event trace, carrying a
+critical/standard/batch QoS mix, replays under each routing policy:
+
+* **round-robin** spreads every app across all four regions — each app
+  pays four cold pools' worth of boots and keep-alive tails, and the
+  extra cold starts blow the critical class's end-to-end deadline;
+* **least-loaded** chases idle fleets, which also scatters warm state;
+* **locality** keeps apps home, warm and cheap, but is QoS-blind;
+* **probabilistic** (:class:`~repro.faas.region.ProbabilisticOffloadPolicy`)
+  re-solves its per-class local/offload/drop LP each interval, keeping
+  traffic on home warm pools while capacity lasts and pushing overflow
+  over the 40 ms uplink instead of queueing it past deadlines.
+
+The replay is virtual-time deterministic, so the frontier is the same on
+every machine: the assertions pin that :class:`ProbabilisticOffload`
+**strictly dominates round-robin** — more total utility at equal or
+lower dollar cost — and that an identical rerun reproduces the summary
+bit for bit.  ``BENCH_qos_offloading.json`` (repo root, uploaded as a CI
+artifact) records the frontier; because the numbers are deterministic,
+the run also fails if the utility column drifts from the committed file
+— re-run this benchmark and commit the rewritten JSON after any
+intentional behaviour change.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from pathlib import Path
+
+from benchmarks.conftest import print_header
+from repro.faas.cluster import FleetConfig
+from repro.faas.region import (
+    POLICY_NAMES,
+    RegionFederation,
+    RegionSpec,
+    RegionTopology,
+    make_policy,
+)
+from repro.faas.replaydeploy import deploy_trace
+from repro.faas.sim import SimPlatformConfig
+from repro.metrics import QOS_PRESETS, QoSClass, WindowAccumulator
+from repro.workloads.replay import HashAffinity, assign_qos, assign_regions, compile_trace
+from repro.workloads.trace import TraceGenerator
+
+BENCH_PATH = Path(__file__).resolve().parents[1] / "BENCH_qos_offloading.json"
+#: Baseline loaded BEFORE this run overwrites the file.
+COMMITTED = json.loads(BENCH_PATH.read_text()) if BENCH_PATH.exists() else None
+
+SEED = 21
+#: The seeded 4-day shift-event trace: two load shifts (hour 48 and 72)
+#: inside a 96-hour horizon, ~40k requests total.
+TRACE = dict(
+    app_count=10,
+    duration_hours=96.0,
+    window_hours=12.0,
+    mean_requests_per_window=300.0,
+    shift_hours=(48.0, 72.0),
+    seed=SEED,
+)
+WINDOW_S = 12 * 3600.0
+EXEC_MS = 120.0
+
+#: Critical rides a deadline the *cold path cannot meet*: warm service is
+#: ~121 ms (+ up to 80 ms of wire), but a container boot costs ~250 ms
+#: end-to-end — so every cold start a policy causes on critical traffic
+#: converts +4.0 utility into a -2.0 penalty.  Standard and batch are the
+#: CLI presets (deadline-free), so the frontier isolates *where cold
+#: starts land*, not queueing luck.
+MIX = (
+    QoSClass(
+        name="critical",
+        utility=4.0,
+        deadline_ms=200.0,
+        deadline_penalty=2.0,
+        drop_penalty=4.0,
+        arrival_weight=2.0,
+    ),
+    QOS_PRESETS["standard"],
+    QoSClass(
+        name="batch",
+        utility=0.25,
+        deadline_ms=math.inf,
+        deadline_penalty=0.0,
+        drop_penalty=0.05,
+        arrival_weight=3.0,
+    ),
+)
+
+EDGES = ("edge-a", "edge-b")
+CLOUDS = ("cloud-1", "cloud-2")
+#: Tight edge sites (2 containers per app, short keep-alive) in front of
+#: deep cloud capacity — the heterogeneity that gives offloading value.
+EDGE_FLEET = FleetConfig(max_containers=2, keep_alive_s=45.0, queue_capacity=16)
+CLOUD_FLEET = FleetConfig(max_containers=16, keep_alive_s=240.0, queue_capacity=64)
+PLATFORM = SimPlatformConfig(
+    cold_platform_ms=100.0,
+    runtime_init_ms=30.0,
+    warm_platform_ms=1.0,
+    record_traces=False,
+    jitter_sigma=0.05,
+)
+
+
+def make_topology() -> RegionTopology:
+    return RegionTopology.edge_cloud(
+        edge=[RegionSpec(name, fleet=EDGE_FLEET) for name in EDGES],
+        cloud=[RegionSpec(name, fleet=CLOUD_FLEET) for name in CLOUDS],
+        uplink_ms=40.0,
+        inter_cloud_ms=10.0,
+    )
+
+
+def make_stream(trace):
+    """The shared region+QoS-tagged arrival stream (lazy; build per run)."""
+    stream = compile_trace(trace, seed=SEED)
+    stream = assign_qos(stream, MIX, seed=SEED)
+    return assign_regions(stream, HashAffinity(EDGES))
+
+
+def run_policy(trace, policy_name):
+    federation = RegionFederation(
+        make_topology(),
+        policy=make_policy(policy_name, qos_classes=MIX, seed=SEED),
+        platform=PLATFORM,
+        seed=SEED,
+        qos=MIX,
+    )
+    deploy_trace(federation, trace, exec_ms=EXEC_MS)
+    accumulator = WindowAccumulator(window_s=WINDOW_S)
+    summary = federation.run_stream(make_stream(trace), accumulator)
+    return federation, summary
+
+
+def sweep():
+    trace = TraceGenerator(**TRACE).generate()
+    return trace, {name: run_policy(trace, name) for name in POLICY_NAMES}
+
+
+def test_qos_offloading_frontier(benchmark):
+    trace, runs = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    arrivals = next(summary for _, summary in runs.values()).arrivals
+
+    print_header(
+        f"QoS offloading — utility-vs-$ frontier ({arrivals} arrivals, "
+        f"{len(EDGES)} edge + {len(CLOUDS)} cloud regions, 4-day trace)"
+    )
+    print(
+        f"{'policy':14s} {'utility':>10s} {'$ total':>9s} {'$/1k req':>9s} "
+        f"{'completed':>9s} {'shed':>6s} {'crit late':>9s} {'edge %':>7s}"
+    )
+    frontier = {}
+    for name, (federation, summary) in runs.items():
+        served = federation.served_counts()
+        edge_share = sum(served[r] for r in EDGES) / max(1, sum(served.values()))
+        by_class = {entry.qos_class: entry for entry in summary.qos}
+        frontier[name] = {
+            "utility": round(summary.utility, 4),
+            "total_cost": round(summary.cost.total_cost, 6),
+            "per_1k_requests": round(summary.cost.per_1k_requests, 6),
+            "completed": summary.completed,
+            "shed": summary.shed,
+            "cold_starts": summary.cold_starts,
+            "edge_fraction": round(edge_share, 4),
+            "qos": {
+                cls: {
+                    "completed": entry.completed,
+                    "violations": entry.violations,
+                    "dropped": entry.dropped,
+                    "utility": round(entry.utility, 4),
+                }
+                for cls, entry in by_class.items()
+            },
+        }
+        print(
+            f"{name:14s} {summary.utility:10.2f} {summary.cost.total_cost:9.4f} "
+            f"{summary.cost.per_1k_requests:9.4f} {summary.completed:9d} "
+            f"{summary.shed:6d} {by_class['critical'].violations:9d} "
+            f"{edge_share:7.1%}"
+        )
+
+    # Every policy sees the identical tagged stream, and accounts for
+    # every arrival: completed + shed (queue sheds and policy drops both
+    # fold into `shed` through the streaming sinks).
+    for name, (_, summary) in runs.items():
+        assert summary.arrivals == arrivals, name
+        assert summary.completed + summary.shed == arrivals, name
+        assert {entry.qos_class for entry in summary.qos} == {
+            cls.name for cls in MIX
+        }, name
+
+    # The headline claim: the LP-driven offload mix strictly dominates
+    # round-robin — strictly more utility at equal-or-lower dollar cost.
+    prob = runs["probabilistic"][1]
+    rr = runs["round-robin"][1]
+    assert prob.utility > rr.utility, (
+        f"probabilistic should dominate round-robin on utility: "
+        f"{prob.utility:.2f} vs {rr.utility:.2f}"
+    )
+    assert prob.cost.total_cost <= rr.cost.total_cost, (
+        f"...at equal or lower cost: "
+        f"${prob.cost.total_cost:.4f} vs ${rr.cost.total_cost:.4f}"
+    )
+    # The mechanism, not just the outcome: round-robin scatters warm
+    # state, so it cold-starts more — and cold starts are exactly what
+    # break the critical class's deadline.
+    assert prob.cold_starts < rr.cold_starts
+    prob_crit = {e.qos_class: e for e in prob.qos}["critical"]
+    rr_crit = {e.qos_class: e for e in rr.qos}["critical"]
+    assert prob_crit.violations < rr_crit.violations
+
+    # Determinism: the frontier is virtual-time exact, so an identical
+    # rerun reproduces the whole summary (and the routing tally) bit for
+    # bit on any machine.
+    rerun_federation, rerun_summary = run_policy(trace, "probabilistic")
+    assert rerun_summary == prob
+    assert rerun_federation.served_counts() == runs["probabilistic"][0].served_counts()
+
+    payload = {
+        "benchmark": "qos_offloading",
+        "trace": TRACE,
+        "window_s": WINDOW_S,
+        "exec_ms": EXEC_MS,
+        "regions": {"edge": list(EDGES), "cloud": list(CLOUDS)},
+        "qos_mix": {
+            cls.name: {
+                "utility": cls.utility,
+                "deadline_ms": None if math.isinf(cls.deadline_ms) else cls.deadline_ms,
+                "deadline_penalty": cls.deadline_penalty,
+                "drop_penalty": cls.drop_penalty,
+                "arrival_weight": cls.arrival_weight,
+            }
+            for cls in MIX
+        },
+        "arrivals": arrivals,
+        "policies": frontier,
+    }
+    BENCH_PATH.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    print(f"\nwritten to {BENCH_PATH.name}")
+
+    # The numbers are deterministic, so the committed file is an exact
+    # pin, not a tolerance band: any drift means replay behaviour changed.
+    if COMMITTED is not None:
+        for name, row in COMMITTED["policies"].items():
+            assert frontier[name]["utility"] == row["utility"], (
+                f"{name} utility drifted from committed "
+                f"BENCH_qos_offloading.json: {frontier[name]['utility']} vs "
+                f"{row['utility']} — if intentional, commit the rewritten JSON"
+            )

@@ -48,7 +48,13 @@ from repro.faas.cluster import ClusterPlatform, FleetConfig, replay_cluster_work
 from repro.faas.gateway import Gateway
 from repro.faas.replaydeploy import deploy_trace, expose_trace
 from repro.faas.snapshot import run_stream_checkpointed
-from repro.metrics import DEFAULT_PRICING, PricingModel, WindowAccumulator
+from repro.metrics import (
+    DEFAULT_PRICING,
+    QOS_PRESETS,
+    PricingModel,
+    WindowAccumulator,
+    parse_qos_mix,
+)
 from repro.faas.region import (
     POLICY_NAMES,
     FederatedGateway,
@@ -65,6 +71,7 @@ from repro.workloads.replay import (
     HashAffinity,
     PopularityWeighted,
     as_paths,
+    assign_qos,
     assign_regions,
     compile_trace,
     make_arrival_model,
@@ -318,7 +325,8 @@ def cmd_cluster(args: argparse.Namespace) -> int:
     if not schedule:
         print(
             "no arrivals generated for this rate/duration; "
-            "increase --rate or --duration"
+            "increase --rate or --duration",
+            file=sys.stderr,
         )
         return 1
     replay_cluster_workload(platform, gateway, schedule, app.name)
@@ -347,20 +355,24 @@ def cmd_regions(args: argparse.Namespace) -> int:
     try:
         rates = [float(rate) for rate in args.rates.split(",")]
     except ValueError:
-        print(f"--rates must be comma-separated numbers; got {args.rates!r}")
+        print(
+            f"--rates must be comma-separated numbers; got {args.rates!r}",
+            file=sys.stderr,
+        )
         return 1
     if len(rates) == 1:
         rates = rates * len(regions)
     if len(rates) != len(regions):
         print(
             f"--rates needs 1 or {len(regions)} values for regions "
-            f"{','.join(regions)}; got {len(rates)}"
+            f"{','.join(regions)}; got {len(rates)}",
+            file=sys.stderr,
         )
         return 1
     topology = RegionTopology.fully_connected(regions, default_ms=args.latency)
     federation = RegionFederation(
         topology,
-        policy=make_policy(args.policy, spillover_load=args.spillover),
+        policy=make_policy(args.policy, spillover_load=args.spillover, seed=args.seed),
         platform=bench_platform_config(record_traces=False),
         fleet=_fleet_config(args),
         seed=args.seed,
@@ -374,7 +386,8 @@ def cmd_regions(args: argparse.Namespace) -> int:
     if not schedule:
         print(
             "no arrivals generated for these rates/duration; "
-            "increase --rates or --duration"
+            "increase --rates or --duration",
+            file=sys.stderr,
         )
         return 1
     replay_federated_workload(federation, gateway, schedule, app.name)
@@ -420,20 +433,42 @@ def cmd_replay(args: argparse.Namespace) -> int:
             float(hour) for hour in args.shift_hours.split(",") if hour.strip()
         )
     except ValueError:
-        print(f"--shift-hours must be comma-separated numbers; got {args.shift_hours!r}")
+        print(
+            f"--shift-hours must be comma-separated numbers; got {args.shift_hours!r}",
+            file=sys.stderr,
+        )
         return 1
     if args.workers is not None and args.workers < 1:
-        print(f"--workers must be at least 1; got {args.workers}")
+        print(f"--workers must be at least 1; got {args.workers}", file=sys.stderr)
         return 1
     if args.regions and (args.workers is not None or args.checkpoint):
         print(
             "--workers/--checkpoint need the single-cluster engine; federated "
-            "replay shares routing state across regions and cannot shard"
+            "replay shares routing state across regions and cannot shard",
+            file=sys.stderr,
         )
         return 1
     if args.checkpoint and (args.workers or 1) > 1:
-        print("--checkpoint and --workers > 1 cannot be combined (yet)")
+        # Tracked limitation: a checkpoint captures ONE cluster event loop
+        # plus ONE accumulator; sharded replay runs N independent loops, so
+        # resuming would need per-shard checkpoint files and a merge-on-
+        # resume protocol that does not exist yet (see ROADMAP.md).
+        print(
+            "--checkpoint with --workers > 1 is a tracked limitation: "
+            "checkpoints capture a single cluster event loop, and sharded "
+            "replay runs one loop per worker (per-shard checkpointing is on "
+            "the roadmap). Re-run with --workers 1 for a resumable replay, "
+            "or drop --checkpoint to shard.",
+            file=sys.stderr,
+        )
         return 1
+    qos_mix = None
+    if args.qos_mix:
+        try:
+            qos_mix = parse_qos_mix(args.qos_mix)
+        except SpecError as error:
+            print(f"--qos-mix invalid: {error}", file=sys.stderr)
+            return 1
     trace = TraceGenerator(
         app_count=args.apps,
         duration_hours=args.duration_hours,
@@ -448,6 +483,11 @@ def cmd_replay(args: argparse.Namespace) -> int:
         seed=args.seed,
         scale=args.scale,
     )
+    if qos_mix is not None:
+        # Tag before any region assignment: assign_qos appends the class
+        # name, assign_regions then inserts the origin ahead of it.  The
+        # sharded engine re-compiles per shard and tags via its spec.
+        stream = assign_qos(stream, qos_mix, seed=args.seed)
     fleet = _fleet_config(args)
     accumulator = WindowAccumulator(
         window_s=args.window_hours * 3600.0, pricing=_pricing(args)
@@ -467,21 +507,28 @@ def cmd_replay(args: argparse.Namespace) -> int:
                 except ValueError:
                     print(
                         "--region-weights must be comma-separated numbers; "
-                        f"got {args.region_weights!r}"
+                        f"got {args.region_weights!r}",
+                        file=sys.stderr,
                     )
                     return 1
             try:
                 assigner = PopularityWeighted(regions, weights=weights, seed=args.seed)
             except WorkloadError as error:
-                print(f"--region-weights invalid: {error}")
+                print(f"--region-weights invalid: {error}", file=sys.stderr)
                 return 1
         topology = RegionTopology.fully_connected(regions, default_ms=args.latency)
         federation = RegionFederation(
             topology,
-            policy=make_policy(args.routing, spillover_load=args.spillover),
+            policy=make_policy(
+                args.routing,
+                spillover_load=args.spillover,
+                qos_classes=qos_mix,
+                seed=args.seed,
+            ),
             platform=bench_platform_config(record_traces=False),
             fleet=fleet,
             seed=args.seed,
+            qos=qos_mix,
         )
         deploy_trace(federation, trace, exec_ms=args.exec_ms)
         gateway = FederatedGateway(platform=federation)
@@ -506,6 +553,8 @@ def cmd_replay(args: argparse.Namespace) -> int:
             window_s=args.window_hours * 3600.0,
             pricing=_pricing(args),
             exec_ms=args.exec_ms,
+            qos=qos_mix,
+            qos_seed=args.seed,
         )
         summary = replay_sharded(trace, spec, workers=args.workers)
     else:
@@ -513,6 +562,7 @@ def cmd_replay(args: argparse.Namespace) -> int:
             config=bench_platform_config(record_traces=False),
             fleet=fleet,
             seed=args.seed,
+            qos=qos_mix,
         )
         deploy_trace(platform, trace, exec_ms=args.exec_ms)
         if args.checkpoint:
@@ -529,6 +579,7 @@ def cmd_replay(args: argparse.Namespace) -> int:
                     "scaling_policy", "target", "grace", "stable_window",
                     "panic_window", "panic_threshold", "price_gb_second",
                     "price_million_requests", "cold_start_surcharge",
+                    "qos_mix",
                 )
             }
             resumed = Path(args.checkpoint).exists()
@@ -538,7 +589,10 @@ def cmd_replay(args: argparse.Namespace) -> int:
                     fingerprint=fingerprint,
                 )
             except ReproError as error:
-                print(f"cannot resume from {args.checkpoint}: {error}")
+                print(
+                    f"cannot resume from {args.checkpoint}: {error}",
+                    file=sys.stderr,
+                )
                 return 1
             if resumed:
                 print(f"resumed from checkpoint {args.checkpoint}")
@@ -547,7 +601,11 @@ def cmd_replay(args: argparse.Namespace) -> int:
             expose_trace(gateway, trace)
             summary = gateway.submit_stream(as_paths(stream), accumulator)
     if summary.arrivals == 0:
-        print("trace compiled to zero arrivals; increase --scale or --requests-per-window")
+        print(
+            "trace compiled to zero arrivals; "
+            "increase --scale or --requests-per-window",
+            file=sys.stderr,
+        )
         return 1
     print(
         f"trace    : {args.apps} apps x {len(summary.windows)} windows "
@@ -556,6 +614,9 @@ def cmd_replay(args: argparse.Namespace) -> int:
     )
     shifts = ",".join(f"{hour:g}" for hour in shift_hours) or "none"
     print(f"policy   : {args.scaling_policy}   shift hours : {shifts}")
+    if qos_mix is not None:
+        mix = ", ".join(f"{cls.name}={cls.arrival_weight:g}" for cls in qos_mix)
+        print(f"qos mix  : {mix}")
     if args.workers is not None and args.checkpoint is None:
         print(f"engine   : sharded, {args.workers} worker process(es)")
     if served is not None:
@@ -584,6 +645,22 @@ def cmd_replay(args: argparse.Namespace) -> int:
     print(f"GB-seconds         : {summary.gb_seconds:10.1f}")
     print(f"total cost         : ${summary.cost.total_cost:.6f}")
     print(f"cost per 1k req    : ${summary.cost.per_1k_requests:.6f}")
+    if summary.qos:
+        print()
+        qos_header = (
+            f"{'class':10s} {'completed':>9s} {'late':>8s} {'late%':>6s} "
+            f"{'dropped':>8s} {'utility':>12s}"
+        )
+        print(qos_header)
+        print("-" * len(qos_header))
+        for entry in summary.qos:
+            print(
+                f"{entry.qos_class:10s} {entry.completed:9d} "
+                f"{entry.violations:8d} {entry.violation_rate:6.1%} "
+                f"{entry.dropped:8d} {entry.utility:12.2f}"
+            )
+        print()
+        print(f"total utility      : {summary.utility:10.2f}")
     return 0
 
 
@@ -705,7 +782,12 @@ def build_parser() -> argparse.ArgumentParser:
             "with --workers N (the trace shards by app hash across "
             "processes; merged results are bit-identical to one worker) "
             "and survive interruption with --checkpoint PATH (state is "
-            "saved every window; rerunning the same command resumes)."
+            "saved every window; rerunning the same command resumes). "
+            "--qos-mix 'critical=1,standard=5,batch=4' tags every request "
+            "with a QoS class (utility, deadline, penalties) and adds the "
+            "per-class deadline-violation/utility report; with --regions, "
+            "--routing probabilistic re-solves local/offload/drop "
+            "probabilities from recent load to maximize that utility."
         ),
     )
     replay.add_argument("--apps", type=int, default=24, help="trace fleet size")
@@ -740,6 +822,13 @@ def build_parser() -> argparse.ArgumentParser:
     )
     replay.add_argument(
         "--exec-ms", type=float, default=2.0, help="handler self-time per request"
+    )
+    replay.add_argument(
+        "--qos-mix",
+        default=None,
+        help="comma-separated QoS classes with arrival weights, e.g. "
+        "'critical=1,standard=5,batch=4' "
+        f"(presets: {','.join(sorted(QOS_PRESETS))})",
     )
     replay.add_argument(
         "--workers",

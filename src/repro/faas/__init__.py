@@ -55,9 +55,11 @@ from repro.faas.events import InvocationRecord, InvocationStats
 from repro.faas.gateway import Gateway, Route
 from repro.faas.local import FunctionDeployment, LocalPlatform
 from repro.faas.region import (
+    DROP,
     FederatedGateway,
     LeastLoadedPolicy,
     LocalityPolicy,
+    ProbabilisticOffloadPolicy,
     RegionFederation,
     RegionSpec,
     RegionTopology,
@@ -90,9 +92,11 @@ __all__ = [
     "FleetConfig",
     "FleetStats",
     "replay_cluster_workload",
+    "DROP",
     "FederatedGateway",
     "LeastLoadedPolicy",
     "LocalityPolicy",
+    "ProbabilisticOffloadPolicy",
     "RegionFederation",
     "RegionSpec",
     "RegionTopology",

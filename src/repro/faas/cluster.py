@@ -106,9 +106,11 @@ from repro.metrics import (
     CostSummary,
     LatencySummary,
     PricingModel,
+    QoSClass,
     RateSummary,
     WindowAccumulator,
     WindowedSummary,
+    qos_registry,
 )
 from repro.plan import DeferralPlan
 
@@ -235,6 +237,8 @@ class _PendingRequest:
     token: int
     entry: str
     arrival: float
+    qos: str | None = None  # QoS class name (wire format); None = untagged
+    wire_ms: float = 0.0  # forwarding latency already spent (federation)
 
 
 @dataclass(frozen=True)
@@ -248,15 +252,19 @@ class _StreamSinks:
     + queued requests) no matter how long the replay runs.
 
     ``complete`` receives the completion facts the accumulator needs
-    ``(app, arrival_s, cold, queue_ms)``; the full
-    :class:`InvocationRecord` is only constructed when ``record`` is
-    non-``None`` (an ``on_record`` tap was installed) — skipping the
-    record object on the no-tap path is one of the hot-path wins, and is
-    safe because the record is a pure function of the same facts.
+    ``(app, arrival_s, cold, queue_ms)`` — plus, for QoS-tagged requests,
+    the trailing ``(qos, violated, utility)`` facts the per-class series
+    need; the full :class:`InvocationRecord` is only constructed when
+    ``record`` is non-``None`` (an ``on_record`` tap was installed) —
+    skipping the record object on the no-tap path is one of the hot-path
+    wins, and is safe because the record is a pure function of the same
+    facts.  ``shed`` likewise accepts optional trailing
+    ``(source, qos, penalty)`` so dropped QoS requests charge their drop
+    penalty.
     """
 
-    complete: Callable[[str, float, bool, float], None]
-    shed: Callable[[float], None]  # shed request's arrival time
+    complete: Callable[..., None]
+    shed: Callable[..., None]  # shed request's arrival time (+ qos facts)
     provision: Callable[[str, float, float, float], None]  # app, start, end, MB
     record: Callable[[InvocationRecord], None] | None = None
 
@@ -270,14 +278,30 @@ class _StreamSinks:
 
         The single definition of what a streamed completion contributes
         (arrival-window attribution, cold flag, queueing wait, the app
-        as the accumulator's source label) — shared by the cluster's and
-        the federation's ``run_stream`` so the two paths cannot diverge.
-        ``on_record`` taps the record stream.
+        as the accumulator's source label, per-class QoS facts) — shared
+        by the cluster's and the federation's ``run_stream`` so the two
+        paths cannot diverge.  ``on_record`` taps the record stream.
         """
         observe_completion = accumulator.observe_completion
 
-        def complete(app: str, arrival_s: float, cold: bool, queue_ms: float) -> None:
-            observe_completion(arrival_s, cold, queue_ms, source=app)
+        def complete(
+            app: str,
+            arrival_s: float,
+            cold: bool,
+            queue_ms: float,
+            qos: str | None = None,
+            violated: bool = False,
+            utility: float = 0.0,
+        ) -> None:
+            observe_completion(
+                arrival_s,
+                cold,
+                queue_ms,
+                source=app,
+                qos=qos,
+                violated=violated,
+                utility=utility,
+            )
 
         def provision(app: str, start_s: float, end_s: float, memory_mb: float) -> None:
             accumulator.observe_provision(start_s, end_s, memory_mb, source=app)
@@ -409,11 +433,20 @@ class ClusterPlatform:
         fleet: FleetConfig | None = None,
         clock: VirtualClock | None = None,
         seed: int = 0,
+        qos: Iterable[QoSClass] | None = None,
     ) -> None:
         self.config = config or SimPlatformConfig()
         self.default_fleet = fleet or FleetConfig()
         self.clock = clock or VirtualClock()
         self.seed = seed
+        #: QoS class registry (name -> spec).  Requests submitted with a
+        #: ``qos=`` tag resolve their deadline/utility semantics here at
+        #: completion time; untagged requests never touch it, so a
+        #: platform without QoS classes behaves bit-identically to one
+        #: that predates them.
+        self.qos_classes: dict[str, QoSClass] = (
+            qos_registry(qos) if qos is not None else {}
+        )
         self._fleets: dict[str, _Fleet] = {}
         self._events: list[tuple[float, int, int, tuple]] = []
         # Plain int counters (not itertools.count): same speed on the hot
@@ -478,16 +511,33 @@ class ClusterPlatform:
 
     # -- traffic -----------------------------------------------------------
 
-    def submit(self, name: str, entry: str, at: float | None = None) -> int:
+    def submit(
+        self,
+        name: str,
+        entry: str,
+        at: float | None = None,
+        qos: str | None = None,
+        wire_ms: float = 0.0,
+    ) -> int:
         """Enqueue one arrival event; returns its request token.
 
         The record materializes when :meth:`run` (or a later synchronous
         :meth:`invoke`) processes virtual time past the request's
-        completion.
+        completion.  ``qos`` tags the request with a QoS class (by name,
+        resolved against the platform's registry); ``wire_ms`` is
+        forwarding latency the request already spent upstream (the
+        federation's inter-region hop), charged against the class
+        deadline at completion.  Untagged submissions keep the original
+        3-tuple event payload, so pre-QoS replays stay bit-identical.
         """
         fleet = self._fleet(name)
         if entry not in fleet.compiled.entries:
             raise DeploymentError(f"app {name!r} has no entry {entry!r}")
+        if qos is not None and qos not in self.qos_classes:
+            raise SpecError(
+                f"unknown QoS class {qos!r} "
+                f"(platform knows {sorted(self.qos_classes)})"
+            )
         arrival = self.clock.now() if at is None else at
         if arrival < self._last_arrival:
             raise DeploymentError(
@@ -498,7 +548,11 @@ class ClusterPlatform:
         self._next_token = token + 1
         seq = self._next_event_seq
         self._next_event_seq = seq + 1
-        heappush(self._events, (arrival, _ARRIVAL, seq, (name, entry, token)))
+        if qos is None and wire_ms == 0.0:
+            payload = (name, entry, token)
+        else:
+            payload = (name, entry, token, qos, wire_ms)
+        heappush(self._events, (arrival, _ARRIVAL, seq, payload))
         return token
 
     def invoke(self, name: str, entry: str, at: float | None = None) -> InvocationRecord:
@@ -553,7 +607,9 @@ class ClusterPlatform:
     ) -> WindowedSummary:
         """Consume an arrival stream incrementally at bounded memory.
 
-        ``arrivals`` yields ``(arrival_s, app, entry)`` in non-decreasing
+        ``arrivals`` yields ``(arrival_s, app, entry)`` — or QoS-tagged
+        ``(arrival_s, app, entry, qos_name)`` from
+        :func:`repro.workloads.replay.assign_qos` — in non-decreasing
         time order (e.g. from :func:`repro.workloads.replay.compile_trace`).
         Each arrival is submitted and the event heap is drained up to its
         timestamp before the next one is pulled, so the heap only ever
@@ -588,9 +644,17 @@ class ClusterPlatform:
             step = self._step
             observe_arrival = accumulator.observe_arrival
             submit = self.submit
-            for at, name, entry in arrivals:
-                observe_arrival(at)
-                submit(name, entry, at=at)
+            for item in arrivals:
+                # Untagged 3-tuples stay on the allocation-free unpack;
+                # QoS-tagged streams carry the class name at index 3.
+                if len(item) == 3:
+                    at, name, entry = item
+                    observe_arrival(at)
+                    submit(name, entry, at=at)
+                else:
+                    at, name, entry, qos = item
+                    observe_arrival(at)
+                    submit(name, entry, at=at, qos=qos)
                 while events and events[0][0] <= at:
                     step()
             while events:
@@ -619,10 +683,12 @@ class ClusterPlatform:
         self._stream = _StreamSinks.into(accumulator, on_record)
         self._stream_accumulator = accumulator
 
-    def stream_feed(self, at: float, name: str, entry: str) -> None:
+    def stream_feed(
+        self, at: float, name: str, entry: str, qos: str | None = None
+    ) -> None:
         """Feed one arrival and drain the event heap up to its time."""
         self._stream_accumulator.observe_arrival(at)
-        self.submit(name, entry, at=at)
+        self.submit(name, entry, at=at, qos=qos)
         events = self._events
         step = self._step
         while events and events[0][0] <= at:
@@ -718,6 +784,18 @@ class ClusterPlatform:
             len(fleet.queue) + 1 + extra
             <= capacity + self._bookable_capacity(fleet, now)
         )
+
+    def bookable_capacity(self, name: str, at: float | None = None) -> int:
+        """Slots the fleet can still book at ``at`` (see ``accepts``).
+
+        Free slots on live containers plus every container the hard cap
+        still allows to boot, times concurrency.  Routing optimizers use
+        this as their local-capacity signal
+        (:class:`repro.faas.region.ProbabilisticOffloadPolicy`).
+        """
+        fleet = self._fleet(name)
+        now = self.clock.now() if at is None else at
+        return self._bookable_capacity(fleet, now)
 
     def live_containers(self, name: str, at: float | None = None) -> int:
         """Containers not yet expired at ``at`` (ready or still booting).
@@ -833,7 +911,15 @@ class ClusterPlatform:
             self._on_complete(at, *payload)
         return True
 
-    def _on_arrival(self, at: float, name: str, entry: str, token: int) -> None:
+    def _on_arrival(
+        self,
+        at: float,
+        name: str,
+        entry: str,
+        token: int,
+        qos: str | None = None,
+        wire_ms: float = 0.0,
+    ) -> None:
         fleet = self._fleets[name]
         fleet.arrivals += 1
         if fleet.first_arrival is None:
@@ -861,9 +947,13 @@ class ClusterPlatform:
                 ) > (best.active, best.last_release, best.seq):
                     best = container
             if best is not None:
-                self._start_service(fleet, best, entry, at, at, token)
+                self._start_service(fleet, best, entry, at, at, token, qos, wire_ms)
                 return
-        fleet.queue.append(_PendingRequest(token=token, entry=entry, arrival=at))
+        fleet.queue.append(
+            _PendingRequest(
+                token=token, entry=entry, arrival=at, qos=qos, wire_ms=wire_ms
+            )
+        )
         self._dispatch(fleet, at)
         # Admission control runs after dispatch but BEFORE scale-out: a
         # request is shed when it exceeds the fleet's bookable capacity
@@ -883,7 +973,15 @@ class ClusterPlatform:
                 fleet.rejected += 1
                 shed_self = shed_self or shed.token == token
                 if self._stream is not None:
-                    self._stream.shed(shed.arrival)
+                    if shed.qos is None:
+                        self._stream.shed(shed.arrival)
+                    else:
+                        self._stream.shed(
+                            shed.arrival,
+                            fleet.name,
+                            shed.qos,
+                            self.qos_classes[shed.qos].drop_penalty,
+                        )
                 else:
                     self._dropped.add(shed.token)
         if shed_self or token in self._dropped:
@@ -1105,7 +1203,14 @@ class ClusterPlatform:
                 return
             request = fleet.queue.popleft()
             self._start_service(
-                fleet, container, request.entry, request.arrival, now, request.token
+                fleet,
+                container,
+                request.entry,
+                request.arrival,
+                now,
+                request.token,
+                request.qos,
+                request.wire_ms,
             )
 
     def _start_service(
@@ -1116,6 +1221,8 @@ class ClusterPlatform:
         arrival: float,
         now: float,
         token: int,
+        qos: str | None = None,
+        wire_ms: float = 0.0,
     ) -> None:
         compiled_entry = fleet.compiled.entries[entry]
         cold = container.virgin
@@ -1143,8 +1250,17 @@ class ClusterPlatform:
             # are gone; the full record object is only built when a tap
             # asked for it.  Retaining records (or the token -> record
             # map) would make memory O(requests), the exact failure mode
-            # run_stream exists to fix.
-            stream.complete(fleet.name, arrival, cold, queue_ms)
+            # run_stream exists to fix.  The deadline is end-to-end:
+            # forwarding wire time + queueing + service.
+            if qos is None:
+                stream.complete(fleet.name, arrival, cold, queue_ms)
+            else:
+                violated, utility = self.qos_classes[qos].completion_value(
+                    wire_ms + queue_ms + service_ms
+                )
+                stream.complete(
+                    fleet.name, arrival, cold, queue_ms, qos, violated, utility
+                )
             if stream.record is not None:
                 stream.record(
                     InvocationRecord(

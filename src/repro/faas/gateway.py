@@ -131,14 +131,18 @@ class Gateway:
         return decisions
 
     def submit_stream(self, stream, accumulator, on_record=None):
-        """Stream ``(arrival_s, path)`` pairs through the platform.
+        """Stream ``(arrival_s, path[, qos])`` items through the platform.
 
         The streaming analogue of :meth:`submit_schedule` for back ends
         exposing ``run_stream`` (the cluster simulator): each arrival is
         routed (hit counts bumped, monitor fed) and handed to the
         platform *incrementally*, and completed records fold into
         ``accumulator`` (a :class:`~repro.metrics.WindowAccumulator`)
-        rather than materializing.  Returns the finalized
+        rather than materializing.  Items may carry a trailing QoS class
+        name (the shape :func:`repro.workloads.replay.as_paths` produces
+        from an :func:`~repro.workloads.replay.assign_qos`-tagged
+        stream); it passes through to the platform's per-class deadline
+        accounting.  Returns the finalized
         :class:`~repro.metrics.WindowedSummary`.  Monitor window
         decisions are observed but not collected — a million-request
         replay must not build a decision list either.
@@ -149,10 +153,7 @@ class Gateway:
                 f"platform {type(self.platform).__name__} does not support "
                 "streaming replay; use submit_schedule() instead"
             )
-        arrivals = (
-            (at, app, entry)
-            for at, app, entry, *_ in self._route_arrivals(stream)
-        )
+        arrivals = self._route_arrivals(stream)
         return run_stream(arrivals, accumulator, on_record=on_record)
 
     def _route_arrivals(self, stream):

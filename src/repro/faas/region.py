@@ -40,18 +40,33 @@ from __future__ import annotations
 
 import heapq
 import itertools
-from dataclasses import dataclass, field
+import math
+from dataclasses import dataclass, field, replace
 from typing import Callable, Iterable, Mapping, Sequence
 
 from repro.common.clock import VirtualClock
 from repro.common.errors import DeploymentError, SpecError, WorkloadError
-from repro.common.rng import derive_seed
+from repro.common.rng import SeededRNG, derive_seed
 from repro.faas.cluster import ClusterPlatform, FleetConfig, FleetStats, _StreamSinks
 from repro.faas.events import InvocationRecord
 from repro.faas.gateway import Gateway
 from repro.faas.sim import SimAppConfig, SimPlatformConfig
-from repro.metrics import PricingModel, RoutingSummary, WindowAccumulator, WindowedSummary
+from repro.metrics import (
+    DEFAULT_QOS_CLASS,
+    PricingModel,
+    QoSClass,
+    RoutingSummary,
+    WindowAccumulator,
+    WindowedSummary,
+    qos_registry,
+)
 from repro.plan import DeferralPlan
+
+#: Sentinel region name a routing policy returns to *intentionally drop*
+#: a request (the third arm of the probabilistic local/offload/drop mix).
+#: The federation charges the request's QoS drop penalty and never
+#: delivers it anywhere.  Not a valid region name in any topology.
+DROP = "__drop__"
 
 
 @dataclass(frozen=True)
@@ -69,15 +84,23 @@ class RegionSpec:
             autoscaler entirely via ``FleetConfig.policy`` (e.g. a
             panic-window scaler in a bursty region while the rest of the
             topology stays per-request).
+        tier: Capacity tier label, ``"edge"`` or ``"cloud"``.  Purely
+            descriptive to the federation (capacity comes from ``fleet``),
+            but visible to routing policies through
+            :attr:`RegionState.tier` so tier-aware policies can treat a
+            tight edge site differently from deep cloud capacity.
     """
 
     name: str
     platform: SimPlatformConfig | None = None
     fleet: FleetConfig | None = None
+    tier: str = "cloud"
 
     def __post_init__(self) -> None:
         if not self.name:
             raise SpecError("region name must be non-empty")
+        if self.tier not in ("edge", "cloud"):
+            raise SpecError(f"unknown region tier: {self.tier!r}")
 
 
 class RegionTopology:
@@ -127,6 +150,53 @@ class RegionTopology:
         """Uniform mesh: every distinct pair is ``default_ms`` apart."""
         return cls(regions, latency_ms=None, default_ms=default_ms)
 
+    @classmethod
+    def edge_cloud(
+        cls,
+        edge: Sequence[RegionSpec | str],
+        cloud: Sequence[RegionSpec | str],
+        uplink_ms: float = 40.0,
+        inter_cloud_ms: float = 10.0,
+        inter_edge_ms: float | None = None,
+    ) -> "RegionTopology":
+        """Heterogeneous two-tier topology: tight edge sites + deep cloud.
+
+        Edge regions (tier ``"edge"``) are where traffic originates —
+        typically configured with small fleets / tight memory caps via
+        their :attr:`RegionSpec.fleet` override — and reach any cloud
+        region over ``uplink_ms``.  Cloud regions (tier ``"cloud"``) form
+        a fast mesh ``inter_cloud_ms`` apart.  Edge sites talk to each
+        other via the cloud by default (``2 * uplink_ms``) unless
+        ``inter_edge_ms`` says otherwise.  Specs passed in are re-tagged
+        with their tier, so callers can hand plain names or full specs.
+        """
+        edge_specs = tuple(
+            replace(spec, tier="edge")
+            if isinstance(spec, RegionSpec)
+            else RegionSpec(spec, tier="edge")
+            for spec in edge
+        )
+        cloud_specs = tuple(
+            replace(spec, tier="cloud")
+            if isinstance(spec, RegionSpec)
+            else RegionSpec(spec, tier="cloud")
+            for spec in cloud
+        )
+        if not edge_specs or not cloud_specs:
+            raise SpecError("edge_cloud topology needs both tiers populated")
+        edge_gap = 2.0 * uplink_ms if inter_edge_ms is None else inter_edge_ms
+        latency: dict[tuple[str, str], float] = {}
+        for e in edge_specs:
+            for c in cloud_specs:
+                latency[(e.name, c.name)] = uplink_ms
+        for i, a in enumerate(edge_specs):
+            for b in edge_specs[i + 1:]:
+                latency[(a.name, b.name)] = edge_gap
+        for i, a in enumerate(cloud_specs):
+            for b in cloud_specs[i + 1:]:
+                latency[(a.name, b.name)] = inter_cloud_ms
+        return cls(edge_specs + cloud_specs, latency_ms=latency)
+
     def names(self) -> tuple[str, ...]:
         return self._names
 
@@ -167,12 +237,20 @@ class RegionState:
         accepts: Whether the region's load-shedder would admit one more
             arrival (:meth:`ClusterPlatform.accepts`).
         latency_ms: One-way network latency from the request's origin.
+        tier: The region's capacity tier (:attr:`RegionSpec.tier`).
+        capacity: Slots the region can still book for this app — free
+            slots on live containers plus bootable containers, minus
+            requests already committed but still on the wire.  The
+            coupling constraint :class:`ProbabilisticOffloadPolicy`'s LP
+            re-solve uses.
     """
 
     name: str
     load: int
     accepts: bool
     latency_ms: float
+    tier: str = "cloud"
+    capacity: float = math.inf
 
 
 class RoutingPolicy:
@@ -180,14 +258,25 @@ class RoutingPolicy:
 
     ``choose`` receives the origin region and one :class:`RegionState`
     per region (in topology order, state advanced to the request's origin
-    time) and returns the destination region's name.  Implementations
-    must be deterministic: any internal state (e.g. a round-robin cursor)
-    must evolve identically for identical request sequences.
+    time) and returns the destination region's name — or :data:`DROP` to
+    intentionally drop the request (only meaningful to policies that
+    price drops, e.g. :class:`ProbabilisticOffloadPolicy`).  ``at`` is
+    the request's origin time (virtual seconds) and ``qos`` its QoS class
+    name, both defaulted so QoS-oblivious policies can ignore them.
+    Implementations must be deterministic: any internal state (a
+    round-robin cursor, a seeded RNG, re-solved probability mixes) must
+    evolve identically for identical request sequences.
     """
 
     name = "abstract"
 
-    def choose(self, origin: str, states: Sequence[RegionState]) -> str:
+    def choose(
+        self,
+        origin: str,
+        states: Sequence[RegionState],
+        at: float = 0.0,
+        qos: str | None = None,
+    ) -> str:
         raise NotImplementedError  # pragma: no cover - interface
 
     @staticmethod
@@ -207,7 +296,13 @@ class RoundRobinPolicy(RoutingPolicy):
     def __init__(self) -> None:
         self._cursor = itertools.count()
 
-    def choose(self, origin: str, states: Sequence[RegionState]) -> str:
+    def choose(
+        self,
+        origin: str,
+        states: Sequence[RegionState],
+        at: float = 0.0,
+        qos: str | None = None,
+    ) -> str:
         start = next(self._cursor) % len(states)
         rotation = [states[(start + offset) % len(states)] for offset in range(len(states))]
         return self._accepting(rotation)[0].name
@@ -222,7 +317,13 @@ class LeastLoadedPolicy(RoutingPolicy):
 
     name = "least-loaded"
 
-    def choose(self, origin: str, states: Sequence[RegionState]) -> str:
+    def choose(
+        self,
+        origin: str,
+        states: Sequence[RegionState],
+        at: float = 0.0,
+        qos: str | None = None,
+    ) -> str:
         return min(
             self._accepting(states),
             key=lambda state: (state.load, state.latency_ms, state.name),
@@ -254,7 +355,13 @@ class LocalityPolicy(RoutingPolicy):
         self.spillover_load = spillover_load
         self.failover = failover
 
-    def choose(self, origin: str, states: Sequence[RegionState]) -> str:
+    def choose(
+        self,
+        origin: str,
+        states: Sequence[RegionState],
+        at: float = 0.0,
+        qos: str | None = None,
+    ) -> str:
         by_name = {state.name: state for state in states}
         home = by_name.get(origin)
         if home is None:  # app not deployed at the origin: nearest accepting
@@ -278,11 +385,218 @@ class LocalityPolicy(RoutingPolicy):
         return origin
 
 
-#: CLI-facing policy registry (see ``slimstart regions --policy``).
-POLICY_NAMES = ("round-robin", "least-loaded", "locality")
+class ProbabilisticOffloadPolicy(RoutingPolicy):
+    """Optimizer-driven local/offload/drop mix, re-solved periodically.
+
+    In the style of the faas-offloading-sim exemplar: each QoS class gets
+    a probability triple ``(p_local, p_offload, p_drop)``; every request
+    draws from its class's triple with a seeded RNG.  The triples are
+    re-solved every ``update_interval_s`` of *virtual* time from
+
+    * per-class arrival rates, tracked as an EWMA over re-solve intervals
+      (``arrival_alpha`` weighs the newest interval), and
+    * the fleet state the federation hands ``choose`` — the local
+      region's remaining bookable capacity (the LP's coupling
+      constraint) and each candidate's accept/latency state.
+
+    The optimization is a tiny linear program —
+
+    maximize   Σ_c λ_c · (p_L·v_L + p_O·v_O + p_D·v_D)
+    subject to Σ_c λ_c · p_L ≤ κ   and each triple on the simplex
+
+    — where ``v_L/v_O/v_D`` are per-class value estimates (utility for an
+    in-deadline completion, minus the deadline penalty when the chosen
+    arm cannot meet the deadline, minus the drop penalty for the drop
+    arm, with offload utility discounted by ``latency_cost_per_ms`` per
+    wire millisecond) and ``κ`` converts the local region's bookable
+    slots into a request rate via ``service_ms_estimate``.  A single
+    coupling constraint makes the LP exactly solvable by a greedy
+    fractional fill: every class whose local value beats its best
+    alternative keeps local share by descending per-request regret until
+    κ is spent; the marginal class gets a fractional ``p_local``; the
+    rest take their best alternative (offload, or drop when the drop
+    penalty undercuts a certain deadline violation).
+
+    Exactness caveats (see docs/architecture.md): κ is a heuristic —
+    bookable slots over an assumed mean service time — and the deadline
+    feasibility test budgets ``deadline_slack`` of the deadline for the
+    forwarding wire, not a queueing model of the remote region.  The LP
+    is exact for the stated objective; the objective itself is an
+    estimate refreshed from live state each interval.
+    """
+
+    name = "probabilistic"
+
+    def __init__(
+        self,
+        qos_classes: Iterable[QoSClass] | None = None,
+        seed: int = 0,
+        update_interval_s: float = 60.0,
+        arrival_alpha: float = 0.3,
+        service_ms_estimate: float = 200.0,
+        deadline_slack: float = 0.5,
+        latency_cost_per_ms: float = 0.002,
+        allow_drop: bool = True,
+    ) -> None:
+        if update_interval_s <= 0:
+            raise SpecError(f"update interval must be positive: {update_interval_s}")
+        if not 0.0 < arrival_alpha <= 1.0:
+            raise SpecError(f"arrival_alpha must be in (0, 1]: {arrival_alpha}")
+        if service_ms_estimate <= 0:
+            raise SpecError(f"service estimate must be positive: {service_ms_estimate}")
+        if not 0.0 < deadline_slack <= 1.0:
+            raise SpecError(f"deadline_slack must be in (0, 1]: {deadline_slack}")
+        self._registry = qos_registry(
+            qos_classes if qos_classes is not None else (DEFAULT_QOS_CLASS,)
+        )
+        self.update_interval_s = update_interval_s
+        self.arrival_alpha = arrival_alpha
+        self.service_ms_estimate = service_ms_estimate
+        self.deadline_slack = deadline_slack
+        self.latency_cost_per_ms = latency_cost_per_ms
+        self.allow_drop = allow_drop
+        self._rng = SeededRNG(derive_seed(seed, "offload"))
+        self._rates: dict[str, float] = {}  # EWMA requests/s per class
+        self._counts: dict[str, int] = {}  # arrivals in the open interval
+        self._interval_start: float | None = None
+        #: origin -> class -> (p_local, p_offload, p_drop); cleared at
+        #: every interval boundary, re-solved lazily per origin.
+        self._mix: dict[str, dict[str, tuple[float, float, float]]] = {}
+
+    def choose(
+        self,
+        origin: str,
+        states: Sequence[RegionState],
+        at: float = 0.0,
+        qos: str | None = None,
+    ) -> str:
+        if qos is not None and qos in self._registry:
+            cls_name, spec = qos, self._registry[qos]
+        else:
+            cls_name, spec = DEFAULT_QOS_CLASS.name, DEFAULT_QOS_CLASS
+        if self._interval_start is None:
+            self._interval_start = at
+        while at - self._interval_start >= self.update_interval_s:
+            self._close_interval()
+        self._counts[cls_name] = self._counts.get(cls_name, 0) + 1
+        mix = self._mix.get(origin)
+        if mix is None:
+            mix = self._mix[origin] = self._solve(origin, states)
+        p_local, p_offload, _ = mix.get(cls_name, (1.0, 0.0, 0.0))
+        draw = self._rng.random()
+        local, offload = self._targets(origin, states, spec)
+        if draw < p_local:
+            return local.name
+        if draw < p_local + p_offload:
+            return (offload or local).name
+        return DROP
+
+    # -- internals ---------------------------------------------------------
+
+    def _close_interval(self) -> None:
+        """Fold the finished interval's counts into the EWMA rates."""
+        alpha = self.arrival_alpha
+        for name in sorted(self._registry):
+            rate = self._counts.get(name, 0) / self.update_interval_s
+            previous = self._rates.get(name)
+            self._rates[name] = (
+                rate
+                if previous is None
+                else alpha * rate + (1.0 - alpha) * previous
+            )
+        self._counts.clear()
+        self._mix.clear()
+        self._interval_start += self.update_interval_s
+
+    def _targets(
+        self, origin: str, states: Sequence[RegionState], spec: QoSClass
+    ) -> tuple[RegionState, RegionState | None]:
+        """The concrete (local, offload) regions for this decision.
+
+        Local is the origin region when the app is deployed there, else
+        the nearest region.  Offload is the nearest *accepting* region
+        other than local, preferring ones whose wire latency fits the
+        class's deadline budget; ``None`` when local is the only region.
+        """
+        local = next((state for state in states if state.name == origin), None)
+        if local is None:
+            local = min(states, key=lambda s: (s.latency_ms, s.name))
+        budget = spec.deadline_ms * self.deadline_slack
+        candidates = sorted(
+            (s for s in states if s.name != local.name and s.accepts),
+            key=lambda s: (s.latency_ms > budget, s.latency_ms, s.name),
+        )
+        return local, (candidates[0] if candidates else None)
+
+    def _solve(
+        self, origin: str, states: Sequence[RegionState]
+    ) -> dict[str, tuple[float, float, float]]:
+        """Greedy-exact LP solve for this origin's probability triples."""
+        local = next((state for state in states if state.name == origin), None)
+        if local is None:
+            local = min(states, key=lambda s: (s.latency_ms, s.name))
+        kappa = local.capacity * 1000.0 / self.service_ms_estimate
+        keep_local: list[tuple[float, str, tuple[float, float, float]]] = []
+        mix: dict[str, tuple[float, float, float]] = {}
+        for name in sorted(self._registry):
+            spec = self._registry[name]
+            v_local = spec.utility if local.accepts else -spec.deadline_penalty
+            _, offload = self._targets(origin, states, spec)
+            if offload is None:
+                v_offload = -math.inf
+            elif offload.latency_ms <= spec.deadline_ms * self.deadline_slack:
+                v_offload = (
+                    spec.utility - self.latency_cost_per_ms * offload.latency_ms
+                )
+            else:
+                v_offload = -spec.deadline_penalty
+            v_drop = -spec.drop_penalty if self.allow_drop else -math.inf
+            if v_offload >= v_drop:
+                alternative = (0.0, 1.0, 0.0)
+                v_alt = v_offload
+            else:
+                alternative = (0.0, 0.0, 1.0)
+                v_alt = v_drop
+            if v_alt == -math.inf or v_local >= v_alt:
+                # Local is (weakly) best unconstrained; capacity decides.
+                keep_local.append((v_local - v_alt, name, alternative))
+            else:
+                mix[name] = alternative
+        # Fractional-knapsack fill of the local capacity, by descending
+        # per-request regret (the exact LP solution for one coupling
+        # constraint); ties break by class name for determinism.
+        remaining = kappa
+        for regret, name, alternative in sorted(
+            keep_local, key=lambda item: (-item[0], item[1])
+        ):
+            rate = self._rates.get(name, 0.0)
+            if rate <= remaining:
+                mix[name] = (1.0, 0.0, 0.0)
+                remaining -= rate
+            elif remaining > 0.0:
+                share = remaining / rate
+                mix[name] = (
+                    share,
+                    alternative[1] * (1.0 - share),
+                    alternative[2] * (1.0 - share),
+                )
+                remaining = 0.0
+            else:
+                mix[name] = alternative
+        return mix
 
 
-def make_policy(name: str, spillover_load: int | None = None) -> RoutingPolicy:
+#: CLI-facing policy registry (see ``slimstart regions --policy`` and
+#: ``slimstart replay --routing``).
+POLICY_NAMES = ("round-robin", "least-loaded", "locality", "probabilistic")
+
+
+def make_policy(
+    name: str,
+    spillover_load: int | None = None,
+    qos_classes: Iterable[QoSClass] | None = None,
+    seed: int = 0,
+) -> RoutingPolicy:
     """Build a routing policy from its CLI name."""
     if name == "round-robin":
         return RoundRobinPolicy()
@@ -290,6 +604,8 @@ def make_policy(name: str, spillover_load: int | None = None) -> RoutingPolicy:
         return LeastLoadedPolicy()
     if name == "locality":
         return LocalityPolicy(spillover_load=spillover_load)
+    if name == "probabilistic":
+        return ProbabilisticOffloadPolicy(qos_classes=qos_classes, seed=seed)
     raise SpecError(f"unknown routing policy: {name!r} (choose from {POLICY_NAMES})")
 
 
@@ -320,6 +636,8 @@ class _Delivery:
     region: str
     app: str
     entry: str
+    qos: str | None = None
+    wire_ms: float = 0.0
 
 
 class RegionFederation:
@@ -342,17 +660,26 @@ class RegionFederation:
         fleet: FleetConfig | None = None,
         seed: int = 0,
         clock: VirtualClock | None = None,
+        qos: Iterable[QoSClass] | None = None,
     ) -> None:
         self.topology = topology
         self.policy = policy or RoundRobinPolicy()
         self.clock = clock or VirtualClock()
         self.seed = seed
+        #: Shared QoS registry; every region's platform resolves class
+        #: names against the same specs, and the federation charges drop
+        #: penalties for requests the routing policy discards.
+        self.qos_classes: dict[str, QoSClass] = (
+            qos_registry(qos) if qos is not None else {}
+        )
+        qos_specs = tuple(self.qos_classes.values()) if self.qos_classes else None
         self.platforms: dict[str, ClusterPlatform] = {
             spec.name: ClusterPlatform(
                 config=spec.platform or platform,
                 fleet=spec.fleet or fleet,
                 clock=self.clock,
                 seed=derive_seed(seed, "region", spec.name),
+                qos=qos_specs,
             )
             for spec in topology.regions
         }
@@ -367,11 +694,14 @@ class RegionFederation:
         #: retained at all).
         self._served: dict[tuple[str, str], int] = {}
         self._streaming = False
+        self._stream_sinks: _StreamSinks | None = None
         #: Routed-but-undelivered arrivals per (region, app): requests
         #: still on the wire.  Policies must see them, or near-simultaneous
         #: submissions over a slow link would all pile onto the region that
         #: looked empty at decision time.
         self._pending: dict[tuple[str, str], int] = {}
+        #: Requests the routing policy intentionally dropped, per app.
+        self._drops: dict[str, int] = {}
 
     # -- deployment --------------------------------------------------------
 
@@ -404,7 +734,12 @@ class RegionFederation:
     # -- traffic -----------------------------------------------------------
 
     def submit(
-        self, name: str, entry: str, at: float, origin: str | None = None
+        self,
+        name: str,
+        entry: str,
+        at: float,
+        origin: str | None = None,
+        qos: str | None = None,
     ) -> str:
         """Route one arrival; returns the region chosen to serve it.
 
@@ -412,9 +747,19 @@ class RegionFederation:
         decides against fleet state that is current at the request's
         origin time, then schedules delivery at ``at + latency/1000``.
         Origin times must be non-decreasing across calls (replay order).
+        ``qos`` tags the request with its QoS class; a policy returning
+        :data:`DROP` discards the request here — the class's drop
+        penalty is charged (streamed to the accumulator in streaming
+        mode, counted in :meth:`dropped_counts` always) and :data:`DROP`
+        is returned instead of a region name.
         """
         origin_name = origin if origin is not None else self.topology.names()[0]
         self.topology.spec(origin_name)  # validate
+        if qos is not None and qos not in self.qos_classes:
+            raise SpecError(
+                f"unknown QoS class {qos!r} "
+                f"(federation knows {sorted(self.qos_classes)})"
+            )
         if at < self._last_submit:
             raise WorkloadError(
                 f"origin time {at} precedes an earlier submission ({self._last_submit})"
@@ -430,13 +775,27 @@ class RegionFederation:
                     name, at=at, extra=self._pending.get((region, name), 0)
                 ),
                 latency_ms=self.topology.latency_ms(origin_name, region),
+                tier=self.topology.spec(region).tier,
+                capacity=max(
+                    0,
+                    self.platforms[region].bookable_capacity(name, at=at)
+                    - self._pending.get((region, name), 0),
+                ),
             )
             for region in self.topology.names()
             if name in self.platforms[region].app_names()
         ]
         if not states:
             raise DeploymentError(f"app {name!r} is deployed in no region")
-        chosen = self.policy.choose(origin_name, states)
+        chosen = self.policy.choose(origin_name, states, at=at, qos=qos)
+        if chosen == DROP:
+            self._drops[name] = self._drops.get(name, 0) + 1
+            if self._stream_sinks is not None:
+                penalty = (
+                    self.qos_classes[qos].drop_penalty if qos is not None else 0.0
+                )
+                self._stream_sinks.shed(at, name, qos, penalty)
+            return DROP
         if chosen not in {state.name for state in states}:
             raise SpecError(
                 f"policy {self.policy.name!r} chose invalid region {chosen!r}"
@@ -462,7 +821,13 @@ class RegionFederation:
             (
                 at + network_ms / 1000.0,
                 next(self._delivery_seq),
-                _Delivery(region=chosen, app=name, entry=entry),
+                _Delivery(
+                    region=chosen,
+                    app=name,
+                    entry=entry,
+                    qos=qos,
+                    wire_ms=network_ms,
+                ),
             ),
         )
         self._pending[(chosen, name)] = self._pending.get((chosen, name), 0) + 1
@@ -500,9 +865,11 @@ class RegionFederation:
 
         The federated analogue of
         :meth:`~repro.faas.cluster.ClusterPlatform.run_stream`:
-        ``arrivals`` yields ``(arrival_s, app, entry, origin)`` in
+        ``arrivals`` yields ``(arrival_s, app, entry, origin)`` — or
+        QoS-tagged ``(arrival_s, app, entry, origin, qos_name)`` — in
         non-decreasing origin-time order (e.g. a compiled trace run
-        through :func:`repro.workloads.replay.assign_regions`).  Each
+        through :func:`repro.workloads.replay.assign_qos` then
+        :func:`repro.workloads.replay.assign_regions`).  Each
         arrival is routed at its origin time — :meth:`submit` already
         advances every region to that instant, so the stream drains
         incrementally — while completed records, shed arrivals, and
@@ -519,17 +886,26 @@ class RegionFederation:
             raise WorkloadError("a streaming replay is already in progress")
         sinks = _StreamSinks.into(accumulator, on_record)
         self._streaming = True
+        self._stream_sinks = sinks
         for platform in self.platforms.values():
             platform._stream = sinks
         try:
-            for at, name, entry, origin in arrivals:
+            for item in arrivals:
+                at = item[0]
                 accumulator.observe_arrival(at)
-                self.submit(name, entry, at=at, origin=origin)
+                self.submit(
+                    item[1],
+                    item[2],
+                    at=at,
+                    origin=item[3] if len(item) > 3 else None,
+                    qos=item[4] if len(item) > 4 else None,
+                )
             self.run()
             for platform in self.platforms.values():
                 platform._flush_provisioned()
         finally:
             self._streaming = False
+            self._stream_sinks = None
             for platform in self.platforms.values():
                 platform._stream = None
         return accumulator.finalize()
@@ -554,7 +930,13 @@ class RegionFederation:
         """
         for platform in self.platforms.values():
             platform.run(until=when)
-        self.platforms[delivery.region].submit(delivery.app, delivery.entry, at=when)
+        self.platforms[delivery.region].submit(
+            delivery.app,
+            delivery.entry,
+            at=when,
+            qos=delivery.qos,
+            wire_ms=delivery.wire_ms,
+        )
         self._pending[(delivery.region, delivery.app)] -= 1
 
     # -- results -----------------------------------------------------------
@@ -562,6 +944,12 @@ class RegionFederation:
     def pending(self, region: str, name: str) -> int:
         """Routed-but-undelivered arrivals for one region/app (on the wire)."""
         return self._pending.get((region, name), 0)
+
+    def dropped_counts(self, name: str | None = None) -> dict[str, int]:
+        """Requests the routing policy intentionally dropped, per app."""
+        if name is not None:
+            return {name: self._drops.get(name, 0)}
+        return dict(self._drops)
 
     def region_stats(
         self, name: str, pricing: PricingModel | None = None
@@ -613,12 +1001,18 @@ class FederatedGateway(Gateway):
             "use submit()/submit_schedule() and run()"
         )
 
-    def submit(self, path: str, at: float, origin: str | None = None) -> list:
-        """Route one deferred arrival, tagged with its origin region."""
+    def submit(
+        self,
+        path: str,
+        at: float,
+        origin: str | None = None,
+        qos: str | None = None,
+    ) -> list:
+        """Route one deferred arrival, tagged with origin region and QoS."""
         route = self._routes.get(path)
         if route is None:
             raise DeploymentError(f"no route for path {path!r}")
-        self.platform.submit(route.app, route.entry, at=at, origin=origin)
+        self.platform.submit(route.app, route.entry, at=at, origin=origin, qos=qos)
         self._hits[path] = self._hits.get(path, 0) + 1
         if self.monitor is not None:
             return self.monitor.observe(route.entry, at)
@@ -644,11 +1038,12 @@ class FederatedGateway(Gateway):
         return decisions
 
     def submit_stream(self, stream, accumulator, on_record=None):
-        """Stream ``(arrival_s, path[, origin])`` through the federation.
+        """Stream ``(arrival_s, path[, origin[, qos]])`` through the federation.
 
         The region-tagged analogue of :meth:`Gateway.submit_stream`:
-        items may carry an origin region (the shape
+        items may carry an origin region and a QoS class name (the shape
         :func:`repro.workloads.replay.as_paths` produces from an
+        :func:`~repro.workloads.replay.assign_qos` +
         :func:`~repro.workloads.replay.assign_regions`-tagged stream);
         untagged items originate in the topology's first region.  Routes
         each arrival (hit counts, monitor) and delegates to
@@ -657,7 +1052,7 @@ class FederatedGateway(Gateway):
         """
 
         arrivals = (
-            (at, app, entry, extras[0] if extras else None)
+            (at, app, entry, *extras)
             for at, app, entry, *extras in self._route_arrivals(stream)
         )
         return self.platform.run_stream(arrivals, accumulator, on_record=on_record)

@@ -50,7 +50,9 @@ from repro.metrics import PricingModel, WindowAccumulator, WindowedSummary
 from repro.metrics.windows import _Window
 
 #: Bumped whenever the checkpoint layout changes incompatibly.
-CHECKPOINT_FORMAT = 1
+#: 2: queue entries carry QoS class + wire latency; accumulator windows
+#: carry per-class counters and utility sums.
+CHECKPOINT_FORMAT = 2
 
 
 # -- RNG state ---------------------------------------------------------------
@@ -112,7 +114,13 @@ def platform_state(platform: ClusterPlatform) -> dict:
                 None if math.isinf(fleet.reap_until) else fleet.reap_until
             ),
             "queue": [
-                [request.token, request.entry, request.arrival]
+                [
+                    request.token,
+                    request.entry,
+                    request.arrival,
+                    request.qos,
+                    request.wire_ms,
+                ]
                 for request in fleet.queue
             ],
             "containers": [
@@ -191,9 +199,15 @@ def restore_platform(platform: ClusterPlatform, state: dict) -> None:
             -math.inf if data["reap_until"] is None else data["reap_until"]
         )
         fleet.queue.clear()
-        for token, entry, arrival in data["queue"]:
+        for token, entry, arrival, qos, wire_ms in data["queue"]:
             fleet.queue.append(
-                _PendingRequest(token=token, entry=entry, arrival=arrival)
+                _PendingRequest(
+                    token=token,
+                    entry=entry,
+                    arrival=arrival,
+                    qos=qos,
+                    wire_ms=wire_ms,
+                )
             )
         fleet.containers = [
             _FleetContainer(
@@ -240,6 +254,14 @@ def accumulator_state(accumulator: WindowAccumulator) -> dict:
                 "queue_total": window.queue.total,
                 "queue_sums": dict(window.queue_sums),
                 "gb_sums": dict(window.gb_sums),
+                "qos_counts": {
+                    name: list(counters)
+                    for name, counters in window.qos_counts.items()
+                },
+                "qos_sums": {
+                    name: dict(sums)
+                    for name, sums in window.qos_sums.items()
+                },
             }
             for index, window in accumulator._windows.items()
         },
@@ -278,6 +300,13 @@ def restore_accumulator(accumulator: WindowAccumulator, state: dict) -> None:
         window.queue.total = data["queue_total"]
         window.queue_sums = dict(data["queue_sums"])
         window.gb_sums = dict(data["gb_sums"])
+        window.qos_counts = {
+            name: list(counters)
+            for name, counters in data["qos_counts"].items()
+        }
+        window.qos_sums = {
+            name: dict(sums) for name, sums in data["qos_sums"].items()
+        }
         accumulator._windows[int(key)] = window
 
 
@@ -383,7 +412,8 @@ def run_stream_checkpointed(
         stream = iter(arrivals)
         if consumed:
             stream = islice(stream, consumed, None)
-        for at, name, entry in stream:
+        for item in stream:
+            at = item[0]
             index = int(at // every)
             if boundary is None:
                 boundary = index
@@ -392,7 +422,10 @@ def run_stream_checkpointed(
                     path, platform, accumulator, consumed, fingerprint
                 )
                 boundary = index
-            feed(at, name, entry)
+            if len(item) == 3:
+                feed(at, item[1], item[2])
+            else:
+                feed(at, item[1], item[2], qos=item[3])
             consumed += 1
     except BaseException:
         # Keep the newest on-disk checkpoint for resume, but leave the

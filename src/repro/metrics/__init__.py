@@ -20,7 +20,16 @@ from repro.metrics.stats import (
     percentile,
     speedup,
 )
+from repro.metrics.qos import (
+    DEFAULT_QOS_CLASS,
+    QOS_PRESETS,
+    QoSClass,
+    parse_qos_mix,
+    qos_registry,
+)
 from repro.metrics.windows import (
+    QoSSummary,
+    QoSWindowStats,
     WindowAccumulator,
     WindowedSummary,
     WindowStats,
@@ -28,10 +37,15 @@ from repro.metrics.windows import (
 
 __all__ = [
     "DEFAULT_PRICING",
+    "DEFAULT_QOS_CLASS",
+    "QOS_PRESETS",
     "CostSummary",
     "LatencySummary",
     "MemorySummary",
     "PricingModel",
+    "QoSClass",
+    "QoSSummary",
+    "QoSWindowStats",
     "RateSummary",
     "RoutingSummary",
     "SpeedupReport",
@@ -41,4 +55,6 @@ __all__ = [
     "mean",
     "percentile",
     "speedup",
+    "parse_qos_mix",
+    "qos_registry",
 ]

@@ -56,7 +56,10 @@ def _histogram_quantile(counts: Sequence[int], total: int, q: float) -> float:
     running = 0
     for index, count in enumerate(counts):
         running += count
-        if running >= rank:
+        # ``running > 0`` guards q=0: rank 0 would otherwise be satisfied
+        # at bucket 0 even when it is empty — the minimum must come from
+        # the first *non-empty* bucket.
+        if running >= rank and running > 0:
             if index == 0:
                 return _HIST_FLOOR_MS
             lower = _HIST_FLOOR_MS * _HIST_RATIO ** (index - 1)
@@ -119,6 +122,51 @@ def _merge_sums(
 
 
 @dataclass(frozen=True)
+class QoSWindowStats:
+    """One QoS class's behaviour inside one replay window.
+
+    Utility follows the accounting of :class:`repro.metrics.qos.QoSClass`:
+    in-deadline completions earn the class utility, late completions pay
+    the deadline penalty, sheds/drops pay the drop penalty.  The float
+    total is kept **per source** (``utility_by_source``) exactly like the
+    window's queue-wait sums, so :meth:`WindowedSummary.merge` recombines
+    it losslessly and sharded replays stay bit-identical.
+
+    Attributes:
+        qos_class: Class name (the wire format; see ``repro.metrics.qos``).
+        completed: Requests of this class that finished service.
+        violations: Completions whose end-to-end latency (queueing +
+            service + forwarding wire time) exceeded the class deadline.
+        dropped: Requests of this class shed by bounded queues or
+            dropped by a routing policy.
+        violation_rate: ``violations / completed`` (0 when idle).
+        utility: Net utility earned by this class in this window.
+        utility_by_source: Exact per-source partial utility sums, sorted
+            by source label — the merge-safe state behind ``utility``.
+    """
+
+    qos_class: str
+    completed: int
+    violations: int
+    dropped: int
+    violation_rate: float
+    utility: float
+    utility_by_source: tuple[tuple[str, float], ...] = ()
+
+
+@dataclass(frozen=True)
+class QoSSummary:
+    """One QoS class's totals over a whole replay (see QoSWindowStats)."""
+
+    qos_class: str
+    completed: int
+    violations: int
+    dropped: int
+    violation_rate: float
+    utility: float
+
+
+@dataclass(frozen=True)
 class WindowStats:
     """One replay window's aggregate behaviour.
 
@@ -147,6 +195,9 @@ class WindowStats:
             :meth:`WindowedSummary.merge` lossless.
         gb_seconds_by_source: Exact per-source partial sums of
             provisioned GB-seconds, sorted by source label.
+        qos: Per-class deadline-violation/utility/drop series for this
+            window (:class:`QoSWindowStats`, sorted by class name); empty
+            when the replay carried no QoS tags.
     """
 
     index: int
@@ -166,6 +217,7 @@ class WindowStats:
     queue_histogram: tuple[int, ...] = (0,) * _HIST_BUCKETS
     queue_sum_ms_by_source: tuple[tuple[str, float], ...] = ()
     gb_seconds_by_source: tuple[tuple[str, float], ...] = ()
+    qos: tuple[QoSWindowStats, ...] = ()
 
 
 @dataclass(frozen=True)
@@ -188,6 +240,11 @@ class WindowedSummary:
     gb_seconds: float
     cost: CostSummary
     pricing: PricingModel = field(default=DEFAULT_PRICING)
+    #: Per-class run totals (sorted by class name; empty without QoS tags).
+    qos: tuple[QoSSummary, ...] = ()
+    #: Net utility over the whole run (sum of the per-class totals in
+    #: sorted-class order — deterministic, hence merge-stable).
+    utility: float = 0.0
 
     def series(self, field: str) -> list[float]:
         """One metric as a time series, e.g. ``series("cold_start_rate")``."""
@@ -242,6 +299,15 @@ class WindowedSummary:
                 window.queue.total += sum(stats.queue_histogram)
                 _merge_sums(window.queue_sums, stats.queue_sum_ms_by_source)
                 _merge_sums(window.gb_sums, stats.gb_seconds_by_source)
+                for qos in stats.qos:
+                    counters = window.qos_counts.get(qos.qos_class)
+                    if counters is None:
+                        counters = window.qos_counts[qos.qos_class] = [0, 0, 0]
+                    counters[0] += qos.completed
+                    counters[1] += qos.violations
+                    counters[2] += qos.dropped
+                    sums = window.qos_sums.setdefault(qos.qos_class, {})
+                    _merge_sums(sums, qos.utility_by_source)
         return _summarize(merged, first.window_s, first.pricing)
 
 
@@ -257,6 +323,8 @@ class _Window:
         "queue",
         "queue_sums",
         "gb_sums",
+        "qos_counts",
+        "qos_sums",
     )
 
     def __init__(self) -> None:
@@ -271,6 +339,13 @@ class _Window:
         #: accumulators over disjoint source sets merge losslessly.
         self.queue_sums: dict[str, float] = {}
         self.gb_sums: dict[str, float] = {}
+        #: Per-QoS-class integer counters ``[completed, violations,
+        #: dropped]`` — integers merge by addition, so these need no
+        #: per-source split.
+        self.qos_counts: dict[str, list[int]] = {}
+        #: Per-QoS-class, per-source exact utility sums (same merge
+        #: discipline as ``queue_sums``).
+        self.qos_sums: dict[str, dict[str, float]] = {}
 
 
 def _window_stats(
@@ -279,6 +354,19 @@ def _window_stats(
     """Derive one window's public stats from its accumulation state."""
     gb_seconds = _sum_by_source(window.gb_sums)
     queue_sum = _sum_by_source(window.queue_sums)
+    qos_classes = sorted(window.qos_counts.keys() | window.qos_sums.keys())
+    qos = tuple(
+        QoSWindowStats(
+            qos_class=name,
+            completed=(counters := window.qos_counts.get(name, [0, 0, 0]))[0],
+            violations=counters[1],
+            dropped=counters[2],
+            violation_rate=(counters[1] / counters[0] if counters[0] else 0.0),
+            utility=_sum_by_source(sums := window.qos_sums.get(name, {})),
+            utility_by_source=tuple(sorted(sums.items())),
+        )
+        for name in qos_classes
+    )
     return WindowStats(
         index=index,
         start_s=index * window_s,
@@ -299,6 +387,7 @@ def _window_stats(
         queue_histogram=tuple(window.queue.counts),
         queue_sum_ms_by_source=tuple(sorted(window.queue_sums.items())),
         gb_seconds_by_source=tuple(sorted(window.gb_sums.items())),
+        qos=qos,
     )
 
 
@@ -315,6 +404,35 @@ def _summarize(
     cold = sum(w.cold_starts for w in stats)
     gb_seconds = sum(w.gb_seconds for w in stats)
     boots = sum(w.boots for w in stats)
+    # Per-class run totals: integer counts add; the float utility sums
+    # window-by-window in index order (each window's value is itself the
+    # canonical per-source combination), so finalize() and merge() agree
+    # bit for bit.
+    by_class: dict[str, list] = {}
+    for window in stats:
+        for qos in window.qos:
+            totals = by_class.get(qos.qos_class)
+            if totals is None:
+                totals = by_class[qos.qos_class] = [0, 0, 0, 0.0]
+            totals[0] += qos.completed
+            totals[1] += qos.violations
+            totals[2] += qos.dropped
+            totals[3] += qos.utility
+    qos_totals = tuple(
+        QoSSummary(
+            qos_class=name,
+            completed=by_class[name][0],
+            violations=by_class[name][1],
+            dropped=by_class[name][2],
+            violation_rate=(
+                by_class[name][1] / by_class[name][0]
+                if by_class[name][0]
+                else 0.0
+            ),
+            utility=by_class[name][3],
+        )
+        for name in sorted(by_class)
+    )
     return WindowedSummary(
         window_s=window_s,
         windows=tuple(stats),
@@ -326,6 +444,8 @@ def _summarize(
         gb_seconds=gb_seconds,
         cost=CostSummary.from_usage(gb_seconds, completed, boots, pricing),
         pricing=pricing,
+        qos=qos_totals,
+        utility=sum(entry.utility for entry in qos_totals),
     )
 
 
@@ -375,12 +495,23 @@ class WindowAccumulator:
         self._window(at_s).arrivals += 1
 
     def observe_completion(
-        self, arrival_s: float, cold: bool, queue_ms: float, source: str = ""
+        self,
+        arrival_s: float,
+        cold: bool,
+        queue_ms: float,
+        source: str = "",
+        qos: str | None = None,
+        violated: bool = False,
+        utility: float = 0.0,
     ) -> None:
         """One request finished; attributed to its *arrival* window.
 
         ``source`` labels the float contribution (the platforms pass the
-        application name) so per-shard accumulators merge exactly.
+        application name) so per-shard accumulators merge exactly.  When
+        the request carried a QoS class, ``qos``/``violated``/``utility``
+        feed the per-class series — the *producer* (the cluster event
+        loop, which knows the class spec and the end-to-end latency)
+        evaluates the deadline; the accumulator only tallies.
         """
         window = self._window(arrival_s)
         window.completed += 1
@@ -392,10 +523,43 @@ class WindowAccumulator:
             sums[source] += queue_ms
         else:
             sums[source] = queue_ms
+        if qos is not None:
+            counters = window.qos_counts.get(qos)
+            if counters is None:
+                counters = window.qos_counts[qos] = [0, 0, 0]
+            counters[0] += 1
+            if violated:
+                counters[1] += 1
+            qsums = window.qos_sums.setdefault(qos, {})
+            if source in qsums:
+                qsums[source] += utility
+            else:
+                qsums[source] = utility
 
-    def observe_shed(self, at_s: float) -> None:
-        """One request was rejected by a bounded queue at ``at_s``."""
-        self._window(at_s).shed += 1
+    def observe_shed(
+        self,
+        at_s: float,
+        source: str = "",
+        qos: str | None = None,
+        penalty: float = 0.0,
+    ) -> None:
+        """One request was rejected (bounded queue) or dropped (routing).
+
+        ``penalty`` is the QoS class's drop penalty, charged as negative
+        utility against ``source``'s per-class sum.
+        """
+        window = self._window(at_s)
+        window.shed += 1
+        if qos is not None:
+            counters = window.qos_counts.get(qos)
+            if counters is None:
+                counters = window.qos_counts[qos] = [0, 0, 0]
+            counters[2] += 1
+            qsums = window.qos_sums.setdefault(qos, {})
+            if source in qsums:
+                qsums[source] -= penalty
+            else:
+                qsums[source] = -penalty
 
     def observe_provision(
         self, start_s: float, end_s: float, memory_mb: float, source: str = ""

@@ -27,6 +27,11 @@ or :class:`~repro.faas.region.RegionFederation` at bounded memory:
   proportion to configured weights), or an explicit map — producing the
   ``(at, app, entry, origin)`` stream the federation's streaming path
   consumes.
+* **QoS assignment** (:func:`assign_qos`): tags each event with a QoS
+  class name drawn in proportion to the classes' arrival weights, with
+  one seeded RNG per app so the tagging is shard-exact.  Applied before
+  :func:`assign_regions`, so a fully tagged stream reads
+  ``(at, app, entry, origin, qos)``.
 Deploying the trace's synthetic apps onto a platform is the job of
 :mod:`repro.faas.replaydeploy` (``trace_app_config`` / ``deploy_trace``
 / ``expose_trace``) — this module stays below the ``faas`` layer and
@@ -46,6 +51,7 @@ from typing import Iterable, Iterator, Mapping, Protocol, runtime_checkable
 
 from repro.common.errors import WorkloadError
 from repro.common.rng import SeededRNG, derive_seed
+from repro.metrics import QoSClass
 from repro.workloads.trace import ProductionTrace
 
 #: One compiled arrival: ``(arrival_s, app, entry)``.
@@ -373,10 +379,59 @@ def assign_regions(
 
     The per-app assignment is memoized, so the assigner is consulted once
     per app — O(apps) state on top of the stream's own bounded buffer.
+    The origin is *inserted* at index 3; trailing fields (e.g. the QoS
+    class added by :func:`assign_qos` — apply it *before* this one) shift
+    right, producing the ``(at, app, entry, origin, qos)`` shape the
+    federation's streaming path consumes.
     """
     homes: dict[str, str] = {}
-    for at, app, entry in stream:
+    for item in stream:
+        app = item[1]
         home = homes.get(app)
         if home is None:
             home = homes[app] = assigner.region_for(app)
-        yield at, app, entry, home
+        yield (item[0], app, item[2], home, *item[3:])
+
+
+# -- QoS assignment ----------------------------------------------------------
+
+
+def assign_qos(
+    stream: Iterable[ReplayEvent],
+    classes: Iterable[QoSClass],
+    seed: int = 0,
+) -> Iterator[tuple]:
+    """Tag each replay event with a QoS class name (lazily, seeded).
+
+    ``classes`` are :class:`repro.metrics.QoSClass` specs; each arrival
+    draws a class in proportion to the classes' ``arrival_weight``.  The
+    draw uses one RNG per *app* (``derive_seed(seed, "qos", app)``),
+    consumed in that app's arrival order — an order preserved by app-hash
+    sharding (:mod:`repro.workloads.shard`), so a sharded replay assigns
+    every request the same class the unsharded replay would.  Yields
+    ``(at, app, entry, qos_name)``; apply *before* :func:`assign_regions`
+    when combining with a multi-region replay.
+    """
+    specs = tuple(classes)
+    if not specs:
+        raise WorkloadError("assign_qos needs at least one QoS class")
+    names = [spec.name for spec in specs]
+    weights = [spec.arrival_weight for spec in specs]
+    total = sum(weights)
+    cumulative: list[float] = []
+    running = 0.0
+    for weight in weights:
+        running += weight
+        cumulative.append(running)
+    rngs: dict[str, SeededRNG] = {}
+    for at, app, entry in stream:
+        rng = rngs.get(app)
+        if rng is None:
+            rng = rngs[app] = SeededRNG(derive_seed(seed, "qos", app))
+        draw = rng.random() * total
+        for index, bound in enumerate(cumulative):
+            if draw < bound:
+                yield (at, app, entry, names[index])
+                break
+        else:  # float-edge: draw == total
+            yield (at, app, entry, names[-1])

@@ -45,8 +45,8 @@ from repro.common.rng import derive_seed
 from repro.faas.cluster import ClusterPlatform, FleetConfig
 from repro.faas.replaydeploy import deploy_trace
 from repro.faas.sim import SimPlatformConfig
-from repro.metrics import PricingModel, WindowAccumulator, WindowedSummary
-from repro.workloads.replay import ArrivalModel, compile_trace
+from repro.metrics import PricingModel, QoSClass, WindowAccumulator, WindowedSummary
+from repro.workloads.replay import ArrivalModel, assign_qos, compile_trace
 from repro.workloads.trace import ProductionTrace
 
 
@@ -97,6 +97,11 @@ class ShardReplaySpec:
         exec_ms: Trace-app handler self-time
             (see :func:`repro.faas.replaydeploy.trace_app_config`).
         base_memory_mb: Trace-app container footprint.
+        qos: QoS classes to tag arrivals with
+            (:func:`~repro.workloads.replay.assign_qos`); ``None`` leaves
+            the stream untagged.  Tagging is per-app-seeded, so it is
+            partition-independent and the merge stays bit-identical.
+        qos_seed: Seed for the per-app QoS assignment draws.
     """
 
     platform: SimPlatformConfig = SimPlatformConfig(record_traces=False)
@@ -110,6 +115,8 @@ class ShardReplaySpec:
     pricing: PricingModel | None = None
     exec_ms: float = 2.0
     base_memory_mb: float = 96.0
+    qos: tuple[QoSClass, ...] | None = None
+    qos_seed: int = 0
 
 
 def replay_shard(spec: ShardReplaySpec, trace: ProductionTrace) -> WindowedSummary:
@@ -120,7 +127,7 @@ def replay_shard(spec: ShardReplaySpec, trace: ProductionTrace) -> WindowedSumma
     Flushes provisioned tails at natural expiry (see module docstring).
     """
     platform = ClusterPlatform(
-        config=spec.platform, fleet=spec.fleet, seed=spec.seed
+        config=spec.platform, fleet=spec.fleet, seed=spec.seed, qos=spec.qos
     )
     deploy_trace(
         platform, trace, exec_ms=spec.exec_ms, base_memory_mb=spec.base_memory_mb
@@ -132,6 +139,8 @@ def replay_shard(spec: ShardReplaySpec, trace: ProductionTrace) -> WindowedSumma
         start_s=spec.start_s,
         scale=spec.scale,
     )
+    if spec.qos is not None:
+        stream = assign_qos(stream, spec.qos, seed=spec.qos_seed)
     accumulator = WindowAccumulator(window_s=spec.window_s, pricing=spec.pricing)
     return platform.run_stream(stream, accumulator, flush_at=math.inf)
 

@@ -1,0 +1,542 @@
+"""QoS classes end to end: spec validation, trace tagging, deadline
+accounting in the cluster loop, and optimizer-driven offload routing.
+
+The wire format everywhere is the class *name*; each consumer resolves it
+against its configured registry.  These tests pin
+
+* the :class:`~repro.metrics.qos.QoSClass` spec and ``--qos-mix`` parser,
+* :func:`~repro.workloads.replay.assign_qos` determinism and per-app
+  independence (the property the sharded engine's exactness rests on),
+* the cluster's completion-time deadline evaluation and shed penalties,
+* :class:`~repro.faas.region.ProbabilisticOffloadPolicy`'s greedy-exact
+  LP re-solve and the federation's :data:`~repro.faas.region.DROP`
+  accounting,
+* the edge/cloud two-tier topology builder, and
+* the bit-identical-default guarantee: a single default class changes no
+  non-QoS metric.
+"""
+
+import math
+
+import pytest
+
+from repro.common.errors import SpecError
+from repro.faas.cluster import ClusterPlatform, FleetConfig
+from repro.faas.gateway import Gateway
+from repro.faas.region import (
+    DROP,
+    ProbabilisticOffloadPolicy,
+    RegionFederation,
+    RegionSpec,
+    RegionState,
+    RegionTopology,
+    RoutingPolicy,
+    make_policy,
+)
+from repro.faas.sim import EntryBehavior, SimAppConfig, SimPlatformConfig
+from repro.metrics import (
+    DEFAULT_QOS_CLASS,
+    QOS_PRESETS,
+    QoSClass,
+    WindowAccumulator,
+    parse_qos_mix,
+    qos_registry,
+)
+from repro.workloads.replay import assign_qos, as_paths, compile_trace
+from repro.workloads.trace import TraceGenerator
+
+
+class TestQoSClassSpec:
+    def test_defaults_are_benign(self):
+        cls = QoSClass(name="x")
+        assert cls.utility == 1.0
+        assert cls.deadline_ms == math.inf
+        assert cls.deadline_penalty == 0.0
+        assert cls.drop_penalty == 0.0
+
+    def test_completion_value_semantics(self):
+        cls = QoSClass(name="x", utility=4.0, deadline_ms=100.0,
+                       deadline_penalty=2.0)
+        assert cls.completion_value(99.0) == (False, 4.0)
+        assert cls.completion_value(100.0) == (False, 4.0)  # inclusive
+        assert cls.completion_value(100.1) == (True, -2.0)
+
+    def test_default_class_never_violates(self):
+        assert DEFAULT_QOS_CLASS.completion_value(1e12) == (False, 1.0)
+
+    @pytest.mark.parametrize("kwargs", [
+        {"name": ""},
+        {"name": "x", "deadline_ms": 0.0},
+        {"name": "x", "deadline_ms": -5.0},
+        {"name": "x", "deadline_penalty": -1.0},
+        {"name": "x", "drop_penalty": -0.5},
+        {"name": "x", "arrival_weight": 0.0},
+        {"name": "x", "arrival_weight": -2.0},
+    ])
+    def test_invalid_specs_rejected(self, kwargs):
+        with pytest.raises(SpecError):
+            QoSClass(**kwargs)
+
+    def test_registry_rejects_duplicates_and_non_classes(self):
+        with pytest.raises(SpecError):
+            qos_registry([QoSClass("a"), QoSClass("a")])
+        with pytest.raises(SpecError):
+            qos_registry(["a"])
+        with pytest.raises(SpecError):
+            qos_registry([])
+
+
+class TestParseQosMix:
+    def test_parses_presets_with_weights(self):
+        mix = parse_qos_mix("critical=1,standard=5,batch=4")
+        assert [cls.name for cls in mix] == ["critical", "standard", "batch"]
+        assert [cls.arrival_weight for cls in mix] == [1.0, 5.0, 4.0]
+        # Non-weight preset fields survive the override.
+        assert mix[0].deadline_ms == QOS_PRESETS["critical"].deadline_ms
+
+    def test_bare_name_keeps_preset_weight(self):
+        (only,) = parse_qos_mix("critical")
+        assert only.arrival_weight == QOS_PRESETS["critical"].arrival_weight
+
+    @pytest.mark.parametrize("text", ["gold=1", "critical=fast", "", ",,",
+                                      "critical=1,critical=2"])
+    def test_malformed_mixes_rejected(self, text):
+        with pytest.raises(SpecError):
+            parse_qos_mix(text)
+
+
+TRACE = TraceGenerator(
+    app_count=6, duration_hours=24.0, window_hours=12.0,
+    mean_requests_per_window=120.0, seed=5,
+).generate()
+MIX = parse_qos_mix("critical=1,standard=5,batch=4")
+
+
+class TestAssignQoS:
+    def compiled(self):
+        return compile_trace(TRACE, seed=3, scale=0.3)
+
+    def test_appends_class_name_preserving_prefix(self):
+        plain = list(self.compiled())
+        tagged = list(assign_qos(self.compiled(), MIX, seed=11))
+        assert [item[:3] for item in tagged] == plain
+        names = {item[3] for item in tagged}
+        assert names <= {"critical", "standard", "batch"}
+        assert len(names) > 1  # the mix actually mixes
+
+    def test_deterministic_under_seed(self):
+        first = list(assign_qos(self.compiled(), MIX, seed=11))
+        second = list(assign_qos(self.compiled(), MIX, seed=11))
+        assert first == second
+        other = list(assign_qos(self.compiled(), MIX, seed=12))
+        assert first != other
+
+    def test_tagging_is_per_app_independent(self):
+        # The shard-exactness keystone: each app's class draws depend only
+        # on that app's own arrival order, so filtering other apps out of
+        # the stream never changes an app's tags.
+        full = [
+            item for item in assign_qos(self.compiled(), MIX, seed=11)
+            if item[1] == TRACE.apps[0].name
+        ]
+        alone = [
+            item for item in assign_qos(
+                (i for i in self.compiled() if i[1] == TRACE.apps[0].name),
+                MIX, seed=11,
+            )
+        ]
+        assert full == alone
+
+    def test_weights_shape_the_mix(self):
+        tagged = list(assign_qos(self.compiled(), MIX, seed=11))
+        counts = {name: 0 for name in ("critical", "standard", "batch")}
+        for item in tagged:
+            counts[item[3]] += 1
+        # weights 1:5:4 over ~hundreds of draws — order must hold.
+        assert counts["standard"] > counts["batch"] > counts["critical"]
+
+    def test_rejects_empty_class_list(self):
+        from repro.common.errors import WorkloadError
+
+        with pytest.raises(WorkloadError):
+            list(assign_qos(self.compiled(), (), seed=1))
+
+
+def qos_app(name="app") -> SimAppConfig:
+    from tests.conftest import make_small_library
+    from repro.synthlib.spec import Ecosystem
+
+    eco = Ecosystem([make_small_library()])
+    eco.validate()
+    return SimAppConfig(
+        name=name,
+        ecosystem=eco,
+        handler_imports=("libx",),
+        entries=(EntryBehavior("main", handler_self_ms=50.0),),
+    )
+
+
+def qos_platform(qos, **fleet_kwargs) -> ClusterPlatform:
+    platform = ClusterPlatform(
+        config=SimPlatformConfig(
+            cold_platform_ms=100.0, runtime_init_ms=30.0, warm_platform_ms=1.0,
+            jitter_sigma=0.0,
+        ),
+        fleet=FleetConfig(**fleet_kwargs),
+        qos=qos,
+    )
+    platform.deploy(qos_app())
+    return platform
+
+
+class TestClusterDeadlineAccounting:
+    TIGHT = QoSClass(name="tight", utility=4.0, deadline_ms=60.0,
+                     deadline_penalty=2.0, drop_penalty=3.0)
+    LOOSE = QoSClass(name="loose", utility=0.5, drop_penalty=0.05)
+
+    def test_unknown_class_rejected_at_submit(self):
+        platform = qos_platform((self.TIGHT,))
+        with pytest.raises(SpecError):
+            platform.submit("app", "main", at=0.0, qos="ghost")
+
+    def test_cold_start_blows_tight_deadline_warm_meets_it(self):
+        # Cold path: ~230 ms init + 50 ms handler >> 60 ms deadline.
+        # Warm path: ~51 ms e2e <= 60 ms.  Requests are spaced so the
+        # second hits the warm container.
+        platform = qos_platform((self.TIGHT, self.LOOSE))
+        summary = platform.run_stream(
+            [(0.0, "app", "main", "tight"), (10.0, "app", "main", "tight")],
+            WindowAccumulator(window_s=60.0),
+        )
+        (tight,) = [entry for entry in summary.qos if entry.qos_class == "tight"]
+        assert tight.completed == 2
+        assert tight.violations == 1
+        assert tight.utility == pytest.approx(4.0 - 2.0)
+        assert summary.utility == pytest.approx(2.0)
+
+    def test_wire_ms_counts_toward_the_deadline(self):
+        # The deadline is end-to-end: forwarding wire time spent before a
+        # region's cluster sees the request counts against it.  A
+        # single-region topology with an explicit self-latency makes every
+        # delivery pay 30 ms of wire; the warm request's ~51 ms service
+        # then lands past the 60 ms deadline, where a zero-wire federation
+        # meets it.
+        def violations(self_latency_ms):
+            topology = RegionTopology(
+                ["us"], latency_ms={("us", "us"): self_latency_ms}
+            )
+            federation = RegionFederation(
+                topology,
+                platform=SimPlatformConfig(
+                    cold_platform_ms=100.0, runtime_init_ms=30.0,
+                    warm_platform_ms=1.0, jitter_sigma=0.0,
+                ),
+                fleet=FleetConfig(max_containers=2),
+                qos=(self.TIGHT,),
+            )
+            federation.deploy(qos_app())
+            summary = federation.run_stream(
+                [
+                    (0.0, "app", "main", "us", "tight"),
+                    (10.0, "app", "main", "us", "tight"),
+                ],
+                WindowAccumulator(window_s=60.0),
+            )
+            (tight,) = summary.qos
+            return tight.violations
+
+        assert violations(0.0) == 1  # only the cold first request is late
+        assert violations(30.0) == 2  # wire time pushes the warm one over
+
+    def test_shed_charges_the_drop_penalty(self):
+        platform = qos_platform(
+            (self.TIGHT, self.LOOSE), max_containers=1, queue_capacity=0
+        )
+        summary = platform.run_stream(
+            [
+                (0.0, "app", "main", "loose"),
+                (0.001, "app", "main", "loose"),  # container busy -> shed
+            ],
+            WindowAccumulator(window_s=60.0),
+        )
+        (loose,) = [entry for entry in summary.qos if entry.qos_class == "loose"]
+        assert loose.completed == 1
+        assert loose.dropped == 1
+        assert loose.utility == pytest.approx(0.5 - 0.05)
+        assert summary.shed == 1
+
+    def test_untagged_arrivals_keep_qos_series_empty(self):
+        platform = qos_platform((self.TIGHT,))
+        summary = platform.run_stream(
+            [(0.0, "app", "main"), (10.0, "app", "main")],
+            WindowAccumulator(window_s=60.0),
+        )
+        assert summary.qos == ()
+        assert summary.utility == 0.0
+
+
+def states(*triples):
+    """Shorthand: (name, accepts, latency_ms[, capacity]) -> RegionState."""
+    return [
+        RegionState(
+            name=name,
+            load=0,
+            accepts=accepts,
+            latency_ms=latency,
+            capacity=rest[0] if rest else math.inf,
+        )
+        for name, accepts, latency, *rest in triples
+    ]
+
+
+class TestProbabilisticOffloadPolicy:
+    def test_constructor_validation(self):
+        with pytest.raises(SpecError):
+            ProbabilisticOffloadPolicy(update_interval_s=0.0)
+        with pytest.raises(SpecError):
+            ProbabilisticOffloadPolicy(arrival_alpha=0.0)
+        with pytest.raises(SpecError):
+            ProbabilisticOffloadPolicy(service_ms_estimate=-1.0)
+        with pytest.raises(SpecError):
+            ProbabilisticOffloadPolicy(deadline_slack=1.5)
+
+    def test_healthy_local_region_is_kept(self):
+        policy = ProbabilisticOffloadPolicy(qos_classes=MIX, seed=1)
+        regions = states(("us", True, 0.0), ("eu", True, 80.0))
+        for i in range(50):
+            assert policy.choose("us", regions, at=float(i), qos="standard") == "us"
+
+    def test_saturated_local_offloads_within_deadline_budget(self):
+        # Local rejects; offloading earns utility minus a small wire
+        # discount, which beats both a certain deadline violation and the
+        # drop penalty -> the whole class shifts to the offload arm.
+        policy = ProbabilisticOffloadPolicy(qos_classes=MIX, seed=1)
+        regions = states(("us", False, 0.0, 0.0), ("eu", True, 80.0))
+        for i in range(50):
+            assert policy.choose("us", regions, at=float(i), qos="critical") == "eu"
+
+    def test_drop_wins_when_cheaper_than_violation(self):
+        # No offload target exists; completing late costs 5, dropping
+        # costs 0.1 -> the LP sends the class to the drop arm.
+        cheap_drop = QoSClass(name="cheap", utility=1.0, deadline_ms=100.0,
+                              deadline_penalty=5.0, drop_penalty=0.1)
+        policy = ProbabilisticOffloadPolicy(qos_classes=(cheap_drop,), seed=1)
+        regions = states(("us", False, 0.0, 0.0))
+        for i in range(20):
+            assert policy.choose("us", regions, at=float(i), qos="cheap") == DROP
+
+    def test_allow_drop_false_never_drops(self):
+        cheap_drop = QoSClass(name="cheap", utility=1.0, deadline_ms=100.0,
+                              deadline_penalty=5.0, drop_penalty=0.1)
+        policy = ProbabilisticOffloadPolicy(
+            qos_classes=(cheap_drop,), seed=1, allow_drop=False
+        )
+        regions = states(("us", False, 0.0, 0.0))
+        for i in range(20):
+            assert policy.choose("us", regions, at=float(i), qos="cheap") == "us"
+
+    def test_unregistered_class_falls_back_to_default(self):
+        policy = ProbabilisticOffloadPolicy(seed=1)  # default registry
+        regions = states(("us", True, 0.0))
+        assert policy.choose("us", regions, at=0.0, qos="exotic") == "us"
+        assert policy.choose("us", regions, at=0.0, qos=None) == "us"
+
+    def test_interval_close_folds_rates_as_ewma(self):
+        policy = ProbabilisticOffloadPolicy(
+            qos_classes=(DEFAULT_QOS_CLASS,), seed=1,
+            update_interval_s=10.0, arrival_alpha=0.5,
+        )
+        regions = states(("us", True, 0.0))
+        for i in range(20):  # 20 arrivals over [0, 10) -> 2 req/s
+            policy.choose("us", regions, at=i * 0.5, qos="standard")
+        policy.choose("us", regions, at=10.0, qos="standard")  # closes interval
+        assert policy._rates["standard"] == pytest.approx(2.0)
+        # Second interval has just the one arrival (0.1 req/s): EWMA halves.
+        policy.choose("us", regions, at=20.0, qos="standard")
+        assert policy._rates["standard"] == pytest.approx(0.5 * 0.1 + 0.5 * 2.0)
+
+    def test_fractional_fill_splits_the_marginal_class(self):
+        # Learned rate 2 req/s against capacity for 1 req/s -> p_local 0.5,
+        # the remainder taking the offload arm.
+        policy = ProbabilisticOffloadPolicy(
+            qos_classes=(DEFAULT_QOS_CLASS,), seed=1,
+            update_interval_s=10.0, service_ms_estimate=1000.0,
+        )
+        warm = states(("us", True, 0.0), ("eu", True, 20.0))
+        for i in range(20):
+            policy.choose("us", warm, at=i * 0.5, qos="standard")
+        tight = states(("us", True, 0.0, 1.0), ("eu", True, 20.0))
+        policy.choose("us", tight, at=10.0, qos="standard")  # triggers re-solve
+        p_local, p_offload, p_drop = policy._mix["us"]["standard"]
+        assert p_local == pytest.approx(0.5)
+        assert p_offload == pytest.approx(0.5)
+        assert p_drop == 0.0
+
+    def test_choices_are_deterministic_under_seed(self):
+        def run(seed):
+            policy = ProbabilisticOffloadPolicy(
+                qos_classes=(DEFAULT_QOS_CLASS,), seed=seed,
+                update_interval_s=10.0, service_ms_estimate=1000.0,
+            )
+            out = []
+            for i in range(40):
+                regions = states(("us", True, 0.0, 0.5), ("eu", True, 20.0))
+                out.append(policy.choose("us", regions, at=i * 0.5,
+                                         qos="standard"))
+            return out
+
+        assert run(7) == run(7)
+
+    def test_make_policy_builds_probabilistic(self):
+        policy = make_policy("probabilistic", qos_classes=MIX, seed=3)
+        assert isinstance(policy, ProbabilisticOffloadPolicy)
+        assert set(policy._registry) == {"critical", "standard", "batch"}
+
+
+class AlwaysDrop(RoutingPolicy):
+    """Test double: a policy that discards everything."""
+
+    name = "always-drop"
+
+    def choose(self, origin, states, at=0.0, qos=None):
+        return DROP
+
+
+class TestFederationDropAccounting:
+    def make_federation(self, policy, qos=MIX):
+        topology = RegionTopology.fully_connected(["us", "eu"], default_ms=40.0)
+        federation = RegionFederation(
+            topology,
+            policy=policy,
+            platform=SimPlatformConfig(
+                cold_platform_ms=100.0, runtime_init_ms=30.0,
+                warm_platform_ms=1.0, jitter_sigma=0.0,
+            ),
+            fleet=FleetConfig(max_containers=2),
+            qos=qos,
+        )
+        federation.deploy(qos_app())
+        return federation
+
+    def test_submit_returns_drop_and_counts_it(self):
+        federation = self.make_federation(AlwaysDrop())
+        assert federation.submit("app", "main", at=0.0, qos="batch") == DROP
+        assert federation.dropped_counts("app") == {"app": 1}
+        assert federation.assignments == []  # nothing was routed
+
+    def test_unknown_qos_rejected(self):
+        federation = self.make_federation(AlwaysDrop())
+        with pytest.raises(SpecError):
+            federation.submit("app", "main", at=0.0, qos="ghost")
+
+    def test_streaming_drop_charges_the_class_penalty(self):
+        federation = self.make_federation(AlwaysDrop())
+        summary = federation.run_stream(
+            [
+                (0.0, "app", "main", "us", "critical"),
+                (1.0, "app", "main", "us", "batch"),
+            ],
+            WindowAccumulator(window_s=60.0),
+        )
+        assert summary.shed == 2
+        by_class = {entry.qos_class: entry for entry in summary.qos}
+        assert by_class["critical"].dropped == 1
+        assert by_class["critical"].utility == pytest.approx(-4.0)
+        assert by_class["batch"].utility == pytest.approx(-0.05)
+        assert summary.utility == pytest.approx(-4.05)
+
+    def test_probabilistic_end_to_end_serves_and_accounts(self):
+        federation = self.make_federation(
+            ProbabilisticOffloadPolicy(qos_classes=MIX, seed=3)
+        )
+        stream = assign_qos(compile_trace(TRACE, seed=3, scale=0.1), MIX, seed=9)
+        # Trace apps are not deployed here; use the fixture app's stream.
+        arrivals = [
+            (at, "app", "main", "us", qos)
+            for at, _, _, qos in list(stream)[:60]
+        ]
+        summary = federation.run_stream(arrivals, WindowAccumulator(window_s=3600.0))
+        assert summary.completed + summary.shed == summary.arrivals == 60
+        assert summary.qos  # per-class series present
+
+
+class TestEdgeCloudTopology:
+    def test_tiers_and_latencies(self):
+        topology = RegionTopology.edge_cloud(
+            edge=["berlin", "lyon"], cloud=["eu-central"], uplink_ms=40.0,
+        )
+        assert topology.spec("berlin").tier == "edge"
+        assert topology.spec("eu-central").tier == "cloud"
+        assert topology.latency_ms("berlin", "eu-central") == 40.0
+        assert topology.latency_ms("berlin", "lyon") == 80.0  # via the cloud
+        assert topology.latency_ms("berlin", "berlin") == 0.0
+
+    def test_explicit_inter_edge_latency(self):
+        topology = RegionTopology.edge_cloud(
+            edge=["a", "b"], cloud=["c"], uplink_ms=40.0, inter_edge_ms=15.0,
+        )
+        assert topology.latency_ms("a", "b") == 15.0
+
+    def test_cloud_mesh_latency(self):
+        topology = RegionTopology.edge_cloud(
+            edge=["a"], cloud=["c1", "c2"], inter_cloud_ms=10.0,
+        )
+        assert topology.latency_ms("c1", "c2") == 10.0
+
+    def test_specs_are_retagged_not_trusted(self):
+        spec = RegionSpec("site", tier="cloud")
+        topology = RegionTopology.edge_cloud(edge=[spec], cloud=["c"])
+        assert topology.spec("site").tier == "edge"
+
+    def test_both_tiers_required(self):
+        with pytest.raises(SpecError):
+            RegionTopology.edge_cloud(edge=[], cloud=["c"])
+        with pytest.raises(SpecError):
+            RegionTopology.edge_cloud(edge=["e"], cloud=[])
+
+    def test_rejects_unknown_tier_on_spec(self):
+        with pytest.raises(SpecError):
+            RegionSpec("x", tier="orbital")
+
+
+class TestDefaultClassEquivalence:
+    def test_single_default_class_changes_no_base_metric(self):
+        def replay(tagged):
+            platform = ClusterPlatform(
+                config=SimPlatformConfig(record_traces=False),
+                fleet=FleetConfig(max_containers=3),
+                seed=13,
+                qos=(DEFAULT_QOS_CLASS,) if tagged else None,
+            )
+            from repro.faas.replaydeploy import deploy_trace, expose_trace
+
+            deploy_trace(platform, TRACE)
+            gateway = Gateway(platform)
+            expose_trace(gateway, TRACE)
+            stream = compile_trace(TRACE, seed=3, scale=0.3)
+            if tagged:
+                stream = assign_qos(stream, (DEFAULT_QOS_CLASS,), seed=11)
+            return gateway.submit_stream(
+                as_paths(stream), WindowAccumulator(window_s=3600.0)
+            )
+
+        plain = replay(tagged=False)
+        tagged = replay(tagged=True)
+        assert tagged.arrivals == plain.arrivals
+        assert tagged.completed == plain.completed
+        assert tagged.shed == plain.shed
+        assert tagged.cold_starts == plain.cold_starts
+        assert tagged.gb_seconds == plain.gb_seconds  # bit-identical floats
+        assert tagged.cost == plain.cost
+        for got, want in zip(tagged.windows, plain.windows):
+            assert got.queue_histogram == want.queue_histogram
+            assert got.queue_sum_ms_by_source == want.queue_sum_ms_by_source
+            assert got.gb_seconds_by_source == want.gb_seconds_by_source
+        # The only difference: the per-class series now exists, earning
+        # the default class's unit utility per completion.
+        assert plain.qos == ()
+        (standard,) = tagged.qos
+        assert standard.qos_class == "standard"
+        assert standard.completed == tagged.completed
+        assert standard.violations == 0
+        assert tagged.utility == pytest.approx(float(tagged.completed))

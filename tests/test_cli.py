@@ -126,12 +126,16 @@ class TestCommands:
             ["regions", "--app", "R-GB", "--regions", "us,eu,ap", "--rates", "4,1"]
         )
         assert code == 1
-        assert "--rates needs" in capsys.readouterr().out
+        captured = capsys.readouterr()
+        assert "--rates needs" in captured.err
+        assert captured.out == ""  # errors never pollute the report stream
 
     def test_regions_rejects_malformed_rates(self, capsys):
         code = main(["regions", "--app", "R-GB", "--rates", "4,x"])
         assert code == 1
-        assert "comma-separated numbers" in capsys.readouterr().out
+        captured = capsys.readouterr()
+        assert "comma-separated numbers" in captured.err
+        assert captured.out == ""
 
     def test_regions_rejects_unknown_policy(self):
         with pytest.raises(SystemExit):
@@ -318,7 +322,9 @@ class TestReplayCommand:
     def test_replay_rejects_malformed_shift_hours(self, capsys):
         code = main(["replay", "--shift-hours", "4,x"])
         assert code == 1
-        assert "comma-separated numbers" in capsys.readouterr().out
+        captured = capsys.readouterr()
+        assert "comma-separated numbers" in captured.err
+        assert captured.out == ""
 
     def test_replay_rejects_malformed_region_weights(self, capsys):
         code = main(
@@ -326,7 +332,9 @@ class TestReplayCommand:
              "--assignment", "popularity-weighted", "--region-weights", "1,x"]
         )
         assert code == 1
-        assert "region-weights" in capsys.readouterr().out
+        captured = capsys.readouterr()
+        assert "region-weights" in captured.err
+        assert captured.out == ""
 
     def test_replay_rejects_unknown_arrival_model(self):
         with pytest.raises(SystemExit):
@@ -338,7 +346,7 @@ class TestReplayCommand:
              "--requests-per-window", "0.0001", "--scale", "0.0001"]
         )
         assert code == 1
-        assert "zero arrivals" in capsys.readouterr().out
+        assert "zero arrivals" in capsys.readouterr().err
 
     def test_cluster_gained_shared_queue_capacity_flag(self, capsys):
         code = main(
@@ -356,7 +364,7 @@ class TestReplayCommand:
              "--assignment", "popularity-weighted", "--region-weights", "1,2,3"]
         )
         assert code == 1
-        assert "--region-weights invalid" in capsys.readouterr().out
+        assert "--region-weights invalid" in capsys.readouterr().err
 
     def test_replay_workers_is_bit_identical_to_default_totals(self, capsys):
         base = ["replay", "--apps", "4", "--duration-hours", "24",
@@ -414,8 +422,9 @@ class TestReplayCommand:
              "--checkpoint", str(path)]
         )
         assert code == 1
-        out = capsys.readouterr().out
-        assert "cannot resume" in out and "differently-configured" in out
+        captured = capsys.readouterr()
+        assert "cannot resume" in captured.err
+        assert "differently-configured" in captured.err
         assert path.exists()  # the stale checkpoint is left for the user
 
     def test_replay_workers_rejected_with_regions(self, capsys):
@@ -423,7 +432,7 @@ class TestReplayCommand:
             ["replay", "--apps", "2", "--regions", "us,eu", "--workers", "2"]
         )
         assert code == 1
-        assert "single-cluster" in capsys.readouterr().out
+        assert "single-cluster" in capsys.readouterr().err
 
     def test_replay_single_worker_with_checkpoint_really_checkpoints(
         self, capsys, tmp_path, monkeypatch
@@ -452,14 +461,93 @@ class TestReplayCommand:
         assert written and all(Path(p) == path for p in map(Path, written))
         assert not path.exists()  # cleaned up on success
 
-    def test_replay_checkpoint_rejected_with_many_workers(self, capsys):
+    def test_replay_checkpoint_rejected_with_many_workers(self, capsys, tmp_path):
+        # Satellite: the rejection names the tracked limitation, exits
+        # non-zero, and never leaves a partial checkpoint file behind.
+        path = tmp_path / "sharded.ckpt"
         code = main(
-            ["replay", "--apps", "2", "--workers", "2", "--checkpoint", "x.json"]
+            ["replay", "--apps", "2", "--workers", "2",
+             "--checkpoint", str(path)]
         )
         assert code == 1
-        assert "cannot be combined" in capsys.readouterr().out
+        captured = capsys.readouterr()
+        assert "tracked limitation" in captured.err
+        assert "--workers 1" in captured.err  # tells the user the way out
+        assert captured.out == ""
+        assert not path.exists()
 
     def test_replay_rejects_nonpositive_workers(self, capsys):
         code = main(["replay", "--apps", "2", "--workers", "0"])
         assert code == 1
-        assert "--workers must be at least 1" in capsys.readouterr().out
+        assert "--workers must be at least 1" in capsys.readouterr().err
+
+
+class TestQoSFlags:
+    BASE = ["replay", "--apps", "4", "--duration-hours", "24",
+            "--window-hours", "12", "--scale", "0.05", "--seed", "11"]
+
+    def test_parser_accepts_qos_mix_and_probabilistic_routing(self):
+        args = build_parser().parse_args(
+            self.BASE + ["--qos-mix", "critical=1,standard=5,batch=4",
+                         "--regions", "us,eu", "--routing", "probabilistic"]
+        )
+        assert args.qos_mix == "critical=1,standard=5,batch=4"
+        assert args.routing == "probabilistic"
+
+    def test_qos_mix_adds_per_class_report(self, capsys):
+        code = main(self.BASE + ["--qos-mix", "critical=1,standard=5,batch=4"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "qos mix  : critical=1, standard=5, batch=4" in out
+        for name in ("critical", "standard", "batch"):
+            assert name in out
+        assert "total utility" in out
+
+    def test_qos_report_absent_without_mix(self, capsys):
+        assert main(self.BASE) == 0
+        out = capsys.readouterr().out
+        assert "qos mix" not in out
+        assert "total utility" not in out
+
+    def test_qos_mix_is_deterministic_under_seed(self, capsys):
+        argv = self.BASE + ["--qos-mix", "critical=2,batch=1"]
+        assert main(argv) == 0
+        first = capsys.readouterr().out
+        assert main(argv) == 0
+        assert capsys.readouterr().out == first
+
+    def test_qos_mix_sharded_matches_plain_per_class_totals(self, capsys):
+        argv = self.BASE + ["--qos-mix", "critical=1,standard=5,batch=4"]
+        assert main(argv) == 0
+        plain = capsys.readouterr().out
+        assert main(argv + ["--workers", "2"]) == 0
+        sharded = capsys.readouterr().out
+
+        def qos_lines(out):
+            return [line for line in out.splitlines()
+                    if line.startswith(("critical", "standard", "batch"))]
+
+        assert qos_lines(sharded) == qos_lines(plain)
+
+    def test_rejects_unknown_qos_class(self, capsys):
+        code = main(self.BASE + ["--qos-mix", "platinum=1"])
+        assert code == 1
+        captured = capsys.readouterr()
+        assert "--qos-mix invalid" in captured.err
+        assert "platinum" in captured.err
+        assert captured.out == ""
+
+    def test_rejects_malformed_qos_weight(self, capsys):
+        code = main(self.BASE + ["--qos-mix", "critical=fast"])
+        assert code == 1
+        assert "must be a number" in capsys.readouterr().err
+
+    def test_qos_mix_federated_with_probabilistic_routing(self, capsys):
+        code = main(
+            self.BASE + ["--qos-mix", "critical=1,standard=5,batch=4",
+                         "--regions", "us,eu", "--routing", "probabilistic"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "routing  : probabilistic" in out
+        assert "total utility" in out

@@ -306,3 +306,132 @@ class TestWindowedMetrics:
         # A huge value clamps into the last bucket instead of overflowing.
         hist.observe(1e12)
         assert hist.quantile(1.0) > 1e6
+
+    def test_quantile_q0_is_first_nonempty_bucket(self):
+        # Regression: q=0 once returned bucket 0's floor value even when
+        # the smallest observation lived octaves higher — rank 0 was
+        # "satisfied" by the empty leading buckets.
+        from repro.metrics.windows import _LatencyHistogram
+
+        hist = _LatencyHistogram()
+        hist.observe(100.0)
+        hist.observe(5000.0)
+        minimum = hist.quantile(0.0)
+        assert minimum > 10.0  # far above the 0.1 ms floor bucket
+        assert 100.0 / 1.5 <= minimum <= 100.0 * 1.5  # half-octave accurate
+
+    def test_quantile_q0_equals_q1_for_single_observation(self):
+        from repro.metrics.windows import _LatencyHistogram
+
+        hist = _LatencyHistogram()
+        hist.observe(250.0)
+        assert hist.quantile(0.0) == hist.quantile(1.0)
+        assert 250.0 / 1.5 <= hist.quantile(0.0) <= 250.0 * 1.5
+
+    def test_quantile_q1_is_last_nonempty_bucket(self):
+        from repro.metrics.windows import _LatencyHistogram
+
+        hist = _LatencyHistogram()
+        hist.observe(1.0)
+        hist.observe(80.0)
+        maximum = hist.quantile(1.0)
+        assert 80.0 / 1.5 <= maximum <= 80.0 * 1.5
+
+    def test_quantile_q0_on_floor_bucket_stays_at_floor(self):
+        from repro.metrics.windows import _LatencyHistogram
+
+        hist = _LatencyHistogram()
+        hist.observe(0.05)  # below the 0.1 ms floor: bucket 0
+        assert hist.quantile(0.0) == pytest.approx(0.1)
+
+
+class TestQoSWindowAccounting:
+    def make_accumulator(self, window_s=60.0):
+        from repro.metrics import WindowAccumulator
+
+        return WindowAccumulator(window_s=window_s)
+
+    def test_untagged_replay_has_no_qos_series(self):
+        acc = self.make_accumulator()
+        acc.observe_arrival(1.0)
+        acc.observe_completion(1.0, cold=False, queue_ms=2.0, source="a")
+        summary = acc.finalize()
+        assert summary.qos == ()
+        assert summary.utility == 0.0
+        assert summary.windows[0].qos == ()
+
+    def test_completion_violation_and_drop_tally_per_class(self):
+        acc = self.make_accumulator()
+        acc.observe_arrival(1.0)
+        acc.observe_completion(1.0, cold=False, queue_ms=2.0, source="a",
+                               qos="critical", violated=False, utility=4.0)
+        acc.observe_arrival(2.0)
+        acc.observe_completion(2.0, cold=False, queue_ms=900.0, source="a",
+                               qos="critical", violated=True, utility=-2.0)
+        acc.observe_arrival(3.0)
+        acc.observe_shed(3.0, source="a", qos="batch", penalty=0.05)
+        summary = acc.finalize()
+        by_class = {entry.qos_class: entry for entry in summary.qos}
+        critical = by_class["critical"]
+        assert (critical.completed, critical.violations, critical.dropped) == (2, 1, 0)
+        assert critical.violation_rate == pytest.approx(0.5)
+        assert critical.utility == pytest.approx(4.0 - 2.0)
+        batch = by_class["batch"]
+        assert (batch.completed, batch.violations, batch.dropped) == (0, 0, 1)
+        assert batch.utility == pytest.approx(-0.05)
+        assert summary.utility == pytest.approx(2.0 - 0.05)
+
+    def test_qos_classes_sorted_in_window_and_summary(self):
+        acc = self.make_accumulator()
+        for name in ("standard", "batch", "critical"):
+            acc.observe_arrival(1.0)
+            acc.observe_completion(1.0, cold=False, queue_ms=1.0, source="a",
+                                   qos=name, utility=1.0)
+        summary = acc.finalize()
+        names = [entry.qos_class for entry in summary.qos]
+        assert names == sorted(names) == ["batch", "critical", "standard"]
+        window_names = [entry.qos_class for entry in summary.windows[0].qos]
+        assert window_names == names
+
+    def test_merge_recombines_per_class_series_losslessly(self):
+        from repro.metrics import WindowedSummary
+
+        def fill(acc, source, utility):
+            acc.observe_arrival(10.0)
+            acc.observe_completion(10.0, cold=False, queue_ms=3.0,
+                                   source=source, qos="critical",
+                                   utility=utility)
+            acc.observe_arrival(70.0)
+            acc.observe_shed(70.0, source=source, qos="batch", penalty=0.05)
+
+        together = self.make_accumulator()
+        fill(together, "a", 4.0)
+        fill(together, "b", 3.5)
+        part_a = self.make_accumulator()
+        fill(part_a, "a", 4.0)
+        part_b = self.make_accumulator()
+        fill(part_b, "b", 3.5)
+
+        merged = WindowedSummary.merge([part_a.finalize(), part_b.finalize()])
+        assert merged == together.finalize()
+        window = merged.windows[0]
+        by_class = {entry.qos_class: entry for entry in window.qos}
+        assert dict(by_class["critical"].utility_by_source) == {"a": 4.0, "b": 3.5}
+        assert merged.utility == pytest.approx(4.0 + 3.5 - 2 * 0.05)
+
+    def test_merge_handles_class_present_in_one_shard_only(self):
+        from repro.metrics import WindowedSummary
+
+        part_a = self.make_accumulator()
+        part_a.observe_arrival(1.0)
+        part_a.observe_completion(1.0, cold=False, queue_ms=1.0, source="a",
+                                  qos="critical", utility=4.0)
+        part_b = self.make_accumulator()
+        part_b.observe_arrival(2.0)
+        part_b.observe_shed(2.0, source="b", qos="batch", penalty=0.05)
+
+        merged = WindowedSummary.merge([part_a.finalize(), part_b.finalize()])
+        by_class = {entry.qos_class: entry for entry in merged.qos}
+        assert by_class["critical"].completed == 1
+        assert by_class["batch"].dropped == 1
+        assert merged.utility == pytest.approx(4.0 - 0.05)

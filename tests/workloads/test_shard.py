@@ -18,7 +18,7 @@ from repro.common.errors import WorkloadError
 from repro.faas.autoscale import PanicWindow
 from repro.faas.cluster import FleetConfig
 from repro.faas.sim import SimPlatformConfig
-from repro.metrics import PricingModel, WindowedSummary
+from repro.metrics import QOS_PRESETS, PricingModel, WindowedSummary
 from repro.workloads.shard import (
     ShardReplaySpec,
     replay_shard,
@@ -46,6 +46,21 @@ SPEC = ShardReplaySpec(
 )
 #: The unsharded ground truth every property compares against.
 REFERENCE = replay_shard(SPEC, TRACE)
+
+#: The same replay carrying a three-class QoS mix (tight deadlines so the
+#: per-class violation/utility series is non-trivial) — exercises the
+#: merge path for ``qos_counts``/``qos_sums`` under arbitrary partitions.
+QOS_SPEC = ShardReplaySpec(
+    platform=SPEC.platform,
+    fleet=SPEC.fleet,
+    seed=SPEC.seed,
+    replay_seed=SPEC.replay_seed,
+    scale=SPEC.scale,
+    window_s=SPEC.window_s,
+    qos=(QOS_PRESETS["critical"], QOS_PRESETS["standard"], QOS_PRESETS["batch"]),
+    qos_seed=11,
+)
+QOS_REFERENCE = replay_shard(QOS_SPEC, TRACE)
 
 
 def partition(assignment: list[int]) -> list[ProductionTrace]:
@@ -109,6 +124,36 @@ class TestMergeExactness:
         shards = shard_trace(TRACE, 3)
         summaries = [replay_shard(SPEC, shard) for shard in shards]
         assert WindowedSummary.merge([summaries[i] for i in order]) == REFERENCE
+
+    @given(
+        st.lists(
+            st.integers(min_value=0, max_value=3),
+            min_size=len(TRACE.apps),
+            max_size=len(TRACE.apps),
+        )
+    )
+    @settings(max_examples=10, deadline=None)
+    def test_qos_series_merges_bit_identical_under_any_partition(self, assignment):
+        # QoS tagging is per-app-seeded, so the per-class deadline/utility
+        # series survives arbitrary partitions bit for bit — including the
+        # per-(class, source) float utility partials.
+        shards = partition(assignment)
+        summaries = [replay_shard(QOS_SPEC, shard) for shard in shards]
+        assert WindowedSummary.merge(summaries) == QOS_REFERENCE
+
+    @given(st.integers(min_value=1, max_value=5))
+    @settings(max_examples=5, deadline=None)
+    def test_qos_any_worker_count_is_bit_identical(self, workers):
+        assert replay_sharded(TRACE, QOS_SPEC, workers=workers) == QOS_REFERENCE
+
+    def test_qos_reference_series_is_nontrivial(self):
+        # Guard the properties above against vacuous success: the mix must
+        # actually produce per-class series with activity in them.
+        assert len(QOS_REFERENCE.qos) == 3
+        assert sum(entry.completed for entry in QOS_REFERENCE.qos) > 0
+        assert QOS_REFERENCE.utility != 0.0
+        # Untagged replays stay untouched by the QoS machinery.
+        assert REFERENCE.qos == ()
 
     def test_stateful_policy_shards_exactly_too(self):
         spec = ShardReplaySpec(
