@@ -9,7 +9,9 @@ Sub-commands mirror the tool's workflow plus the evaluation harness:
 * ``slimstart table2``                    — regenerate Table II
 * ``slimstart cluster --app R-SA``        — replay Poisson traffic against
   a container fleet under a pluggable autoscaler (``--policy
-  per-request|target-utilization|panic-window``) and print the cluster
+  per-request|target-utilization|panic-window|predictive``, the last
+  pre-warming ahead of a window-count forecast chosen via
+  ``--forecaster ewma|holt-winters``) and print the cluster
   metrics (cold-start rate, queueing percentiles, GB-seconds, $-cost)
 * ``slimstart regions --app R-SA``        — replay multi-region traffic
   across federated fleets under a latency-aware routing policy (and an
@@ -45,6 +47,7 @@ from repro.faas.autoscale import (
     make_scaling_policy,
 )
 from repro.faas.cluster import ClusterPlatform, FleetConfig, replay_cluster_workload
+from repro.faas.forecast import FORECASTER_NAMES
 from repro.faas.gateway import Gateway
 from repro.faas.replaydeploy import deploy_trace, expose_trace
 from repro.faas.snapshot import run_stream_checkpointed
@@ -186,10 +189,22 @@ def _scaling_policy(args: argparse.Namespace, name: str):
         "--panic-window": args.panic_window,
         "--panic-threshold": args.panic_threshold,
     }
+    forecast_flags = {
+        "--forecaster": args.forecaster,
+        "--season-windows": args.season_windows,
+        "--forecast-window": args.forecast_window,
+        "--prewarm-lead": args.prewarm_lead,
+        "--prewarm-headroom": args.prewarm_headroom,
+    }
     stray: dict = {}
     if name == "per-request":
-        stray = {**utilization_flags, **panic_flags}
+        stray = {**utilization_flags, **panic_flags, **forecast_flags}
     elif name == "target-utilization":
+        stray = {**panic_flags, **forecast_flags}
+    elif name == "panic-window":
+        stray = forecast_flags
+    elif name == "predictive":
+        # --target/--grace configure the reactive TargetUtilization base.
         stray = panic_flags
     stray_set = sorted(flag for flag, value in stray.items() if value is not None)
     if stray_set:
@@ -202,6 +217,11 @@ def _scaling_policy(args: argparse.Namespace, name: str):
         "stable_window_s": args.stable_window,
         "panic_window_s": args.panic_window,
         "panic_threshold": args.panic_threshold,
+        "forecaster": args.forecaster,
+        "season_windows": args.season_windows,
+        "forecast_window_s": args.forecast_window,
+        "prewarm_lead_s": args.prewarm_lead,
+        "prewarm_headroom": args.prewarm_headroom,
     }
     return make_scaling_policy(
         name, **{key: value for key, value in overrides.items() if value is not None}
@@ -287,6 +307,38 @@ def _add_scaling_arguments(parser: argparse.ArgumentParser, flag: str) -> None:
         default=None,
         help="panic-window: burst factor that triggers panic (> 1) "
         f"(default {PanicWindow.panic_threshold})",
+    )
+    parser.add_argument(
+        "--forecaster",
+        choices=FORECASTER_NAMES,
+        default=None,
+        help="predictive: window-count forecast model (default ewma)",
+    )
+    parser.add_argument(
+        "--season-windows",
+        type=int,
+        default=None,
+        help="predictive + holt-winters: observation windows per season "
+        "(default 24; e.g. 24 one-hour windows for a diurnal day)",
+    )
+    parser.add_argument(
+        "--forecast-window",
+        type=float,
+        default=None,
+        help="predictive: observation window width, s (default 3600)",
+    )
+    parser.add_argument(
+        "--prewarm-lead",
+        type=float,
+        default=None,
+        help="predictive: seconds before a window boundary to start "
+        "provisioning for the next window (default 0)",
+    )
+    parser.add_argument(
+        "--prewarm-headroom",
+        type=float,
+        default=None,
+        help="predictive: multiplier on the forecast demand (default 1.2)",
     )
     parser.add_argument(
         "--price-gb-second",
@@ -577,7 +629,9 @@ def cmd_replay(args: argparse.Namespace) -> int:
                     "shift_hours", "exec_ms", "seed", "max_containers",
                     "max_concurrency", "keep_alive", "queue_capacity",
                     "scaling_policy", "target", "grace", "stable_window",
-                    "panic_window", "panic_threshold", "price_gb_second",
+                    "panic_window", "panic_threshold", "forecaster",
+                    "season_windows", "forecast_window", "prewarm_lead",
+                    "prewarm_headroom", "price_gb_second",
                     "price_million_requests", "cold_start_surcharge",
                     "qos_mix",
                 )
@@ -630,11 +684,19 @@ def cmd_replay(args: argparse.Namespace) -> int:
     print(header)
     print("-" * len(header))
     for window in summary.windows:
+        # Windows that completed nothing despite arrivals carry the
+        # UNDEFINED_RATE sentinel (< 0) — print a dash, not a rate.
+        cold = (
+            f"{window.cold_start_rate:6.1%}" if window.cold_start_rate >= 0 else f"{'-':>6s}"
+        )
+        p95 = (
+            f"{window.queue_p95_ms:9.2f}" if window.queue_p95_ms >= 0 else f"{'-':>9s}"
+        )
         print(
             f"{window.index:6d} {window.start_s / 3600.0:8.1f} "
             f"{window.arrivals:8d} {window.completed:8d} "
-            f"{window.shed_rate:6.1%} {window.cold_start_rate:6.1%} "
-            f"{window.queue_p95_ms:9.2f} {window.gb_seconds:9.1f} "
+            f"{window.shed_rate:6.1%} {cold} "
+            f"{p95} {window.gb_seconds:9.1f} "
             f"{window.cost.total_cost:10.6f}"
         )
     print()
@@ -718,7 +780,11 @@ def build_parser() -> argparse.ArgumentParser:
             "(per-request boots eagerly; target-utilization holds warm "
             "headroom via --target/--grace; panic-window detects bursts "
             "over --panic-window vs --stable-window and suspends "
-            "scale-down while panicking); --price-gb-second and "
+            "scale-down while panicking; predictive learns per-window "
+            "arrival counts via --forecaster ewma|holt-winters over "
+            "--forecast-window seconds and pre-warms --prewarm-headroom "
+            "times the forecast, --prewarm-lead seconds ahead); "
+            "--price-gb-second and "
             "--cold-start-surcharge price the run in dollars."
         ),
     )

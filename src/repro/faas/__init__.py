@@ -28,6 +28,10 @@ pluggable: a :class:`~repro.faas.autoscale.ScalingPolicy` per fleet
 panic windows), selected via
 :attr:`~repro.faas.cluster.FleetConfig.policy`, with every run priced
 in dollars through the :class:`~repro.metrics.CostSummary` cost view.
+:mod:`repro.faas.forecast` adds the feed-forward option: window-count
+forecasters (EWMA, additive-seasonal Holt-Winters) behind the
+:class:`~repro.faas.forecast.Predictive` policy, which pre-warms
+containers ahead of the forecast demand instead of reacting to it.
 
 :mod:`repro.faas.region` scales the cluster across *regions*: a
 :class:`~repro.faas.region.RegionFederation` runs one cluster per named
@@ -43,7 +47,15 @@ from repro.faas.autoscale import (
     PerRequest,
     ScalingPolicy,
     TargetUtilization,
+    WindowObservation,
     make_scaling_policy,
+)
+from repro.faas.forecast import (
+    EWMAForecaster,
+    Forecaster,
+    HoltWintersForecaster,
+    Predictive,
+    make_forecaster,
 )
 from repro.faas.cluster import (
     ClusterPlatform,
@@ -77,7 +89,13 @@ __all__ = [
     "PerRequest",
     "ScalingPolicy",
     "TargetUtilization",
+    "WindowObservation",
     "make_scaling_policy",
+    "EWMAForecaster",
+    "Forecaster",
+    "HoltWintersForecaster",
+    "Predictive",
+    "make_forecaster",
     "InvocationRecord",
     "InvocationStats",
     "Gateway",

@@ -21,6 +21,10 @@ decision pluggable:
   the long stable window detects bursts, scales to the burst's demand,
   and *suspends scale-down* (keep-alive expiry) until the panic period
   ends.
+* :class:`~repro.faas.forecast.Predictive` (in :mod:`repro.faas.forecast`)
+  layers a feed-forward path on top of a reactive base: it learns
+  per-window arrival counts through :meth:`ScalingPolicy.observe_window`
+  and pre-warms containers ahead of the forecast demand.
 
 A policy sees the fleet through an immutable :class:`FleetView` snapshot
 and answers two questions: how many containers to boot for the current
@@ -82,6 +86,31 @@ class FleetView:
     def demand(self) -> int:
         """Outstanding work: queued plus in-flight requests."""
         return self.queued + self.in_flight
+
+
+@dataclass(frozen=True, slots=True)
+class WindowObservation:
+    """One closed observation window of a fleet's admitted arrivals.
+
+    Fed to :meth:`ScalingPolicy.observe_window` by the cluster when a
+    policy declares an observation window (see
+    :meth:`ScalingPolicy.observation_window_s`).  Windows are closed
+    lazily — on the first admitted arrival that lands past the boundary
+    — and every intermediate empty window is delivered too (``arrivals
+    == 0``), so seasonal models stay phase-aligned across idle gaps.
+
+    Attributes:
+        index: The window's ordinal: ``int(start_s // window_s)``.
+        start_s: Inclusive window start in virtual seconds.
+        end_s: Exclusive window end in virtual seconds.
+        arrivals: Admitted arrivals observed in ``[start_s, end_s)`` —
+            shed requests never count.
+    """
+
+    index: int
+    start_s: float
+    end_s: float
+    arrivals: int
 
 
 class ScalingPolicy:
@@ -148,6 +177,29 @@ class ScalingPolicy:
 
     def observe_arrival(self, state, now: float) -> None:
         """Feed one *admitted* arrival into the policy's traffic estimate."""
+
+    def observation_window_s(self) -> float | None:
+        """Width of the arrival-count windows this policy observes.
+
+        ``None`` (the default) disables window bookkeeping entirely —
+        the cluster maintains per-fleet window counters *only* for
+        policies that return a positive width, so the hook is provably
+        inert for every reactive policy (the golden regression pins it).
+        A policy that returns a width here must not also claim
+        :meth:`reactive_only`: the warm-hit fast path skips the window
+        feed along with the rest of the policy machinery.
+        """
+        return None
+
+    def observe_window(self, state, observation: WindowObservation) -> None:
+        """Receive one closed observation window (no-op by default).
+
+        Called by the cluster from the arrival path, *before* the
+        arrival that closed the window is observed or scaled for — the
+        counts are strictly of past windows.  Any state mutated here
+        must round-trip through :meth:`export_state`/:meth:`restore_state`
+        or checkpoints lose the learned history.
+        """
 
     def scale_out(self, state, view: FleetView) -> int:
         """Containers to boot now (the cluster caps at ``max_containers``)."""
@@ -421,7 +473,12 @@ class PanicWindow(TargetUtilization):
 
 
 #: CLI-facing policy registry (see ``slimstart cluster --policy``).
-SCALING_POLICY_NAMES = ("per-request", "target-utilization", "panic-window")
+SCALING_POLICY_NAMES = (
+    "per-request",
+    "target-utilization",
+    "panic-window",
+    "predictive",
+)
 
 
 def make_scaling_policy(
@@ -431,8 +488,20 @@ def make_scaling_policy(
     stable_window_s: float = PanicWindow.stable_window_s,
     panic_window_s: float = PanicWindow.panic_window_s,
     panic_threshold: float = PanicWindow.panic_threshold,
+    forecaster: str = "ewma",
+    season_windows: int | None = None,
+    forecast_window_s: float | None = None,
+    prewarm_lead_s: float | None = None,
+    prewarm_headroom: float | None = None,
 ) -> ScalingPolicy:
-    """Build a scaling policy from its CLI name."""
+    """Build a scaling policy from its CLI name.
+
+    ``forecaster``/``season_windows``/``forecast_window_s``/
+    ``prewarm_lead_s``/``prewarm_headroom`` configure ``predictive``
+    only; for it, ``target`` and ``scale_to_zero_grace_s`` configure the
+    wrapped :class:`TargetUtilization` base the policy falls back to
+    while history is cold.
+    """
     if name == "per-request":
         return PerRequest()
     if name == "target-utilization":
@@ -446,6 +515,24 @@ def make_scaling_policy(
             stable_window_s=stable_window_s,
             panic_window_s=panic_window_s,
             panic_threshold=panic_threshold,
+        )
+    if name == "predictive":
+        # Local import: forecast builds *on* the policy protocol here.
+        from repro.faas.forecast import Predictive, make_forecaster
+
+        overrides: dict = {}
+        if forecast_window_s is not None:
+            overrides["window_s"] = forecast_window_s
+        if prewarm_lead_s is not None:
+            overrides["prewarm_lead_s"] = prewarm_lead_s
+        if prewarm_headroom is not None:
+            overrides["headroom"] = prewarm_headroom
+        return Predictive(
+            base=TargetUtilization(
+                target=target, scale_to_zero_grace_s=scale_to_zero_grace_s
+            ),
+            forecaster=make_forecaster(forecaster, season_windows=season_windows),
+            **overrides,
         )
     raise SpecError(
         f"unknown scaling policy: {name!r} (choose from {SCALING_POLICY_NAMES})"

@@ -92,7 +92,12 @@ from typing import Callable, Iterable
 from repro.common.clock import VirtualClock
 from repro.common.errors import DeploymentError, SpecError, WorkloadError
 from repro.common.rng import SeededRNG, derive_seed
-from repro.faas.autoscale import FleetView, PerRequest, ScalingPolicy
+from repro.faas.autoscale import (
+    FleetView,
+    PerRequest,
+    ScalingPolicy,
+    WindowObservation,
+)
 from repro.faas.events import InvocationRecord
 from repro.faas.gateway import Gateway
 from repro.faas.sim import (
@@ -326,6 +331,9 @@ class _Fleet:
         "policy_state",
         "wants_last",
         "fast_path",
+        "obs_window_s",
+        "window_index",
+        "window_arrivals",
         "name",
         "cost_scale",
         "max_concurrency",
@@ -367,6 +375,16 @@ class _Fleet:
         #: Whether the warm-and-free arrival fast path may skip the
         #: policy consultation entirely (see ScalingPolicy.reactive_only).
         self.fast_path = self.policy.reactive_only()
+        #: Observation-window feed (ScalingPolicy.observe_window): None
+        #: disables the bookkeeping wholesale, so reactive policies pay
+        #: nothing for the hook's existence.
+        self.obs_window_s = self.policy.observation_window_s()
+        if self.obs_window_s is not None and self.obs_window_s <= 0:
+            raise SpecError(
+                f"observation window must be positive: {self.obs_window_s}"
+            )
+        self.window_index: int | None = None  # open window's ordinal
+        self.window_arrivals = 0  # admitted arrivals in the open window
         # Hot-path caches of frozen config fields (attribute chains cost).
         self.name = config.name
         self.cost_scale = config.cost_scale
@@ -986,6 +1004,8 @@ class ClusterPlatform:
                     self._dropped.add(shed.token)
         if shed_self or token in self._dropped:
             return
+        if fleet.obs_window_s is not None:
+            self._feed_window(fleet, at)
         fleet.policy.observe_arrival(fleet.policy_state, at)
         self._scale(fleet, at)
 
@@ -1014,6 +1034,37 @@ class ClusterPlatform:
                 self._dispatch(fleet, at)
 
     # -- fleet mechanics ---------------------------------------------------
+
+    def _feed_window(self, fleet: _Fleet, at: float) -> None:
+        """Fold one admitted arrival into the fleet's observation windows.
+
+        Windows close lazily: the first admitted arrival past a boundary
+        delivers every window it skipped (including empty ones, so
+        seasonal forecasters stay phase-aligned across idle gaps) to
+        ``policy.observe_window`` *before* this arrival is counted,
+        observed, or scaled for.  Only reached when the policy declares
+        an observation window — reactive policies never enter here.
+        """
+        w = fleet.obs_window_s
+        index = int(at // w)
+        if fleet.window_index is None:
+            fleet.window_index = index
+        else:
+            policy = fleet.policy
+            while fleet.window_index < index:
+                closed = fleet.window_index
+                policy.observe_window(
+                    fleet.policy_state,
+                    WindowObservation(
+                        index=closed,
+                        start_s=closed * w,
+                        end_s=(closed + 1) * w,
+                        arrivals=fleet.window_arrivals,
+                    ),
+                )
+                fleet.window_arrivals = 0
+                fleet.window_index = closed + 1
+        fleet.window_arrivals += 1
 
     def _expiry(self, fleet: _Fleet, container: _FleetContainer, now: float) -> float:
         """When this container retires if no further request reaches it.

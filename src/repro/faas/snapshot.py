@@ -52,7 +52,9 @@ from repro.metrics.windows import _Window
 #: Bumped whenever the checkpoint layout changes incompatibly.
 #: 2: queue entries carry QoS class + wire latency; accumulator windows
 #: carry per-class counters and utility sums.
-CHECKPOINT_FORMAT = 2
+#: 3: fleets carry observation-window counters (window_index /
+#: window_arrivals) feeding ScalingPolicy.observe_window.
+CHECKPOINT_FORMAT = 3
 
 
 # -- RNG state ---------------------------------------------------------------
@@ -141,6 +143,8 @@ def platform_state(platform: ClusterPlatform) -> dict:
                 for container in fleet.containers
             ],
             "policy_state": fleet.policy.export_state(fleet.policy_state),
+            "window_index": fleet.window_index,
+            "window_arrivals": fleet.window_arrivals,
             "jitter_rng": _rng_state(fleet.jitter_rng),
         }
     return {
@@ -228,6 +232,8 @@ def restore_platform(platform: ClusterPlatform, state: dict) -> None:
         ]
         fleet.by_seq = {container.seq: container for container in fleet.containers}
         fleet.policy_state = fleet.policy.restore_state(data["policy_state"])
+        fleet.window_index = data["window_index"]
+        fleet.window_arrivals = data["window_arrivals"]
         fleet.jitter_rng = _restore_rng(platform.seed, name, data["jitter_rng"])
 
 

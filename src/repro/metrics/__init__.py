@@ -28,6 +28,7 @@ from repro.metrics.qos import (
     qos_registry,
 )
 from repro.metrics.windows import (
+    UNDEFINED_RATE,
     QoSSummary,
     QoSWindowStats,
     WindowAccumulator,
@@ -49,6 +50,7 @@ __all__ = [
     "RateSummary",
     "RoutingSummary",
     "SpeedupReport",
+    "UNDEFINED_RATE",
     "WindowAccumulator",
     "WindowedSummary",
     "WindowStats",

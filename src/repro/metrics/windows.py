@@ -41,6 +41,16 @@ from repro.metrics.stats import DEFAULT_PRICING, CostSummary, PricingModel
 #: sqrt(2) span 0.1 ms .. ~9.2e8 ms, far beyond any simulated latency;
 #: quantile estimates are exact to within one half-octave.
 _HIST_BUCKETS = 64
+
+#: Sentinel for per-window rates/quantiles that have no population to
+#: measure — a window whose every arrival was shed (or is still queued
+#: at a mid-run flush) completed nothing, so its cold-start rate, queue
+#: mean, and queue p95 are *undefined*, not 0.0 (which would read as
+#: "all warm, served instantly").  Negative is impossible for all three
+#: metrics, so ``value < 0`` is the documented "no data" test; the
+#: sentinel is an ordinary float so summaries stay JSON-safe and
+#: equality-comparable (NaN would break both).
+UNDEFINED_RATE = -1.0
 _HIST_FLOOR_MS = 0.1
 _HIST_RATIO = math.sqrt(2.0)
 _LOG_RATIO = math.log(_HIST_RATIO)
@@ -180,10 +190,16 @@ class WindowStats:
         completed: Requests that finished service.
         shed: Requests rejected by bounded queues.
         cold_starts: Completions that paid a container boot.
-        cold_start_rate: ``cold_starts / completed`` (0 when idle).
+        cold_start_rate: ``cold_starts / completed``; 0 when fully idle,
+            :data:`UNDEFINED_RATE` when the window had arrivals but
+            completed nothing (no population to rate).
         shed_rate: ``shed / arrivals`` (0 when idle).
-        queue_mean_ms: Exact mean arrival-to-service wait.
-        queue_p95_ms: Histogram-estimated p95 wait (half-octave accuracy).
+        queue_mean_ms: Exact mean arrival-to-service wait
+            (:data:`UNDEFINED_RATE` when nothing completed despite
+            arrivals).
+        queue_p95_ms: Histogram-estimated p95 wait (half-octave
+            accuracy; :data:`UNDEFINED_RATE` when nothing completed
+            despite arrivals).
         gb_seconds: Provisioned memory-time overlapping this window.
         boots: Containers whose boot started in this window.
         cost: The window priced as its own mini-run
@@ -367,6 +383,12 @@ def _window_stats(
         )
         for name in qos_classes
     )
+    # A window with traffic but no completions (every arrival shed, or
+    # still queued at a mid-run flush) has *no* completion population to
+    # rate: 0.0 would read as "all warm, instant service".  Such windows
+    # report UNDEFINED_RATE instead; truly idle windows (no arrivals
+    # either, e.g. pure provision tails) keep the neutral 0.0.
+    undefined = window.arrivals > 0 and window.completed == 0
     return WindowStats(
         index=index,
         start_s=index * window_s,
@@ -375,10 +397,20 @@ def _window_stats(
         completed=window.completed,
         shed=window.shed,
         cold_starts=window.cold,
-        cold_start_rate=(window.cold / window.completed if window.completed else 0.0),
+        cold_start_rate=(
+            window.cold / window.completed
+            if window.completed
+            else (UNDEFINED_RATE if undefined else 0.0)
+        ),
         shed_rate=(window.shed / window.arrivals if window.arrivals else 0.0),
-        queue_mean_ms=queue_sum / window.completed if window.completed else 0.0,
-        queue_p95_ms=window.queue.quantile(0.95),
+        queue_mean_ms=(
+            queue_sum / window.completed
+            if window.completed
+            else (UNDEFINED_RATE if undefined else 0.0)
+        ),
+        queue_p95_ms=(
+            UNDEFINED_RATE if undefined else window.queue.quantile(0.95)
+        ),
         gb_seconds=gb_seconds,
         boots=window.boots,
         cost=CostSummary.from_usage(

@@ -18,8 +18,9 @@ from pathlib import Path
 import pytest
 
 from repro.common.errors import DeploymentError, WorkloadError
-from repro.faas.autoscale import PanicWindow, PerRequest
+from repro.faas.autoscale import PanicWindow, PerRequest, TargetUtilization
 from repro.faas.cluster import ClusterPlatform, FleetConfig
+from repro.faas.forecast import HoltWintersForecaster, Predictive
 from repro.faas.replaydeploy import deploy_trace
 from repro.faas.sim import SimPlatformConfig
 from repro.faas.snapshot import (
@@ -53,9 +54,25 @@ FLEET = FleetConfig(
 SCALE = 0.5
 
 
-def build_platform():
+#: Forecaster state is the newest serialization surface: a seasonal
+#: model mid-fit (one-hour windows, 6-window season over the trace's
+#: diurnal day) plus the prewarm ratio/hold bookkeeping must all
+#: survive the checkpoint.
+PREDICTIVE_FLEET = FleetConfig(
+    max_containers=3,
+    keep_alive_s=60.0,
+    policy=Predictive(
+        base=TargetUtilization(target=0.6),
+        forecaster=HoltWintersForecaster(season_windows=6),
+        window_s=3600.0,
+        prewarm_lead_s=600.0,
+    ),
+)
+
+
+def build_platform(fleet=FLEET):
     trace = TraceGenerator(**TRACE).generate()
-    platform = ClusterPlatform(config=PLATFORM, fleet=FLEET, seed=13)
+    platform = ClusterPlatform(config=PLATFORM, fleet=fleet, seed=13)
     deploy_trace(platform, trace)
     return platform, compile_trace(trace, seed=3, scale=SCALE)
 
@@ -78,6 +95,13 @@ def _resume_in_fresh_process(path: str):
         platform, stream, WindowAccumulator(3600.0), path
     )
     return summary
+
+
+def _resume_predictive_in_fresh_process(path: str):
+    platform, stream = build_platform(PREDICTIVE_FLEET)
+    return run_stream_checkpointed(
+        platform, stream, WindowAccumulator(3600.0), path
+    )
 
 
 @pytest.fixture()
@@ -213,6 +237,80 @@ class TestCheckpointResume:
                 tmp_path / "ckpt.json",
                 every_s=0.0,
             )
+
+
+class TestPredictiveCheckpoint:
+    """The forecaster fit (plus window counters) is the new surface."""
+
+    @pytest.fixture()
+    def predictive_reference(self):
+        platform, stream = build_platform(PREDICTIVE_FLEET)
+        return platform.run_stream(stream, WindowAccumulator(3600.0))
+
+    @pytest.mark.parametrize("crash_after", [600, 1200, 1900])
+    def test_resume_matches_uninterrupted_run(
+        self, tmp_path, predictive_reference, crash_after
+    ):
+        # ~2400 arrivals over 24 diurnal hours: 1200 lands mid-trace,
+        # between the two daily peaks, with the Holt-Winters fit (and
+        # the fleet's half-filled window counter) mid-flight.
+        path = tmp_path / "ckpt.json"
+        platform, stream = build_platform(PREDICTIVE_FLEET)
+        with pytest.raises(_Interrupt):
+            run_stream_checkpointed(
+                platform,
+                interrupt_after(stream, crash_after),
+                WindowAccumulator(3600.0),
+                path,
+            )
+        platform, stream = build_platform(PREDICTIVE_FLEET)
+        resumed = run_stream_checkpointed(
+            platform, stream, WindowAccumulator(3600.0), path
+        )
+        # The whole windowed series, bit for bit — not just the totals.
+        assert resumed.windows == predictive_reference.windows
+        assert resumed == predictive_reference
+
+    @pytest.mark.slow
+    def test_resume_in_fresh_process_matches(
+        self, tmp_path, predictive_reference
+    ):
+        path = tmp_path / "ckpt.json"
+        platform, stream = build_platform(PREDICTIVE_FLEET)
+        with pytest.raises(_Interrupt):
+            run_stream_checkpointed(
+                platform,
+                interrupt_after(stream, 1200),
+                WindowAccumulator(3600.0),
+                path,
+            )
+        assert path.exists()
+        with ProcessPoolExecutor(max_workers=1) as pool:
+            resumed = pool.submit(
+                _resume_predictive_in_fresh_process, str(path)
+            ).result()
+        assert resumed.windows == predictive_reference.windows
+        assert resumed == predictive_reference
+
+    def test_platform_state_round_trips_with_forecaster_state(self, tmp_path):
+        path = tmp_path / "ckpt.json"
+        platform, stream = build_platform(PREDICTIVE_FLEET)
+        with pytest.raises(_Interrupt):
+            run_stream_checkpointed(
+                platform,
+                interrupt_after(stream, 1500),
+                WindowAccumulator(3600.0),
+                path,
+            )
+        data = load_checkpoint(path)
+        # The window counters made it into the fleet snapshot...
+        fleet_state = next(iter(data["platform"]["fleets"].values()))
+        assert fleet_state["window_index"] is not None
+        assert fleet_state["policy_state"]["forecaster"]["n"] > 0
+        # ...and restoring + re-serializing reproduces the exact state.
+        fresh, _ = build_platform(PREDICTIVE_FLEET)
+        restore_platform(fresh, data["platform"])
+        assert platform_state(fresh) == data["platform"]
 
 
 class TestStateSerialization:

@@ -1,0 +1,170 @@
+"""Property-based tests for the window-count forecasters.
+
+Three invariants hold for *any* observation history and parameters:
+
+* **EWMA convexity** — the level is a convex combination of everything
+  observed, so a warm forecast always lies within the min/max of the
+  observed history (at every horizon: the forecast is flat).
+* **Holt-Winters periodic fixpoint** — on an *exactly* periodic series
+  the first-season initialization (level = season mean, trend = 0,
+  seasonal index = deviation from the mean) is already the fixed point
+  of the additive recurrences, so forecasts match the per-phase values
+  from the first post-season window onward.
+* **Determinism + round-trip stability** — identical observations
+  produce identical forecasts, and a state serialized mid-history
+  through ``export_state`` → JSON → ``restore_state`` continues the fit
+  bit-identically (the property the checkpoint/resume layer stands on).
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.faas.forecast import EWMAForecaster, HoltWintersForecaster
+
+_counts = st.floats(min_value=0.0, max_value=1e6, allow_nan=False)
+_alphas = st.floats(min_value=0.01, max_value=1.0, allow_nan=False)
+_smooth = st.floats(min_value=0.0, max_value=1.0, allow_nan=False)
+
+_FORECASTERS = st.one_of(
+    st.builds(
+        EWMAForecaster,
+        alpha=_alphas,
+        warmup=st.integers(min_value=1, max_value=5),
+    ),
+    st.builds(
+        HoltWintersForecaster,
+        alpha=_alphas,
+        beta=_smooth,
+        gamma=_smooth,
+        season_windows=st.integers(min_value=2, max_value=6),
+    ),
+)
+
+
+def _feed(forecaster, counts):
+    state = forecaster.new_state()
+    for count in counts:
+        forecaster.observe(state, count)
+    return state
+
+
+class TestEWMAConvexity:
+    @given(
+        alpha=_alphas,
+        warmup=st.integers(min_value=1, max_value=5),
+        counts=st.lists(_counts, min_size=1, max_size=40),
+        horizon=st.integers(min_value=1, max_value=5),
+    )
+    @settings(max_examples=200, deadline=None)
+    def test_forecast_within_observed_range(self, alpha, warmup, counts, horizon):
+        forecaster = EWMAForecaster(alpha=alpha, warmup=warmup)
+        state = _feed(forecaster, counts)
+        forecast = forecaster.forecast(state, horizon)
+        if len(counts) < warmup:
+            assert forecast is None  # cold: no number to trust yet
+        else:
+            # Convex in exact arithmetic; ``a*x + (1-a)*x`` can overshoot
+            # x by an ulp in floats, so allow roundoff-scale slack.
+            slack = 1e-9 * max(1.0, abs(max(counts)))
+            assert min(counts) - slack <= forecast <= max(counts) + slack
+
+    @given(alpha=_alphas, counts=st.lists(_counts, min_size=3, max_size=40))
+    @settings(max_examples=100, deadline=None)
+    def test_forecast_is_flat_across_horizons(self, alpha, counts):
+        forecaster = EWMAForecaster(alpha=alpha, warmup=1)
+        state = _feed(forecaster, counts)
+        assert forecaster.forecast(state, 1) == forecaster.forecast(state, 7)
+
+
+class TestHoltWintersPeriodicConvergence:
+    @given(
+        pattern=st.lists(
+            st.floats(min_value=0.0, max_value=1e4, allow_nan=False),
+            min_size=2,
+            max_size=6,
+        ),
+        repeats=st.integers(min_value=1, max_value=5),
+        alpha=_alphas,
+        beta=_smooth,
+        gamma=_smooth,
+    )
+    @settings(max_examples=150, deadline=None)
+    def test_exactly_periodic_series_forecasts_per_phase_values(
+        self, pattern, repeats, alpha, beta, gamma
+    ):
+        m = len(pattern)
+        forecaster = HoltWintersForecaster(
+            alpha=alpha, beta=beta, gamma=gamma, season_windows=m
+        )
+        state = _feed(forecaster, pattern * repeats)
+        # After >= 1 full season, each horizon's forecast is that
+        # phase's value: the initialization is the recurrences' fixed
+        # point on a periodic input (up to float-roundoff drift).
+        for horizon in range(1, m + 1):
+            phase = (m * repeats + horizon - 1) % m
+            assert forecaster.forecast(state, horizon) == pytest.approx(
+                pattern[phase], rel=1e-6, abs=1e-6
+            )
+
+    @given(
+        pattern=st.lists(
+            st.floats(min_value=0.0, max_value=1e4, allow_nan=False),
+            min_size=2,
+            max_size=6,
+        ),
+        prefix=st.integers(min_value=0, max_value=5),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_cold_until_one_full_season(self, pattern, prefix):
+        m = len(pattern)
+        forecaster = HoltWintersForecaster(season_windows=m)
+        state = _feed(forecaster, pattern[: min(prefix, m - 1)])
+        assert forecaster.forecast(state) is None
+
+
+class TestDeterminismAndRoundTrip:
+    @given(
+        forecaster=_FORECASTERS,
+        counts=st.lists(_counts, min_size=0, max_size=40),
+        horizon=st.integers(min_value=1, max_value=5),
+    )
+    @settings(max_examples=150, deadline=None)
+    def test_identical_histories_forecast_identically(
+        self, forecaster, counts, horizon
+    ):
+        first = _feed(forecaster, counts)
+        second = _feed(forecaster, counts)
+        assert forecaster.forecast(first, horizon) == forecaster.forecast(
+            second, horizon
+        )
+        assert forecaster.export_state(first) == forecaster.export_state(second)
+
+    @given(
+        forecaster=_FORECASTERS,
+        counts=st.lists(_counts, min_size=1, max_size=40),
+        split=st.integers(min_value=0, max_value=40),
+        horizon=st.integers(min_value=1, max_value=5),
+    )
+    @settings(max_examples=150, deadline=None)
+    def test_state_round_trips_through_json_mid_history(
+        self, forecaster, counts, split, horizon
+    ):
+        split = min(split, len(counts))
+        reference = _feed(forecaster, counts)
+        # Serialize mid-history, continue on the restored state.
+        state = _feed(forecaster, counts[:split])
+        payload = json.dumps(forecaster.export_state(state))
+        restored = forecaster.restore_state(json.loads(payload))
+        for count in counts[split:]:
+            forecaster.observe(restored, count)
+        assert forecaster.export_state(restored) == forecaster.export_state(
+            reference
+        )
+        assert forecaster.forecast(restored, horizon) == forecaster.forecast(
+            reference, horizon
+        )

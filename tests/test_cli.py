@@ -267,6 +267,77 @@ class TestAutoscalerFlags:
             )
 
 
+class TestPredictiveFlags:
+    def test_cluster_accepts_predictive_policy(self):
+        args = build_parser().parse_args(
+            ["cluster", "--app", "R-GB", "--policy", "predictive",
+             "--forecaster", "holt-winters", "--season-windows", "24",
+             "--forecast-window", "3600", "--prewarm-lead", "300",
+             "--prewarm-headroom", "1.5"]
+        )
+        assert args.scaling_policy == "predictive"
+        assert args.forecaster == "holt-winters"
+        assert args.season_windows == 24
+        assert args.forecast_window == 3600.0
+        assert args.prewarm_lead == 300.0
+        assert args.prewarm_headroom == 1.5
+
+    def test_all_subcommands_share_the_forecaster_flags(self):
+        for argv in (
+            ["cluster", "--app", "R-GB", "--policy", "predictive",
+             "--forecaster", "ewma"],
+            ["regions", "--app", "R-GB", "--scaling-policy", "predictive",
+             "--forecaster", "ewma"],
+            ["replay", "--policy", "predictive", "--forecaster", "ewma"],
+        ):
+            args = build_parser().parse_args(argv)
+            assert args.scaling_policy == "predictive"
+            assert args.forecaster == "ewma"
+
+    def test_cluster_runs_predictive_end_to_end(self, capsys):
+        code = main(
+            ["cluster", "--app", "R-GB", "--rate", "4", "--duration", "60",
+             "--policy", "predictive", "--forecaster", "ewma",
+             "--forecast-window", "20", "--target", "0.6"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "policy             : predictive" in out
+
+    def test_forecaster_flags_are_stray_for_reactive_policies(self):
+        from repro.common.errors import SpecError
+
+        with pytest.raises(SpecError):
+            main(["cluster", "--app", "R-GB", "--duration", "30",
+                  "--forecaster", "ewma"])
+        with pytest.raises(SpecError):
+            main(["cluster", "--app", "R-GB", "--duration", "30",
+                  "--policy", "panic-window", "--prewarm-lead", "60"])
+
+    def test_panic_flags_are_stray_for_predictive(self):
+        from repro.common.errors import SpecError
+
+        with pytest.raises(SpecError):
+            main(["cluster", "--app", "R-GB", "--duration", "30",
+                  "--policy", "predictive", "--panic-threshold", "3.0"])
+
+    def test_season_windows_requires_holt_winters(self):
+        from repro.common.errors import SpecError
+
+        # The default forecaster is EWMA, which has no season: a silently
+        # ignored --season-windows would misconfigure the model.
+        with pytest.raises(SpecError):
+            main(["cluster", "--app", "R-GB", "--duration", "30",
+                  "--policy", "predictive", "--season-windows", "24"])
+
+    def test_unknown_forecaster_rejected_by_parser(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                ["cluster", "--app", "R-GB", "--policy", "predictive",
+                 "--forecaster", "arima"]
+            )
+
+
 class TestReplayCommand:
     def test_parser_defaults(self):
         args = build_parser().parse_args(["replay"])

@@ -345,6 +345,113 @@ class TestWindowedMetrics:
         assert hist.quantile(0.0) == pytest.approx(0.1)
 
 
+class TestUndefinedWindowSentinel:
+    """Windows with arrivals but zero completions have no completion
+    population: their rate/quantile fields report :data:`UNDEFINED_RATE`
+    instead of a misleading 0.0 ("all warm, served instantly")."""
+
+    def make_accumulator(self, window_s=60.0):
+        from repro.metrics import WindowAccumulator
+
+        return WindowAccumulator(window_s=window_s)
+
+    def test_all_shed_window_reports_sentinel(self):
+        from repro.metrics import UNDEFINED_RATE
+
+        acc = self.make_accumulator()
+        for _ in range(3):
+            acc.observe_arrival(5.0)
+            acc.observe_shed(5.0)
+        window = acc.finalize().windows[0]
+        assert window.arrivals == 3
+        assert window.completed == 0
+        assert window.cold_start_rate == UNDEFINED_RATE
+        assert window.queue_mean_ms == UNDEFINED_RATE
+        assert window.queue_p95_ms == UNDEFINED_RATE
+        # The counts that *do* have a population stay meaningful.
+        assert window.shed_rate == 1.0
+
+    def test_still_queued_at_flush_reports_sentinel(self):
+        from repro.metrics import UNDEFINED_RATE
+
+        acc = self.make_accumulator()
+        acc.observe_arrival(10.0)  # arrived, never completed (mid-run flush)
+        window = acc.finalize().windows[0]
+        assert window.cold_start_rate == UNDEFINED_RATE
+        assert window.queue_p95_ms == UNDEFINED_RATE
+
+    def test_idle_provision_tail_window_stays_zero(self):
+        # A window with *no* arrivals (pure keep-alive tail) is genuinely
+        # idle, not undefined: 0.0 is the honest value there.
+        acc = self.make_accumulator(window_s=60.0)
+        acc.observe_arrival(0.0)
+        acc.observe_completion(0.0, cold=False, queue_ms=1.0)
+        acc.observe_provision(0.0, 90.0, 1024.0)  # tail into window 1
+        by_index = {w.index: w for w in acc.finalize().windows}
+        assert by_index[1].arrivals == 0
+        assert by_index[1].cold_start_rate == 0.0
+        assert by_index[1].queue_mean_ms == 0.0
+        assert by_index[1].queue_p95_ms == 0.0
+
+    def test_sentinel_is_negative_and_json_equality_safe(self):
+        import json
+
+        from repro.metrics import UNDEFINED_RATE
+
+        # The documented "no data" test is ``value < 0`` — and unlike
+        # NaN the sentinel survives JSON and compares equal to itself
+        # (summary-equality determinism checks depend on that).
+        assert UNDEFINED_RATE < 0
+        assert json.loads(json.dumps(UNDEFINED_RATE)) == UNDEFINED_RATE
+
+    def test_summary_totals_unaffected_by_sentinel(self):
+        acc = self.make_accumulator()
+        acc.observe_arrival(5.0)
+        acc.observe_shed(5.0)  # window 0: undefined
+        acc.observe_arrival(65.0)
+        acc.observe_completion(65.0, cold=True, queue_ms=2.0)  # window 1
+        summary = acc.finalize()
+        assert summary.windows[0].cold_start_rate < 0
+        assert summary.windows[1].cold_start_rate == 1.0
+        # Run-level totals aggregate raw counters, never the sentinel.
+        assert summary.cold_start_rate == 1.0
+        assert summary.completed == 1
+
+    def test_merge_heals_sentinel_when_other_shard_completes(self):
+        from repro.metrics import WindowedSummary
+
+        shed_only = self.make_accumulator()
+        shed_only.observe_arrival(5.0)
+        shed_only.observe_shed(5.0)
+        served = self.make_accumulator()
+        served.observe_arrival(6.0)
+        served.observe_completion(6.0, cold=True, queue_ms=4.0)
+        merged = WindowedSummary.merge(
+            [shed_only.finalize(), served.finalize()]
+        )
+        window = merged.windows[0]
+        # Counters merge first, rates are recomputed from the merged
+        # population — so the sentinel heals once completions exist...
+        assert window.completed == 1
+        assert window.cold_start_rate == 1.0
+        assert window.queue_mean_ms == pytest.approx(4.0)
+
+    def test_merge_of_two_undefined_shards_stays_undefined(self):
+        from repro.metrics import UNDEFINED_RATE, WindowedSummary
+
+        parts = []
+        for _ in range(2):
+            acc = self.make_accumulator()
+            acc.observe_arrival(5.0)
+            acc.observe_shed(5.0)
+            parts.append(acc.finalize())
+        window = WindowedSummary.merge(parts).windows[0]
+        # ...and stays undefined when no shard completed anything.
+        assert window.arrivals == 2
+        assert window.cold_start_rate == UNDEFINED_RATE
+        assert window.queue_p95_ms == UNDEFINED_RATE
+
+
 class TestQoSWindowAccounting:
     def make_accumulator(self, window_s=60.0):
         from repro.metrics import WindowAccumulator
