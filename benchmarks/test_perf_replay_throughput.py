@@ -214,6 +214,64 @@ def test_cluster_scale_workers_buy_wall_clock(cluster_measured):
     )
 
 
+class _Interrupt(Exception):
+    """Simulated kill: raised from inside the arrival stream."""
+
+
+def _interrupt_after(stream, count):
+    for fed, item in enumerate(stream):
+        if fed == count:
+            raise _Interrupt
+        yield item
+
+
+def test_sharded_checkpoint_kill_and_resume_smoke(measured, tmp_path):
+    # CI smoke for the per-shard checkpoint protocol at benchmark scale:
+    # a 2-worker checkpointed replay killed mid-trace (every shard ~40k
+    # requests in) resumes in fresh processes to the exact summary the
+    # uncheckpointed benchmark produced, and cleans up its files.
+    import math
+
+    from repro.faas.snapshot import run_stream_checkpointed
+    from repro.workloads.shard import (
+        build_shard_replay,
+        prepare_sharded_checkpoint,
+        run_sharded_checkpointed,
+    )
+
+    trace, requests, _, summaries = measured
+    path = tmp_path / "bench.ckpt"
+    fingerprint = {"benchmark": "replay_throughput"}
+    shards, shard_paths, fingerprints, resumed = prepare_sharded_checkpoint(
+        trace, path, SPEC, 2, fingerprint
+    )
+    assert not resumed
+    for shard, shard_path, shard_fp in zip(shards, shard_paths, fingerprints):
+        platform, stream, accumulator = build_shard_replay(SPEC, shard)
+        with pytest.raises(_Interrupt):
+            run_stream_checkpointed(
+                platform,
+                _interrupt_after(stream, 40_000),
+                accumulator,
+                shard_path,
+                flush_at=math.inf,
+                keep=True,
+                fingerprint=shard_fp,
+            )
+    start = time.perf_counter()
+    summary = run_sharded_checkpointed(
+        trace, path, SPEC, workers=2, fingerprint=fingerprint
+    )
+    elapsed = time.perf_counter() - start
+    assert summary == summaries[1]
+    assert list(tmp_path.iterdir()) == []
+    print_header("Sharded checkpoint kill-and-resume smoke (2 workers)")
+    print(
+        f"killed both shards at 40k requests; resume replayed the rest of "
+        f"{requests} in {elapsed:.3f}s and merged bit-identically"
+    )
+
+
 def test_no_regression_vs_committed_baseline(measured):
     if COMMITTED is None:
         pytest.skip("no committed BENCH_replay_throughput.json to compare against")

@@ -31,6 +31,7 @@ from __future__ import annotations
 
 import argparse
 import json
+import math
 import sys
 from pathlib import Path
 
@@ -79,7 +80,11 @@ from repro.workloads.replay import (
     compile_trace,
     make_arrival_model,
 )
-from repro.workloads.shard import ShardReplaySpec, replay_sharded
+from repro.workloads.shard import (
+    ShardReplaySpec,
+    replay_sharded,
+    run_sharded_checkpointed,
+)
 from repro.workloads.trace import TraceGenerator
 
 
@@ -479,6 +484,22 @@ def cmd_regions(args: argparse.Namespace) -> int:
     return 0
 
 
+#: Every CLI flag the deterministic stream and platform are built from:
+#: the replay fingerprint written into checkpoints, so resuming under
+#: different flags fails loudly instead of blending two workloads into
+#: one report.  --workers is deliberately absent — the sharded manifest
+#: validates it separately (with its own targeted error).
+_REPLAY_FINGERPRINT_FLAGS = (
+    "apps", "duration_hours", "window_hours", "requests_per_window",
+    "scale", "arrival_model", "shift_hours", "exec_ms", "seed",
+    "max_containers", "max_concurrency", "keep_alive", "queue_capacity",
+    "scaling_policy", "target", "grace", "stable_window", "panic_window",
+    "panic_threshold", "forecaster", "season_windows", "forecast_window",
+    "prewarm_lead", "prewarm_headroom", "price_gb_second",
+    "price_million_requests", "cold_start_surcharge", "qos_mix",
+)
+
+
 def cmd_replay(args: argparse.Namespace) -> int:
     try:
         shift_hours = tuple(
@@ -490,6 +511,19 @@ def cmd_replay(args: argparse.Namespace) -> int:
             file=sys.stderr,
         )
         return 1
+    # float() happily parses "nan"/"inf"/"-3", none of which is a
+    # simulation hour: NaN poisons every window comparison downstream
+    # and a negative/infinite shift can never fire.
+    bad_hours = [
+        hour for hour in shift_hours if not math.isfinite(hour) or hour < 0
+    ]
+    if bad_hours:
+        print(
+            "--shift-hours must be finite and >= 0; got "
+            f"{', '.join(f'{hour:g}' for hour in bad_hours)}",
+            file=sys.stderr,
+        )
+        return 1
     if args.workers is not None and args.workers < 1:
         print(f"--workers must be at least 1; got {args.workers}", file=sys.stderr)
         return 1
@@ -497,20 +531,6 @@ def cmd_replay(args: argparse.Namespace) -> int:
         print(
             "--workers/--checkpoint need the single-cluster engine; federated "
             "replay shares routing state across regions and cannot shard",
-            file=sys.stderr,
-        )
-        return 1
-    if args.checkpoint and (args.workers or 1) > 1:
-        # Tracked limitation: a checkpoint captures ONE cluster event loop
-        # plus ONE accumulator; sharded replay runs N independent loops, so
-        # resuming would need per-shard checkpoint files and a merge-on-
-        # resume protocol that does not exist yet (see ROADMAP.md).
-        print(
-            "--checkpoint with --workers > 1 is a tracked limitation: "
-            "checkpoints capture a single cluster event loop, and sharded "
-            "replay runs one loop per worker (per-shard checkpointing is on "
-            "the roadmap). Re-run with --workers 1 for a resumable replay, "
-            "or drop --checkpoint to shard.",
             file=sys.stderr,
         )
         return 1
@@ -589,12 +609,14 @@ def cmd_replay(args: argparse.Namespace) -> int:
             as_paths(assign_regions(stream, assigner)), accumulator
         )
         served = federation.served_counts()
-    elif args.workers is not None and args.checkpoint is None:
+    elif args.workers is not None:
         # Sharded engine: split the trace's apps across worker processes
         # and merge the per-shard summaries (bit-identical to 1 worker,
-        # provisioned tails charged to natural expiry).  --workers 1
-        # --checkpoint falls through to the checkpointed engine below —
-        # the user asked for durability, not sharding.
+        # provisioned tails charged to natural expiry).  With
+        # --checkpoint, every worker writes its own per-shard checkpoint
+        # file coordinated by a manifest at the checkpoint path, so the
+        # sharded run is resumable too — killed mid-trace, rerunning the
+        # same command resumes every shard from its last window boundary.
         spec = ShardReplaySpec(
             platform=bench_platform_config(record_traces=False),
             fleet=fleet,
@@ -608,7 +630,29 @@ def cmd_replay(args: argparse.Namespace) -> int:
             qos=qos_mix,
             qos_seed=args.seed,
         )
-        summary = replay_sharded(trace, spec, workers=args.workers)
+        if args.checkpoint:
+            fingerprint = {
+                flag: getattr(args, flag) for flag in _REPLAY_FINGERPRINT_FLAGS
+            }
+            resumed = Path(args.checkpoint).exists()
+            try:
+                summary = run_sharded_checkpointed(
+                    trace,
+                    args.checkpoint,
+                    spec,
+                    workers=args.workers,
+                    fingerprint=fingerprint,
+                )
+            except ReproError as error:
+                print(
+                    f"cannot resume from {args.checkpoint}: {error}",
+                    file=sys.stderr,
+                )
+                return 1
+            if resumed:
+                print(f"resumed from checkpoint {args.checkpoint}")
+        else:
+            summary = replay_sharded(trace, spec, workers=args.workers)
     else:
         platform = ClusterPlatform(
             config=bench_platform_config(record_traces=False),
@@ -618,23 +662,8 @@ def cmd_replay(args: argparse.Namespace) -> int:
         )
         deploy_trace(platform, trace, exec_ms=args.exec_ms)
         if args.checkpoint:
-            # Everything the deterministic stream and platform are built
-            # from: resuming under different flags must fail loudly, not
-            # blend two workloads into one report.
             fingerprint = {
-                flag: getattr(args, flag)
-                for flag in (
-                    "apps", "duration_hours", "window_hours",
-                    "requests_per_window", "scale", "arrival_model",
-                    "shift_hours", "exec_ms", "seed", "max_containers",
-                    "max_concurrency", "keep_alive", "queue_capacity",
-                    "scaling_policy", "target", "grace", "stable_window",
-                    "panic_window", "panic_threshold", "forecaster",
-                    "season_windows", "forecast_window", "prewarm_lead",
-                    "prewarm_headroom", "price_gb_second",
-                    "price_million_requests", "cold_start_surcharge",
-                    "qos_mix",
-                )
+                flag: getattr(args, flag) for flag in _REPLAY_FINGERPRINT_FLAGS
             }
             resumed = Path(args.checkpoint).exists()
             try:
@@ -671,8 +700,11 @@ def cmd_replay(args: argparse.Namespace) -> int:
     if qos_mix is not None:
         mix = ", ".join(f"{cls.name}={cls.arrival_weight:g}" for cls in qos_mix)
         print(f"qos mix  : {mix}")
-    if args.workers is not None and args.checkpoint is None:
-        print(f"engine   : sharded, {args.workers} worker process(es)")
+    if args.workers is not None:
+        checkpointed = ", checkpointed" if args.checkpoint else ""
+        print(
+            f"engine   : sharded, {args.workers} worker process(es){checkpointed}"
+        )
     if served is not None:
         routed = "  ".join(f"{region}={count}" for region, count in served.items())
         print(f"routing  : {args.routing} ({args.assignment})   served: {routed}")
@@ -849,6 +881,10 @@ def build_parser() -> argparse.ArgumentParser:
             "processes; merged results are bit-identical to one worker) "
             "and survive interruption with --checkpoint PATH (state is "
             "saved every window; rerunning the same command resumes). "
+            "The two compose: --workers 4 --checkpoint PATH writes one "
+            "checkpoint file per shard plus a manifest at PATH, and a "
+            "killed run resumes every shard from its last window "
+            "boundary — the worker count must match the manifest's. "
             "--qos-mix 'critical=1,standard=5,batch=4' tags every request "
             "with a QoS class (utility, deadline, penalties) and adds the "
             "per-class deadline-violation/utility report; with --regions, "
@@ -907,7 +943,8 @@ def build_parser() -> argparse.ArgumentParser:
         "--checkpoint",
         default=None,
         help="write a resumable checkpoint at every window boundary; "
-        "if the file exists, resume the interrupted replay from it",
+        "if the file exists, resume the interrupted replay from it "
+        "(with --workers N: one checkpoint per shard + a manifest here)",
     )
     replay.add_argument(
         "--regions",

@@ -30,5 +30,17 @@ class WorkloadError(ReproError):
     """A workload/trace definition is invalid or exhausted."""
 
 
+class CheckpointError(WorkloadError):
+    """A replay checkpoint (or shard manifest) is corrupt or inconsistent.
+
+    Raised whenever on-disk checkpoint state cannot be trusted — truncated
+    JSON, a scratch file left by a crashed writer, a manifest whose shard
+    files are missing, or a resume whose worker count / fingerprint /
+    partition disagrees with what the checkpoint was written under.
+    Resuming past any of these would silently blend two replays into one
+    report, so they all fail loudly instead.
+    """
+
+
 class StorageError(ReproError):
     """The emulated cloud storage rejected an operation."""

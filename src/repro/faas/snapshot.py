@@ -31,6 +31,18 @@ arrivals were consumed; on resume the caller passes a freshly compiled
 (deterministic) stream and the driver skips that many events.  Checkpoints
 are written at window boundaries, where they cost one JSON dump per
 simulated window.
+
+Sharded replays checkpoint **per shard**: each worker writes its own
+checkpoint file (``<path>.shard-K-of-N.json``, via the same
+:func:`write_checkpoint`) and a coordinator *manifest* at ``<path>``
+records the worker count, the app → shard partition, and the shared
+replay fingerprint (:func:`write_manifest`/:func:`load_manifest`).  The
+driver side lives in :func:`repro.workloads.shard.run_sharded_checkpointed`.
+All writes are atomic (scratch + fsync + rename, per-process-unique
+scratch names) and every inconsistency — truncated JSON, a crashed
+writer's leftover scratch, a manifest whose shard files are missing, a
+mismatched worker count — raises :class:`~repro.common.errors.CheckpointError`
+instead of silently blending or restarting a replay.
 """
 
 from __future__ import annotations
@@ -42,7 +54,7 @@ from itertools import islice
 from pathlib import Path
 from typing import Callable, Iterable
 
-from repro.common.errors import DeploymentError, WorkloadError
+from repro.common.errors import CheckpointError, DeploymentError, WorkloadError
 from repro.common.rng import SeededRNG, derive_seed
 from repro.faas.cluster import ClusterPlatform, _FleetContainer
 from repro.faas.events import InvocationRecord
@@ -55,6 +67,15 @@ from repro.metrics.windows import _Window
 #: 3: fleets carry observation-window counters (window_index /
 #: window_arrivals) feeding ScalingPolicy.observe_window.
 CHECKPOINT_FORMAT = 3
+
+#: Bumped whenever the shard-manifest layout changes incompatibly.
+MANIFEST_FORMAT = 1
+
+#: Discriminator field value for shard manifests, so a manifest handed to
+#: :func:`load_checkpoint` (or a checkpoint handed to
+#: :func:`load_manifest`) fails with a targeted message instead of a
+#: confusing format error.
+MANIFEST_KIND = "shard-manifest"
 
 
 # -- RNG state ---------------------------------------------------------------
@@ -319,6 +340,52 @@ def restore_accumulator(accumulator: WindowAccumulator, state: dict) -> None:
 # -- the checkpointed streaming driver --------------------------------------
 
 
+def _write_json_atomic(path: Path, payload: dict) -> None:
+    """Durably, atomically write ``payload`` as JSON to ``path``.
+
+    The payload lands in a scratch file first and is ``os.replace``d over
+    the destination, so readers only ever see a complete document.  The
+    scratch is fsynced before the rename — without it, "atomic" only
+    orders the metadata, and a power loss could publish a zero-length
+    checkpoint.  The scratch name carries the writer's pid so concurrent
+    shard workers can never collide on it, and it is removed on any
+    failure between creation and rename, so an exploded serialization
+    never leaks a ``.tmp`` next to the checkpoint.
+    """
+    scratch = path.with_name(f"{path.name}.{os.getpid()}.tmp")
+    try:
+        with open(scratch, "w") as handle:
+            handle.write(json.dumps(payload))
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(scratch, path)
+    finally:
+        scratch.unlink(missing_ok=True)
+
+
+def reject_stale_scratch(path: str | Path) -> None:
+    """Fail loudly when a crashed writer left scratch files near ``path``.
+
+    A ``<path>*.tmp`` leftover means a writer died *mid-write* (only a
+    hard kill can leak one past :func:`_write_json_atomic`'s cleanup).
+    The published checkpoint — if any — is still the last consistent
+    state, but silently ignoring the wreckage invites exactly the
+    half-written-state confusion checkpoints exist to prevent, so resume
+    refuses until the user deletes the scratch.
+    """
+    path = Path(path)
+    if not path.parent.exists():
+        return
+    stale = sorted(path.parent.glob(path.name + "*.tmp"))
+    if stale:
+        names = ", ".join(item.name for item in stale)
+        raise CheckpointError(
+            f"stale checkpoint scratch file(s) next to {path}: {names} — a "
+            "previous writer crashed mid-write; the checkpoint itself is the "
+            "last consistent state, delete the scratch file(s) to resume"
+        )
+
+
 def write_checkpoint(
     path: str | Path,
     platform: ClusterPlatform,
@@ -326,7 +393,7 @@ def write_checkpoint(
     consumed: int,
     fingerprint: dict | None = None,
 ) -> None:
-    """Atomically persist a replay checkpoint to ``path``.
+    """Atomically and durably persist a replay checkpoint to ``path``.
 
     ``consumed`` is the number of arrivals already fed from the
     (deterministic, recompilable) stream; resume skips exactly that many.
@@ -344,18 +411,93 @@ def write_checkpoint(
         "platform": platform_state(platform),
         "accumulator": accumulator_state(accumulator),
     }
-    path = Path(path)
-    scratch = path.with_suffix(path.suffix + ".tmp")
-    scratch.write_text(json.dumps(payload))
-    os.replace(scratch, path)
+    _write_json_atomic(Path(path), payload)
+
+
+def _load_json(path: Path, what: str) -> dict:
+    try:
+        data = json.loads(path.read_text())
+    except json.JSONDecodeError as error:
+        raise CheckpointError(
+            f"{what} {path} is corrupted (truncated or partial JSON: "
+            f"{error}) — delete it to restart from scratch"
+        ) from error
+    if not isinstance(data, dict):
+        raise CheckpointError(
+            f"{what} {path} does not hold a JSON object — delete it to "
+            "restart from scratch"
+        )
+    return data
 
 
 def load_checkpoint(path: str | Path) -> dict:
     """Read a checkpoint written by :func:`write_checkpoint`."""
-    data = json.loads(Path(path).read_text())
+    path = Path(path)
+    data = _load_json(path, "checkpoint")
+    if data.get("kind") == MANIFEST_KIND:
+        raise CheckpointError(
+            f"{path} is a sharded-replay manifest, not a single-run "
+            "checkpoint — resume it with the original --workers count"
+        )
     if data.get("format") != CHECKPOINT_FORMAT:
         raise WorkloadError(
             f"unsupported checkpoint format {data.get('format')!r} in {path}"
+        )
+    return data
+
+
+# -- the per-shard manifest --------------------------------------------------
+
+
+def shard_checkpoint_path(path: str | Path, shard: int, shards: int) -> Path:
+    """Where shard ``shard`` of ``shards`` checkpoints, for manifest ``path``."""
+    path = Path(path)
+    return path.with_name(f"{path.name}.shard-{shard}-of-{shards}.json")
+
+
+def write_manifest(
+    path: str | Path,
+    workers: int,
+    partition: dict[str, int],
+    fingerprint: dict | None = None,
+) -> None:
+    """Atomically persist the coordinator manifest of a sharded replay.
+
+    The manifest is the rendezvous point of per-shard checkpointing
+    (:func:`repro.workloads.shard.run_sharded_checkpointed`): it records
+    the worker count, the app-name → shard-index partition, and the
+    shared replay fingerprint, plus the shard checkpoint filenames it
+    governs.  Resume validates all three before any worker starts, so a
+    mismatched ``--workers`` (or a different trace) fails loudly instead
+    of each shard skipping into the wrong deterministic stream.
+    """
+    payload = {
+        "kind": MANIFEST_KIND,
+        "format": MANIFEST_FORMAT,
+        "workers": workers,
+        "partition": dict(sorted(partition.items())),
+        "fingerprint": fingerprint,
+        "shards": [
+            shard_checkpoint_path(path, shard, workers).name
+            for shard in range(workers)
+        ],
+    }
+    _write_json_atomic(Path(path), payload)
+
+
+def load_manifest(path: str | Path) -> dict:
+    """Read a manifest written by :func:`write_manifest`."""
+    path = Path(path)
+    data = _load_json(path, "manifest")
+    if data.get("kind") != MANIFEST_KIND:
+        raise CheckpointError(
+            f"{path} is not a sharded-replay manifest (a single-run "
+            "checkpoint from a --workers-less replay?) — resume it without "
+            "--workers, or delete it to restart"
+        )
+    if data.get("format") != MANIFEST_FORMAT:
+        raise CheckpointError(
+            f"unsupported manifest format {data.get('format')!r} in {path}"
         )
     return data
 
@@ -389,6 +531,7 @@ def run_stream_checkpointed(
     checkpoint on disk; rerunning the same command continues it.
     """
     path = Path(path)
+    reject_stale_scratch(path)
     consumed = 0
     if path.exists():
         data = load_checkpoint(path)

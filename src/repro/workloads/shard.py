@@ -32,6 +32,13 @@ everything a worker needs (the sub-trace, the :class:`ShardReplaySpec`)
 is a plain picklable dataclass.  Throughput at 1/2/4 workers is measured
 by ``benchmarks/test_perf_replay_throughput.py`` into
 ``BENCH_replay_throughput.json``.
+
+Sharded replays are also *resumable*: :func:`run_sharded_checkpointed`
+gives every worker its own durable checkpoint file plus a coordinator
+manifest, so a multi-day sharded run killed mid-trace picks up from the
+last window boundary of every shard and still merges bit-identically
+(``tests/workloads/test_shard_checkpoint.py`` pins this, including
+kill-at-any-point under hypothesis).
 """
 
 from __future__ import annotations
@@ -39,12 +46,21 @@ from __future__ import annotations
 import math
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass
+from pathlib import Path
 
-from repro.common.errors import WorkloadError
+from repro.common.errors import CheckpointError, WorkloadError
 from repro.common.rng import derive_seed
 from repro.faas.cluster import ClusterPlatform, FleetConfig
 from repro.faas.replaydeploy import deploy_trace
 from repro.faas.sim import SimPlatformConfig
+from repro.faas.snapshot import (
+    load_manifest,
+    reject_stale_scratch,
+    run_stream_checkpointed,
+    shard_checkpoint_path,
+    write_checkpoint,
+    write_manifest,
+)
 from repro.metrics import PricingModel, QoSClass, WindowAccumulator, WindowedSummary
 from repro.workloads.replay import ArrivalModel, assign_qos, compile_trace
 from repro.workloads.trace import ProductionTrace
@@ -119,12 +135,16 @@ class ShardReplaySpec:
     qos_seed: int = 0
 
 
-def replay_shard(spec: ShardReplaySpec, trace: ProductionTrace) -> WindowedSummary:
-    """Replay one (sub-)trace on a fresh cluster; the shard worker body.
+def build_shard_replay(
+    spec: ShardReplaySpec, trace: ProductionTrace
+) -> tuple[ClusterPlatform, object, WindowAccumulator]:
+    """Build one shard's deployed platform, compiled stream, and accumulator.
 
-    Also the one-shard path of :func:`replay_sharded`, so a 1-worker run
-    and an N-worker run execute literally the same code per shard.
-    Flushes provisioned tails at natural expiry (see module docstring).
+    Everything here is deterministic in ``(spec, trace)``: per-(app,
+    window, handler) replay RNGs and per-app jitter/QoS seeds mean the
+    same sub-trace always compiles to the same stream on the same
+    platform — the property both the sharded merge and checkpoint resume
+    lean on.
     """
     platform = ClusterPlatform(
         config=spec.platform, fleet=spec.fleet, seed=spec.seed, qos=spec.qos
@@ -142,6 +162,17 @@ def replay_shard(spec: ShardReplaySpec, trace: ProductionTrace) -> WindowedSumma
     if spec.qos is not None:
         stream = assign_qos(stream, spec.qos, seed=spec.qos_seed)
     accumulator = WindowAccumulator(window_s=spec.window_s, pricing=spec.pricing)
+    return platform, stream, accumulator
+
+
+def replay_shard(spec: ShardReplaySpec, trace: ProductionTrace) -> WindowedSummary:
+    """Replay one (sub-)trace on a fresh cluster; the shard worker body.
+
+    Also the one-shard path of :func:`replay_sharded`, so a 1-worker run
+    and an N-worker run execute literally the same code per shard.
+    Flushes provisioned tails at natural expiry (see module docstring).
+    """
+    platform, stream, accumulator = build_shard_replay(spec, trace)
     return platform.run_stream(stream, accumulator, flush_at=math.inf)
 
 
@@ -167,3 +198,176 @@ def replay_sharded(
         with ProcessPoolExecutor(max_workers=len(shards)) as pool:
             summaries = list(pool.map(replay_shard, [spec] * len(shards), shards))
     return WindowedSummary.merge(summaries)
+
+
+# -- checkpointed sharded replay ---------------------------------------------
+
+
+def shard_fingerprint(
+    fingerprint: dict | None, shard: int, workers: int
+) -> dict:
+    """The per-shard fingerprint a shard checkpoint is validated against.
+
+    Wraps the run-wide replay fingerprint with the shard's identity, so a
+    shard file that is renamed, copied between runs, or resumed under a
+    different partition fails :func:`run_stream_checkpointed`'s
+    fingerprint check even when the run-wide flags match.
+    """
+    return {"replay": fingerprint, "shard": shard, "workers": workers}
+
+
+def checkpointed_shard(
+    spec: ShardReplaySpec,
+    trace: ProductionTrace,
+    path: str,
+    fingerprint: dict,
+) -> WindowedSummary:
+    """The checkpointed shard worker body (module-level: pool-picklable).
+
+    Identical to :func:`replay_shard` except the stream is driven through
+    :func:`run_stream_checkpointed`: the worker resumes from its shard
+    checkpoint (the coordinator guarantees one exists, if only the
+    consumed-0 initial state), writes a fresh one at every window
+    boundary, and *keeps* its final checkpoint — only the coordinator
+    deletes shard files, after the merge, so a kill between one shard
+    finishing and the run completing stays resumable everywhere.
+    """
+    platform, stream, accumulator = build_shard_replay(spec, trace)
+    return run_stream_checkpointed(
+        platform,
+        stream,
+        accumulator,
+        path,
+        flush_at=math.inf,
+        keep=True,
+        fingerprint=fingerprint,
+    )
+
+
+def prepare_sharded_checkpoint(
+    trace: ProductionTrace,
+    path: str | Path,
+    spec: ShardReplaySpec,
+    workers: int,
+    fingerprint: dict | None = None,
+) -> tuple[list[ProductionTrace], list[Path], list[dict], bool]:
+    """Validate-or-create the on-disk state of a checkpointed sharded run.
+
+    Returns ``(shards, shard_paths, shard_fingerprints, resumed)``.
+
+    Fresh run (no manifest at ``path``): every shard's *initial*
+    checkpoint (consumed ``0``, freshly deployed platform, empty
+    accumulator) is written **before** the manifest, so the manifest's
+    invariant — every shard file it references exists — holds from the
+    instant it appears on disk, whatever gets killed when.
+
+    Resume (manifest present): the manifest's format, worker count,
+    fingerprint, and re-derived app partition are all validated, and
+    every referenced shard file must exist; any mismatch raises
+    :class:`CheckpointError` *before* a single worker starts, so a wrong
+    ``--workers`` or a different trace can never skip a shard into the
+    wrong deterministic stream (nor silently restart one from zero).
+    """
+    if workers < 1:
+        raise WorkloadError(f"need at least one worker: {workers}")
+    path = Path(path)
+    reject_stale_scratch(path)
+    shards = shard_trace(trace, workers)
+    partition = {app.name: shard_index(app.name, workers) for app in trace.apps}
+    shard_paths = [
+        shard_checkpoint_path(path, shard, workers) for shard in range(workers)
+    ]
+    fingerprints = [
+        shard_fingerprint(fingerprint, shard, workers) for shard in range(workers)
+    ]
+    resumed = path.exists()
+    if resumed:
+        manifest = load_manifest(path)
+        if manifest["workers"] != workers:
+            raise CheckpointError(
+                f"checkpoint manifest {path} was written by a "
+                f"{manifest['workers']}-worker replay; this run has "
+                f"--workers {workers}. Shard checkpoints only resume under "
+                f"the worker count that wrote them — re-run with --workers "
+                f"{manifest['workers']}, or delete the checkpoint files to "
+                "start over"
+            )
+        if manifest.get("fingerprint") != fingerprint:
+            raise CheckpointError(
+                f"checkpoint manifest {path} was written by a "
+                f"differently-configured replay (manifest fingerprint "
+                f"{manifest.get('fingerprint')!r}, this run {fingerprint!r}); "
+                "resuming would blend two workloads — delete the checkpoint "
+                "files or re-run with the original flags"
+            )
+        if manifest.get("partition") != partition:
+            raise CheckpointError(
+                f"checkpoint manifest {path} partitions a different trace "
+                "across its shards; resuming would blend two workloads — "
+                "delete the checkpoint files or re-run with the original "
+                "trace flags"
+            )
+        for shard_path in shard_paths:
+            if not shard_path.exists():
+                raise CheckpointError(
+                    f"manifest {path} references shard checkpoint "
+                    f"{shard_path.name}, which is missing — a partial resume "
+                    "would silently restart that shard from zero; delete the "
+                    "manifest and remaining shard files to start over"
+                )
+    else:
+        for shard, shard_path, fp in zip(shards, shard_paths, fingerprints):
+            platform, _, accumulator = build_shard_replay(spec, shard)
+            write_checkpoint(shard_path, platform, accumulator, 0, fp)
+        write_manifest(path, workers, partition, fingerprint)
+    return shards, shard_paths, fingerprints, resumed
+
+
+def run_sharded_checkpointed(
+    trace: ProductionTrace,
+    path: str | Path,
+    spec: ShardReplaySpec | None = None,
+    workers: int = 1,
+    fingerprint: dict | None = None,
+    keep: bool = False,
+) -> WindowedSummary:
+    """:func:`replay_sharded` with per-shard durable checkpoints.
+
+    Each worker checkpoints its own event loop + accumulator at window
+    boundaries (``<path>.shard-K-of-N.json``), coordinated by the
+    manifest at ``path`` (see :func:`prepare_sharded_checkpoint`).  If
+    the manifest exists the run *resumes*: the deterministic per-shard
+    streams are recompiled, each worker restores its last boundary state
+    and skips its consumed prefix, and the per-shard summaries merge
+    through :meth:`WindowedSummary.merge` — bit-identical to an
+    uninterrupted run at any worker count, which is itself bit-identical
+    to the unsharded :func:`replay_shard` (tails flush at natural
+    expiry, exactly like :func:`replay_sharded`).  On success every
+    checkpoint file is removed unless ``keep``.
+    """
+    spec = spec if spec is not None else ShardReplaySpec()
+    path = Path(path)
+    shards, shard_paths, fingerprints, _ = prepare_sharded_checkpoint(
+        trace, path, spec, workers, fingerprint
+    )
+    if workers == 1:
+        summaries = [
+            checkpointed_shard(spec, shards[0], str(shard_paths[0]), fingerprints[0])
+        ]
+    else:
+        with ProcessPoolExecutor(max_workers=workers) as pool:
+            summaries = list(
+                pool.map(
+                    checkpointed_shard,
+                    [spec] * workers,
+                    shards,
+                    [str(shard_path) for shard_path in shard_paths],
+                    fingerprints,
+                )
+            )
+    summary = WindowedSummary.merge(summaries)
+    if not keep:
+        for shard_path in shard_paths:
+            shard_path.unlink(missing_ok=True)
+        path.unlink(missing_ok=True)
+    return summary

@@ -12,12 +12,14 @@ from __future__ import annotations
 
 import json
 import math
+import os
 from concurrent.futures import ProcessPoolExecutor
 from pathlib import Path
 
 import pytest
 
-from repro.common.errors import DeploymentError, WorkloadError
+import repro.faas.snapshot as snapshot
+from repro.common.errors import CheckpointError, DeploymentError, WorkloadError
 from repro.faas.autoscale import PanicWindow, PerRequest, TargetUtilization
 from repro.faas.cluster import ClusterPlatform, FleetConfig
 from repro.faas.forecast import HoltWintersForecaster, Predictive
@@ -410,4 +412,93 @@ class TestStateSerialization:
         path = tmp_path / "ckpt.json"
         write_checkpoint(path, platform, accumulator, consumed=0)
         assert load_checkpoint(path)["consumed"] == 0
-        assert not Path(str(path) + ".tmp").exists()
+        assert list(tmp_path.glob("*.tmp")) == []
+
+
+class TestDurability:
+    """The atomic-write guarantees: no scratch leaks, fsync before rename.
+
+    A checkpoint is only worth keeping if it is *durable* (fsynced before
+    the rename publishes it) and the scratch machinery never leaves
+    wreckage behind when serialization itself explodes — the two bugs
+    these tests pin closed.
+    """
+
+    def test_failed_serialization_leaks_no_scratch(self, tmp_path, monkeypatch):
+        """json.dumps raising must not leave a ``.tmp`` next to the path."""
+        platform, _ = build_platform()
+        path = tmp_path / "ckpt.json"
+
+        def explode(payload):
+            raise ValueError("unserializable")
+
+        monkeypatch.setattr(snapshot.json, "dumps", explode)
+        with pytest.raises(ValueError):
+            write_checkpoint(path, platform, WindowAccumulator(3600.0), 0)
+        assert list(tmp_path.iterdir()) == []  # no checkpoint, no scratch
+
+    def test_scratch_is_fsynced_before_rename(self, tmp_path, monkeypatch):
+        """Durability ordering: data hits disk before the rename publishes."""
+        platform, _ = build_platform()
+        path = tmp_path / "ckpt.json"
+        calls: list[str] = []
+        real_fsync, real_replace = os.fsync, os.replace
+        monkeypatch.setattr(
+            snapshot.os,
+            "fsync",
+            lambda fd: (calls.append("fsync"), real_fsync(fd))[1],
+        )
+        monkeypatch.setattr(
+            snapshot.os,
+            "replace",
+            lambda src, dst: (calls.append("replace"), real_replace(src, dst))[1],
+        )
+        write_checkpoint(path, platform, WindowAccumulator(3600.0), 0)
+        assert calls == ["fsync", "replace"]
+
+    def test_scratch_name_is_per_process_unique(self, tmp_path, monkeypatch):
+        """Concurrent shard workers must never collide on a scratch name."""
+        platform, _ = build_platform()
+        path = tmp_path / "ckpt.json"
+        seen: list[str] = []
+        real_replace = os.replace
+        monkeypatch.setattr(
+            snapshot.os,
+            "replace",
+            lambda src, dst: (seen.append(str(src)), real_replace(src, dst))[1],
+        )
+        write_checkpoint(path, platform, WindowAccumulator(3600.0), 0)
+        assert seen == [str(tmp_path / f"ckpt.json.{os.getpid()}.tmp")]
+
+    def test_truncated_checkpoint_fails_loudly(self, tmp_path):
+        platform, stream = build_platform()
+        path = tmp_path / "ckpt.json"
+        with pytest.raises(_Interrupt):
+            run_stream_checkpointed(
+                platform,
+                interrupt_after(stream, 4000),
+                WindowAccumulator(3600.0),
+                path,
+            )
+        path.write_text(path.read_text()[:40])  # simulate a torn write
+        platform, stream = build_platform()
+        with pytest.raises(CheckpointError, match="corrupted"):
+            run_stream_checkpointed(
+                platform, stream, WindowAccumulator(3600.0), path
+            )
+
+    def test_non_object_checkpoint_fails_loudly(self, tmp_path):
+        path = tmp_path / "ckpt.json"
+        path.write_text("[1, 2, 3]")
+        with pytest.raises(CheckpointError, match="JSON object"):
+            load_checkpoint(path)
+
+    def test_stale_scratch_blocks_resume(self, tmp_path):
+        """A crashed writer's leftover ``.tmp`` must stop the next run."""
+        platform, stream = build_platform()
+        path = tmp_path / "ckpt.json"
+        (tmp_path / "ckpt.json.99999.tmp").write_text('{"format"')
+        with pytest.raises(CheckpointError, match="crashed mid-write"):
+            run_stream_checkpointed(
+                platform, stream, WindowAccumulator(3600.0), path
+            )

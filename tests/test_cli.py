@@ -397,6 +397,17 @@ class TestReplayCommand:
         assert "comma-separated numbers" in captured.err
         assert captured.out == ""
 
+    @pytest.mark.parametrize("bad", ["nan", "inf", "-inf", "-4", "2,nan,6"])
+    def test_replay_rejects_nonfinite_or_negative_shift_hours(self, capsys, bad):
+        # float() happily parses 'nan'/'inf', and a negative hour can
+        # never fire — all of them must fail loudly, not replay silently
+        # with a shift event that never happens.
+        code = main(["replay", f"--shift-hours={bad}"])
+        assert code == 1
+        captured = capsys.readouterr()
+        assert "--shift-hours must be finite and >= 0" in captured.err
+        assert captured.out == ""
+
     def test_replay_rejects_malformed_region_weights(self, capsys):
         code = main(
             ["replay", "--apps", "2", "--regions", "us,eu",
@@ -508,9 +519,11 @@ class TestReplayCommand:
     def test_replay_single_worker_with_checkpoint_really_checkpoints(
         self, capsys, tmp_path, monkeypatch
     ):
-        # --workers 1 --checkpoint must use the checkpointed engine, not
-        # silently drop durability on the sharded-engine branch.
+        # --workers 1 --checkpoint must use the checkpointed sharded
+        # engine: boundary checkpoints land in the per-shard file, the
+        # manifest at the given path, and everything is cleaned up.
         from repro.faas import snapshot
+        from repro.faas.snapshot import shard_checkpoint_path
 
         path = tmp_path / "w1.ckpt"
         written = []
@@ -528,24 +541,50 @@ class TestReplayCommand:
         )
         assert code == 0
         out = capsys.readouterr().out
-        assert "engine   : sharded" not in out
-        assert written and all(Path(p) == path for p in map(Path, written))
-        assert not path.exists()  # cleaned up on success
+        assert "engine   : sharded, 1 worker process(es), checkpointed" in out
+        shard_path = shard_checkpoint_path(path, 0, 1)
+        assert written and all(Path(p) == shard_path for p in map(Path, written))
+        assert list(tmp_path.iterdir()) == []  # cleaned up on success
 
-    def test_replay_checkpoint_rejected_with_many_workers(self, capsys, tmp_path):
-        # Satellite: the rejection names the tracked limitation, exits
-        # non-zero, and never leaves a partial checkpoint file behind.
+    def test_replay_workers_and_checkpoint_compose(self, capsys, tmp_path):
+        # The old --workers x --checkpoint exclusion is gone: the
+        # composed run produces the exact sharded report and cleans up
+        # its manifest + per-shard checkpoint files.
         path = tmp_path / "sharded.ckpt"
+        base = ["replay", "--apps", "3", "--duration-hours", "36",
+                "--window-hours", "12", "--scale", "0.05", "--seed", "7"]
+        assert main(base + ["--workers", "2"]) == 0
+        sharded = capsys.readouterr().out
+        assert main(base + ["--workers", "2", "--checkpoint", str(path)]) == 0
+        checkpointed = capsys.readouterr().out
+        assert (
+            "engine   : sharded, 2 worker process(es), checkpointed"
+            in checkpointed
+        )
+        # Identical report modulo the engine line's ", checkpointed" tag.
+        assert checkpointed.replace(", checkpointed", "") == sharded
+        assert list(tmp_path.iterdir()) == []
+
+    def test_replay_checkpoint_rejects_mismatched_worker_count(
+        self, capsys, tmp_path
+    ):
+        # Satellite: resuming a 4-worker manifest with --workers 2 must
+        # fail loudly and point at the worker count that wrote it.
+        from repro.faas.snapshot import write_manifest
+
+        path = tmp_path / "sharded.ckpt"
+        write_manifest(path, workers=4, partition={})
         code = main(
             ["replay", "--apps", "2", "--workers", "2",
              "--checkpoint", str(path)]
         )
         assert code == 1
         captured = capsys.readouterr()
-        assert "tracked limitation" in captured.err
-        assert "--workers 1" in captured.err  # tells the user the way out
+        assert "cannot resume" in captured.err
+        assert "4-worker replay" in captured.err
+        assert "--workers 4" in captured.err  # tells the user the way out
         assert captured.out == ""
-        assert not path.exists()
+        assert path.exists()  # the manifest is left for the user
 
     def test_replay_rejects_nonpositive_workers(self, capsys):
         code = main(["replay", "--apps", "2", "--workers", "0"])

@@ -225,6 +225,30 @@ class TestWindowedMetrics:
         assert summary.window_at(75.0).arrivals == 2
         assert summary.window_at(500.0) is None
 
+    def test_window_at_indexed_lookup_pins_behavior(self):
+        # window_at is an O(1) indexed lookup (not a scan); every
+        # timestamp inside a window hits that window, misses — before,
+        # between (sparse windows), and after — return None, and the
+        # lazily built index never perturbs dataclass equality.
+        acc = self.make_accumulator(window_s=60.0)
+        acc.observe_arrival(10.0)
+        acc.observe_arrival(190.0)  # window 3 only: windows 1-2 are absent
+        summary = acc.finalize()
+        assert summary.window_at(0.0).index == 0
+        assert summary.window_at(59.999).index == 0
+        assert summary.window_at(60.0) is None  # sparse gap
+        assert summary.window_at(150.0) is None
+        assert summary.window_at(180.0).arrivals == 1
+        assert summary.window_at(-10.0) is None
+        assert summary.window_at(1e9) is None
+        # Repeated lookups (the cached-index path) agree with the first.
+        assert summary.window_at(10.0) is summary.window_at(20.0)
+        # The cache is invisible to equality with a fresh, unqueried twin.
+        twin = self.make_accumulator(window_s=60.0)
+        twin.observe_arrival(10.0)
+        twin.observe_arrival(190.0)
+        assert summary == twin.finalize()
+
     def test_merge_of_disjoint_sources_is_lossless(self):
         from repro.metrics import WindowedSummary
 
