@@ -25,6 +25,11 @@ Sub-commands mirror the tool's workflow plus the evaluation harness:
   visible
 * ``slimstart optimize --workspace DIR``  — rewrite a real workspace from
   a plan JSON file
+* ``slimstart obs summarize out.jsonl``   — query the append-only run
+  journal a journaled replay wrote (``slimstart replay --journal
+  out.jsonl``): ``query`` filters rows by kind/app/time window, ``tail``
+  shows the last events, ``summarize`` aggregates per-app and run
+  totals — all stream-scanning at O(1) memory
 """
 
 from __future__ import annotations
@@ -32,7 +37,9 @@ from __future__ import annotations
 import argparse
 import json
 import math
+import os
 import sys
+import time
 from pathlib import Path
 
 from repro.apps import benchmark_apps
@@ -68,6 +75,13 @@ from repro.faas.region import (
     replay_federated_workload,
 )
 from repro.faas.sim import SimPlatform
+from repro.obs import (
+    JournalWriter,
+    PhaseProfiler,
+    query_rows,
+    summarize_journal,
+    tail_rows,
+)
 from repro.plan import DeferralPlan
 from repro.workloads.arrival import poisson_schedule, regional_poisson_schedules
 from repro.workloads.replay import (
@@ -79,6 +93,7 @@ from repro.workloads.replay import (
     assign_regions,
     compile_trace,
     make_arrival_model,
+    progress_stream,
 )
 from repro.workloads.shard import (
     ShardReplaySpec,
@@ -500,6 +515,32 @@ _REPLAY_FINGERPRINT_FLAGS = (
 )
 
 
+def _replay_journal(
+    args: argparse.Namespace, fingerprint: dict | None = None
+) -> JournalWriter | None:
+    """The run's journal writer (not yet opened), or ``None`` sans --journal."""
+    if not args.journal:
+        return None
+    return JournalWriter(
+        args.journal,
+        window_s=args.window_hours * 3600.0,
+        fingerprint=fingerprint,
+        trace_sample=args.trace_sample,
+    )
+
+
+def _journaled(journal: JournalWriter | None, run):
+    """Run ``run(journal)`` inside the journal's begin/close lifecycle.
+
+    For the non-checkpointed engines only — the checkpoint drivers own
+    their journal's lifecycle themselves (resume/truncate on restart).
+    """
+    if journal is None:
+        return run(None)
+    with journal.begin():
+        return run(journal)
+
+
 def cmd_replay(args: argparse.Namespace) -> int:
     try:
         shift_hours = tuple(
@@ -534,6 +575,34 @@ def cmd_replay(args: argparse.Namespace) -> int:
             file=sys.stderr,
         )
         return 1
+    if not 0.0 <= args.trace_sample <= 1.0:
+        print(
+            f"--trace-sample must be in [0, 1]; got {args.trace_sample:g}",
+            file=sys.stderr,
+        )
+        return 1
+    if args.trace_sample > 0.0 and not args.journal:
+        print(
+            "--trace-sample writes sampled spans into the run journal; "
+            "it needs --journal PATH",
+            file=sys.stderr,
+        )
+        return 1
+    if args.journal and args.workers is not None and not args.checkpoint:
+        print(
+            "--journal with --workers needs --checkpoint: per-shard journals "
+            "flush and resume in lockstep with the per-shard checkpoints",
+            file=sys.stderr,
+        )
+        return 1
+    if args.profile and (args.workers is not None or args.regions):
+        print(
+            "--profile times the single-process single-cluster engine; "
+            "phase timings inside worker processes or the federation are "
+            "not observable from here",
+            file=sys.stderr,
+        )
+        return 1
     qos_mix = None
     if args.qos_mix:
         try:
@@ -560,6 +629,14 @@ def cmd_replay(args: argparse.Namespace) -> int:
         # name, assign_regions then inserts the origin ahead of it.  The
         # sharded engine re-compiles per shard and tags via its spec.
         stream = assign_qos(stream, qos_mix, seed=args.seed)
+    profiler = PhaseProfiler() if args.profile else None
+    if profiler is not None:
+        # Time spent inside the stream's next() is the compile phase;
+        # wrap before any passthrough so the measurement stays pure.
+        stream = profiler.wrap_iter(stream, "compile")
+    if args.progress and args.workers is None:
+        # Sharded runs heartbeat per worker instead (spec.progress).
+        stream = progress_stream(stream, args.window_hours * 3600.0)
     fleet = _fleet_config(args)
     accumulator = WindowAccumulator(
         window_s=args.window_hours * 3600.0, pricing=_pricing(args)
@@ -605,8 +682,11 @@ def cmd_replay(args: argparse.Namespace) -> int:
         deploy_trace(federation, trace, exec_ms=args.exec_ms)
         gateway = FederatedGateway(platform=federation)
         expose_trace(gateway, trace)
-        summary = gateway.submit_stream(
-            as_paths(assign_regions(stream, assigner)), accumulator
+        summary = _journaled(
+            _replay_journal(args),
+            lambda obs: gateway.submit_stream(
+                as_paths(assign_regions(stream, assigner)), accumulator, obs=obs
+            ),
         )
         served = federation.served_counts()
     elif args.workers is not None:
@@ -629,6 +709,7 @@ def cmd_replay(args: argparse.Namespace) -> int:
             exec_ms=args.exec_ms,
             qos=qos_mix,
             qos_seed=args.seed,
+            progress=args.progress,
         )
         if args.checkpoint:
             fingerprint = {
@@ -642,6 +723,8 @@ def cmd_replay(args: argparse.Namespace) -> int:
                     spec,
                     workers=args.workers,
                     fingerprint=fingerprint,
+                    journal=args.journal or None,
+                    trace_sample=args.trace_sample,
                 )
             except ReproError as error:
                 print(
@@ -661,6 +744,7 @@ def cmd_replay(args: argparse.Namespace) -> int:
             qos=qos_mix,
         )
         deploy_trace(platform, trace, exec_ms=args.exec_ms)
+        run_started = time.perf_counter()
         if args.checkpoint:
             fingerprint = {
                 flag: getattr(args, flag) for flag in _REPLAY_FINGERPRINT_FLAGS
@@ -670,6 +754,8 @@ def cmd_replay(args: argparse.Namespace) -> int:
                 summary = run_stream_checkpointed(
                     platform, stream, accumulator, args.checkpoint,
                     fingerprint=fingerprint,
+                    journal=_replay_journal(args, fingerprint=fingerprint),
+                    profiler=profiler,
                 )
             except ReproError as error:
                 print(
@@ -682,7 +768,15 @@ def cmd_replay(args: argparse.Namespace) -> int:
         else:
             gateway = Gateway(platform)
             expose_trace(gateway, trace)
-            summary = gateway.submit_stream(as_paths(stream), accumulator)
+            summary = _journaled(
+                _replay_journal(args),
+                lambda obs: gateway.submit_stream(
+                    as_paths(stream), accumulator, obs=obs
+                ),
+            )
+        if profiler is not None:
+            profiler.add("total", time.perf_counter() - run_started)
+            profiler.derive("event-loop", "total", "compile", "checkpoint-write")
     if summary.arrivals == 0:
         print(
             "trace compiled to zero arrivals; "
@@ -755,6 +849,108 @@ def cmd_replay(args: argparse.Namespace) -> int:
             )
         print()
         print(f"total utility      : {summary.utility:10.2f}")
+    if args.journal:
+        print()
+        print(f"journal written to {args.journal} (inspect with slimstart obs)")
+    if profiler is not None:
+        print()
+        header = f"{'phase':18s} {'seconds':>10s} {'req/s':>12s}"
+        print(header)
+        print("-" * len(header))
+        for name, entry in profiler.report(requests=summary.arrivals).items():
+            rate = entry.get("requests_per_s")
+            rate_text = f"{rate:12.0f}" if rate is not None else f"{'-':>12s}"
+            print(f"{name:18s} {entry['seconds']:10.4f} {rate_text}")
+    return 0
+
+
+def _render_obs_row(row: dict) -> str:
+    """One journal row as an aligned ``kind app field=value...`` line."""
+    rest = " ".join(
+        f"{key}={row[key]}" for key in sorted(row) if key not in ("kind", "app")
+    )
+    return f"{row.get('kind', '?'):10s} {row.get('app', '-'):14s} {rest}"
+
+
+def cmd_obs(args: argparse.Namespace) -> int:
+    try:
+        if args.obs_command == "query":
+            for row in query_rows(
+                args.journal,
+                kind=args.kind,
+                app=args.app,
+                since=args.since,
+                until=args.until,
+            ):
+                if args.field is not None:
+                    if args.field not in row:
+                        continue
+                    value = row[args.field]
+                    print(json.dumps(value) if args.json else value)
+                elif args.json:
+                    print(json.dumps(row, sort_keys=True))
+                else:
+                    print(_render_obs_row(row))
+        elif args.obs_command == "tail":
+            for row in tail_rows(args.journal, args.lines):
+                if args.json:
+                    print(json.dumps(row, sort_keys=True))
+                else:
+                    print(_render_obs_row(row))
+        else:  # summarize
+            summary = summarize_journal(args.journal)
+            if args.json:
+                print(json.dumps(summary, sort_keys=True, indent=2))
+                return 0
+            start = summary["start_s"]
+            end = summary["end_s"]
+            span = (
+                f"{start:.0f}s .. {end:.0f}s" if start is not None else "empty"
+            )
+            print(f"journal  : {args.journal}")
+            print(f"windows  : {summary['windows']}   span: {span}")
+            print()
+            header = (
+                f"{'app':14s} {'arrivals':>9s} {'done':>9s} {'shed':>6s} "
+                f"{'cold':>6s} {'cold%':>7s} {'q mean ms':>10s}"
+            )
+            print(header)
+            print("-" * len(header))
+            for name, app in summary["apps"].items():
+                cold_rate = (
+                    f"{app['cold_start_rate']:7.1%}"
+                    if app["cold_start_rate"] >= 0
+                    else f"{'-':>7s}"
+                )
+                queue_mean = (
+                    f"{app['queue_mean_ms']:10.2f}"
+                    if app["queue_mean_ms"] >= 0
+                    else f"{'-':>10s}"
+                )
+                print(
+                    f"{name:14s} {app['arrivals']:9d} {app['completed']:9d} "
+                    f"{app['shed']:6d} {app['cold_starts']:6d} "
+                    f"{cold_rate} {queue_mean}"
+                )
+            print()
+            print(f"arrivals           : {summary['arrivals']:10d}")
+            print(f"completed          : {summary['completed']:10d}")
+            print(f"shed               : {summary['shed']:10d}")
+            print(f"cold starts        : {summary['cold_starts']:10d}")
+            print(f"scaling decisions  : {summary['scaling_decisions']:10d}")
+            print(f"containers booted  : {summary['containers_booted']:10d}")
+            print(f"provisions         : {summary['provisions']:10d}")
+            print(f"GB-seconds         : {summary['gb_seconds']:10.1f}")
+            print(f"trace spans        : {summary['spans']:10d}")
+    except ReproError as error:
+        print(f"{error}", file=sys.stderr)
+        return 1
+    except BrokenPipeError:
+        # Downstream closed early (e.g. ``| head``): exit quietly like
+        # any stream tool, parking stdout so interpreter shutdown does
+        # not print a second, spurious broken-pipe complaint.
+        os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
+        return 0
     return 0
 
 
@@ -977,7 +1173,90 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="locality routing: spill when origin load reaches this",
     )
+    replay.add_argument(
+        "--journal",
+        default=None,
+        help="append run telemetry (window deltas, scaling decisions, "
+        "shed/provision events, sampled spans) to this JSONL journal; "
+        "inspect it with 'slimstart obs'",
+    )
+    replay.add_argument(
+        "--trace-sample",
+        type=float,
+        default=0.0,
+        help="fraction of requests to journal as trace spans "
+        "(0.01 = one in a hundred; needs --journal)",
+    )
+    replay.add_argument(
+        "--progress",
+        action="store_true",
+        help="heartbeat a progress line to stderr at every window boundary",
+    )
+    replay.add_argument(
+        "--profile",
+        action="store_true",
+        help="print the wall-clock phase breakdown (compile / event loop / "
+        "checkpoint writes) after the replay",
+    )
     _add_fleet_arguments(replay, "--policy", max_containers=8)
+
+    obs = sub.add_parser(
+        "obs",
+        help="query a journaled replay's run journal",
+        epilog=(
+            "Reads the append-only JSONL journal written by slimstart "
+            "replay --journal PATH. Every subcommand stream-scans, so "
+            "memory stays O(1) in the journal size: query filters rows "
+            "(--kind/--app compose with the --since/--until replay-clock "
+            "window; --field projects one field), tail shows the last "
+            "rows, summarize aggregates per-app and run totals."
+        ),
+    )
+    obs_sub = obs.add_subparsers(dest="obs_command", required=True)
+    obs_query = obs_sub.add_parser("query", help="filter journal rows, streamed")
+    obs_query.add_argument("journal", help="journal file to scan")
+    obs_query.add_argument(
+        "--kind",
+        choices=("window", "scale", "shed", "provision", "span"),
+        default=None,
+        help="only rows of this kind",
+    )
+    obs_query.add_argument("--app", default=None, help="only this app's rows")
+    obs_query.add_argument(
+        "--field",
+        default=None,
+        help="print just this field's value (rows lacking it are skipped)",
+    )
+    obs_query.add_argument(
+        "--since",
+        type=float,
+        default=None,
+        help="only rows at/after this replay-clock second (inclusive)",
+    )
+    obs_query.add_argument(
+        "--until",
+        type=float,
+        default=None,
+        help="only rows before this replay-clock second (exclusive)",
+    )
+    obs_query.add_argument(
+        "--json", action="store_true", help="print raw JSON rows"
+    )
+    obs_tail = obs_sub.add_parser("tail", help="show the journal's last rows")
+    obs_tail.add_argument("journal", help="journal file to scan")
+    obs_tail.add_argument(
+        "-n", "--lines", type=int, default=10, help="rows to show"
+    )
+    obs_tail.add_argument(
+        "--json", action="store_true", help="print raw JSON rows"
+    )
+    obs_summarize = obs_sub.add_parser(
+        "summarize", help="aggregate per-app and run totals"
+    )
+    obs_summarize.add_argument("journal", help="journal file to scan")
+    obs_summarize.add_argument(
+        "--json", action="store_true", help="print the summary as JSON"
+    )
 
     optimize = sub.add_parser("optimize", help="apply a plan to a real workspace")
     optimize.add_argument("--workspace", required=True)
@@ -996,6 +1275,7 @@ def main(argv: list[str] | None = None) -> int:
         "cluster": cmd_cluster,
         "regions": cmd_regions,
         "replay": cmd_replay,
+        "obs": cmd_obs,
         "optimize": cmd_optimize,
     }
     return handlers[args.command](args)

@@ -205,6 +205,27 @@ class ScalingPolicy:
         """Containers to boot now (the cluster caps at ``max_containers``)."""
         raise NotImplementedError  # pragma: no cover - interface
 
+    def decision(self, state, view: FleetView, want: int, booted: int) -> dict:
+        """Explain the scale-out decision just taken, for the run journal.
+
+        Called by the cluster *after* :meth:`scale_out` returned ``want``
+        (and ``booted`` containers were actually spawned within the
+        fleet ceiling), and only when an observability sink is installed
+        and ``want > 0`` — never on the hot path.  Implementations MUST
+        NOT mutate ``state`` (``scale_out`` already did whatever the
+        decision required) and must be a pure read of the same inputs;
+        overrides extend the base record with policy-specific fields
+        (panic rates, forecast values, prewarm counts).
+        """
+        return {
+            "policy": self.name,
+            "queued": view.queued,
+            "in_flight": view.in_flight,
+            "live": view.live_containers,
+            "want": want,
+            "booted": booted,
+        }
+
     def idle_expiry(
         self,
         state,
@@ -297,6 +318,12 @@ class TargetUtilization(ScalingPolicy):
 
     def scale_out(self, state, view: FleetView) -> int:
         return max(0, self._desired(view, view.in_flight) - view.live_containers)
+
+    def decision(self, state, view: FleetView, want: int, booted: int) -> dict:
+        record = super().decision(state, view, want, booted)
+        record["target"] = self.target
+        record["desired"] = self._desired(view, view.in_flight)
+        return record
 
     def idle_expiry(
         self,
@@ -458,6 +485,19 @@ class PanicWindow(TargetUtilization):
             state.panic_peak = max(state.panic_peak, desired)
             desired = state.panic_peak
         return max(0, desired - view.live_containers)
+
+    def decision(
+        self, state: _PanicState, view: FleetView, want: int, booted: int
+    ) -> dict:
+        record = super().decision(state, view, want, booted)
+        # _rates is idempotent at a fixed ``now`` (the prune is a no-op
+        # the second time), so re-reading it here observes exactly what
+        # scale_out just decided on without touching the decision.
+        stable_rate, panic_rate, _ = self._rates(state, view.now)
+        record["stable_rate"] = stable_rate
+        record["panic_rate"] = panic_rate
+        record["panicking"] = state.panicking(view.now)
+        return record
 
     def idle_expiry(
         self,

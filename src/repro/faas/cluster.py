@@ -265,19 +265,28 @@ class _StreamSinks:
     wins, and is safe because the record is a pure function of the same
     facts.  ``shed`` likewise accepts optional trailing
     ``(source, qos, penalty)`` so dropped QoS requests charge their drop
-    penalty.
+    penalty.  ``span`` (installed only when an observability sink with
+    span sampling is active) receives each served request's phase
+    breakdown for the trace journal — ``None`` on every other run, so
+    the disabled path costs one attribute test, nothing more.
     """
 
     complete: Callable[..., None]
     shed: Callable[..., None]  # shed request's arrival time (+ qos facts)
     provision: Callable[[str, float, float, float], None]  # app, start, end, MB
     record: Callable[[InvocationRecord], None] | None = None
+    span: Callable[..., None] | None = None  # sampled trace spans (obs)
+    #: Span sampling stride (``JournalWriter.span_interval``); the caller
+    #: applies ``token % span_interval`` so unsampled requests cost one
+    #: modulo, never a call.  Only read when ``span`` is non-``None``.
+    span_interval: int = 0
 
     @classmethod
     def into(
         cls,
         accumulator: WindowAccumulator,
         on_record: Callable[[InvocationRecord], None] | None = None,
+        obs=None,
     ) -> "_StreamSinks":
         """Sinks that fold everything into one windowed accumulator.
 
@@ -285,8 +294,24 @@ class _StreamSinks:
         (arrival-window attribution, cold flag, queueing wait, the app
         as the accumulator's source label, per-class QoS facts) — shared
         by the cluster's and the federation's ``run_stream`` so the two
-        paths cannot diverge.  ``on_record`` taps the record stream.
+        paths cannot diverge.  ``on_record`` taps the record stream;
+        ``obs`` (an observability sink such as
+        :class:`repro.obs.journal.JournalWriter`) tees the same facts
+        into the run journal.  With ``obs=None`` the closures are
+        byte-for-byte the pre-observability ones — journaling off means
+        journaling *absent*.
         """
+        if obs is not None:
+            # Per-source counting rides the accumulator's existing
+            # per-source dict probe (a few list updates, no second probe,
+            # no wrapper closure), and the journal derives window delta
+            # rows from the cumulative counters at flush time — so a
+            # journaled completion runs the byte-identical closure below.
+            # Order matters: enable first so the bound method below is
+            # the counted one; attach snapshots the counters as already
+            # flushed (exactly the restored state on a resumed run).
+            accumulator.enable_source_counts()
+            obs.attach(accumulator)
         observe_completion = accumulator.observe_completion
 
         def complete(
@@ -311,11 +336,40 @@ class _StreamSinks:
         def provision(app: str, start_s: float, end_s: float, memory_mb: float) -> None:
             accumulator.observe_provision(start_s, end_s, memory_mb, source=app)
 
+        if obs is None:
+            return cls(
+                complete=complete,
+                shed=accumulator.observe_shed,
+                provision=provision,
+                record=on_record,
+            )
+
+        obs_shed = obs.shed
+        obs_provision = obs.provision
+        observe_shed = accumulator.observe_shed
+
+        def shed_obs(
+            at_s: float,
+            source: str = "",
+            qos: str | None = None,
+            penalty: float = 0.0,
+        ) -> None:
+            observe_shed(at_s, source, qos, penalty)
+            obs_shed(at_s, source)
+
+        def provision_obs(
+            app: str, start_s: float, end_s: float, memory_mb: float
+        ) -> None:
+            provision(app, start_s, end_s, memory_mb)
+            obs_provision(start_s, app, end_s, memory_mb)
+
         return cls(
             complete=complete,
-            shed=accumulator.observe_shed,
-            provision=provision,
+            shed=shed_obs,
+            provision=provision_obs,
             record=on_record,
+            span=obs.span if obs.samples_spans() else None,
+            span_interval=obs.span_interval,
         )
 
 
@@ -477,6 +531,9 @@ class ClusterPlatform:
         self._last_arrival = self.clock.now()
         self._stream: _StreamSinks | None = None
         self._stream_accumulator: WindowAccumulator | None = None
+        #: Observability sink for the active stream (None = no telemetry;
+        #: only consulted off the fast path, at scaling decisions).
+        self._obs = None
         self._jitter_sigma = self.config.jitter_sigma
 
     # -- deployment --------------------------------------------------------
@@ -622,6 +679,7 @@ class ClusterPlatform:
         accumulator: WindowAccumulator,
         on_record: Callable[[InvocationRecord], None] | None = None,
         flush_at: float | None = None,
+        obs=None,
     ) -> WindowedSummary:
         """Consume an arrival stream incrementally at bounded memory.
 
@@ -655,22 +713,40 @@ class ClusterPlatform:
         quantity independent of which shard observed it, which is part
         of the sharding exactness argument (see
         :mod:`repro.workloads.shard`).
+
+        ``obs`` installs an observability sink (journal) for the run —
+        see :meth:`stream_begin`.
         """
-        self.stream_begin(accumulator, on_record)
+        self.stream_begin(accumulator, on_record, obs=obs)
         try:
             events = self._events
             step = self._step
             observe_arrival = accumulator.observe_arrival
             submit = self.submit
+            # Journal flushing is driver-screened: one float compare per
+            # arrival against the journal's next window edge, with the
+            # flush call (and consumed-count bookkeeping) paid only at
+            # boundaries.  obs=None pins the screen at +inf — the loop
+            # body is then identical to the pre-observability one.
+            obs_flush = math.inf if obs is None else obs.next_flush_s
+            fed = 0
             for item in arrivals:
                 # Untagged 3-tuples stay on the allocation-free unpack;
                 # QoS-tagged streams carry the class name at index 3.
                 if len(item) == 3:
                     at, name, entry = item
+                    if at >= obs_flush:
+                        obs.flush_boundary(at, fed)
+                        obs_flush = obs.next_flush_s
+                    fed += 1
                     observe_arrival(at)
                     submit(name, entry, at=at)
                 else:
                     at, name, entry, qos = item
+                    if at >= obs_flush:
+                        obs.flush_boundary(at, fed)
+                        obs_flush = obs.next_flush_s
+                    fed += 1
                     observe_arrival(at)
                     submit(name, entry, at=at, qos=qos)
                 while events and events[0][0] <= at:
@@ -681,6 +757,7 @@ class ClusterPlatform:
         finally:
             self._stream = None
             self._stream_accumulator = None
+            self._obs = None
         return accumulator.finalize()
 
     # -- incremental streaming surface ------------------------------------
@@ -694,17 +771,33 @@ class ClusterPlatform:
         self,
         accumulator: WindowAccumulator,
         on_record: Callable[[InvocationRecord], None] | None = None,
+        obs=None,
     ) -> None:
-        """Install streaming sinks (see :meth:`run_stream`)."""
+        """Install streaming sinks (see :meth:`run_stream`).
+
+        ``obs`` is an observability sink (duck-typed to
+        :class:`repro.obs.journal.JournalWriter`): the per-event sinks
+        tee into it, scaling decisions are journaled from :meth:`_scale`,
+        and sampled trace spans flow from :meth:`_start_service` — all
+        off the event loop's fast paths, and all absent when ``obs`` is
+        ``None``.
+        """
         if self._stream is not None:
             raise WorkloadError("a streaming replay is already in progress")
-        self._stream = _StreamSinks.into(accumulator, on_record)
+        self._stream = _StreamSinks.into(accumulator, on_record, obs=obs)
         self._stream_accumulator = accumulator
+        self._obs = obs
 
     def stream_feed(
         self, at: float, name: str, entry: str, qos: str | None = None
     ) -> None:
-        """Feed one arrival and drain the event heap up to its time."""
+        """Feed one arrival and drain the event heap up to its time.
+
+        Journal boundary flushing is the *driver's* job in this mode
+        (see :func:`repro.faas.snapshot.run_stream_checkpointed`) — the
+        checkpoint loop already tracks window crossings and the consumed
+        count, so no obs code runs here.
+        """
         self._stream_accumulator.observe_arrival(at)
         self.submit(name, entry, at=at, qos=qos)
         events = self._events
@@ -723,6 +816,7 @@ class ClusterPlatform:
             accumulator = self._stream_accumulator
             self._stream = None
             self._stream_accumulator = None
+            self._obs = None
         return accumulator.finalize()
 
     def stream_abort(self) -> None:
@@ -735,6 +829,7 @@ class ClusterPlatform:
         """
         self._stream = None
         self._stream_accumulator = None
+        self._obs = None
 
     def _flush_provisioned(self, flush_at: float | None = None) -> None:
         """Report still-live containers' provisioned time to the stream.
@@ -992,7 +1087,11 @@ class ClusterPlatform:
                 shed_self = shed_self or shed.token == token
                 if self._stream is not None:
                     if shed.qos is None:
-                        self._stream.shed(shed.arrival)
+                        # The app name rides along for the journal's
+                        # per-app attribution; the accumulator ignores
+                        # the source on un-tagged sheds, so pre-obs
+                        # summaries are unchanged.
+                        self._stream.shed(shed.arrival, fleet.name)
                     else:
                         self._stream.shed(
                             shed.arrival,
@@ -1197,8 +1296,20 @@ class ClusterPlatform:
         view = self._view(fleet, now)
         want = fleet.policy.scale_out(fleet.policy_state, view)
         allowed = fleet.fleet_config.max_containers - view.live_containers
-        for _ in range(min(want, allowed)):
+        booted = max(0, min(want, allowed))
+        for _ in range(booted):
             self._spawn(fleet, now)
+        # Journal the decision only when the policy actually asked for
+        # capacity: a "scale" row per boot request keeps the journal
+        # bounded by container churn, not by arrivals, and the cost of
+        # the sink is only ever paid on those rare decisions.
+        obs = self._obs
+        if obs is not None and want > 0:
+            obs.scaling_decision(
+                now,
+                fleet.name,
+                fleet.policy.decision(fleet.policy_state, view, want, booted),
+            )
 
     def _spawn(self, fleet: _Fleet, now: float) -> None:
         compiled = fleet.compiled
@@ -1326,6 +1437,22 @@ class ClusterPlatform:
                         container_id=container.container_id,
                         queue_ms=queue_ms,
                     )
+                )
+            if stream.span is not None and not token % stream.span_interval:
+                # Sampled request tracing: the token is the stream
+                # position, so modular sampling picks the same requests
+                # on every (resumed) run.  The modulo lives here so an
+                # unsampled request never pays a call.
+                stream.span(
+                    token,
+                    fleet.name,
+                    entry,
+                    arrival,
+                    queue_ms,
+                    cold,
+                    container.init_ms if cold else 0.0,
+                    exec_ms,
+                    wire_ms,
                 )
         else:
             record = InvocationRecord(

@@ -462,6 +462,35 @@ class Predictive(ScalingPolicy):
             state.hold_until = max(state.hold_until, (target + 1) * w)
         return max(boot, want - view.live_containers)
 
+    def decision(
+        self, state: _PredictiveState, view: FleetView, want: int, booted: int
+    ) -> dict:
+        record = ScalingPolicy.decision(self, state, view, want, booted)
+        # Recompute the feed-forward inputs purely: forecast() is a read
+        # of the fitted model, and none of scale_out's mutations
+        # (open_peak, hold_until, the base's state) may be repeated here.
+        record["ratio"] = state.ratio
+        if state.last_fed is None or state.ratio is None:
+            record["forecast"] = None  # cold history: base behaviour
+            record["prewarm"] = 0
+            return record
+        w = self.window_s
+        index = int(view.now // w)
+        target = index
+        if view.now >= (index + 1) * w - self.prewarm_lead_s:
+            target = index + 1
+        predicted = self.forecaster.forecast(state.fc, target - state.last_fed)
+        record["forecast"] = predicted
+        record["target_window"] = target
+        if predicted is None:
+            record["prewarm"] = 0
+            return record
+        demand = predicted * state.ratio * self.headroom
+        prewarm_want = math.ceil(demand / view.max_concurrency) if demand > 0 else 0
+        prewarm_want = min(prewarm_want, view.max_containers)
+        record["prewarm"] = max(0, prewarm_want - view.live_containers)
+        return record
+
     def idle_expiry(
         self,
         state: _PredictiveState,

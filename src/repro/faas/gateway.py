@@ -130,7 +130,7 @@ class Gateway:
             decisions.extend(self.submit(f"/{app}/{entry}", at))
         return decisions
 
-    def submit_stream(self, stream, accumulator, on_record=None):
+    def submit_stream(self, stream, accumulator, on_record=None, obs=None):
         """Stream ``(arrival_s, path[, qos])`` items through the platform.
 
         The streaming analogue of :meth:`submit_schedule` for back ends
@@ -145,7 +145,8 @@ class Gateway:
         accounting.  Returns the finalized
         :class:`~repro.metrics.WindowedSummary`.  Monitor window
         decisions are observed but not collected — a million-request
-        replay must not build a decision list either.
+        replay must not build a decision list either.  ``obs`` threads an
+        observability sink (run journal) through to the platform.
         """
         run_stream = getattr(self.platform, "run_stream", None)
         if run_stream is None:
@@ -154,7 +155,7 @@ class Gateway:
                 "streaming replay; use submit_schedule() instead"
             )
         arrivals = self._route_arrivals(stream)
-        return run_stream(arrivals, accumulator, on_record=on_record)
+        return run_stream(arrivals, accumulator, on_record=on_record, obs=obs)
 
     def _route_arrivals(self, stream):
         """Route a lazy ``(arrival_s, path, *extras)`` stream.

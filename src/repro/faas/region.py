@@ -860,6 +860,7 @@ class RegionFederation:
         arrivals: Iterable[tuple[float, str, str, str | None]],
         accumulator: WindowAccumulator,
         on_record: Callable[[InvocationRecord], None] | None = None,
+        obs=None,
     ) -> WindowedSummary:
         """Consume a region-tagged arrival stream at bounded memory.
 
@@ -879,19 +880,33 @@ class RegionFederation:
         view); records attribute to the window of their *regional*
         arrival, so a forwarded request's wire time shifts its window
         exactly as it shifts its regional timestamp.
+
+        ``obs`` installs one observability sink shared by every region:
+        sheds/completions/provisions from all regions tee into it, each
+        regional cluster journals its scaling decisions, and cross-region
+        forwarding shows up in sampled spans as their ``hop_ms`` phase.
         """
         if self._streaming or any(
             platform._stream is not None for platform in self.platforms.values()
         ):
             raise WorkloadError("a streaming replay is already in progress")
-        sinks = _StreamSinks.into(accumulator, on_record)
+        sinks = _StreamSinks.into(accumulator, on_record, obs=obs)
         self._streaming = True
         self._stream_sinks = sinks
         for platform in self.platforms.values():
             platform._stream = sinks
+            platform._obs = obs
         try:
+            # Same driver-screened journal flushing as the cluster loop:
+            # one float compare per arrival, obs work only at boundaries.
+            obs_flush = math.inf if obs is None else obs.next_flush_s
+            fed = 0
             for item in arrivals:
                 at = item[0]
+                if at >= obs_flush:
+                    obs.flush_boundary(at, fed)
+                    obs_flush = obs.next_flush_s
+                fed += 1
                 accumulator.observe_arrival(at)
                 self.submit(
                     item[1],
@@ -908,6 +923,7 @@ class RegionFederation:
             self._stream_sinks = None
             for platform in self.platforms.values():
                 platform._stream = None
+                platform._obs = None
         return accumulator.finalize()
 
     def _advance(self, to: float) -> None:
@@ -1037,7 +1053,7 @@ class FederatedGateway(Gateway):
             decisions.extend(self.submit(f"/{app}/{entry}", at, origin=origin))
         return decisions
 
-    def submit_stream(self, stream, accumulator, on_record=None):
+    def submit_stream(self, stream, accumulator, on_record=None, obs=None):
         """Stream ``(arrival_s, path[, origin[, qos]])`` through the federation.
 
         The region-tagged analogue of :meth:`Gateway.submit_stream`:
@@ -1055,7 +1071,9 @@ class FederatedGateway(Gateway):
             (at, app, entry, *extras)
             for at, app, entry, *extras in self._route_arrivals(stream)
         )
-        return self.platform.run_stream(arrivals, accumulator, on_record=on_record)
+        return self.platform.run_stream(
+            arrivals, accumulator, on_record=on_record, obs=obs
+        )
 
 
 def replay_federated_workload(

@@ -280,6 +280,10 @@ def accumulator_state(accumulator: WindowAccumulator) -> dict:
                 "queue_counts": list(window.queue.counts),
                 "queue_total": window.queue.total,
                 "queue_sums": dict(window.queue_sums),
+                "source_counts": {
+                    source: list(counts)
+                    for source, counts in window.source_counts.items()
+                },
                 "gb_sums": dict(window.gb_sums),
                 "qos_counts": {
                     name: list(counters)
@@ -295,22 +299,31 @@ def accumulator_state(accumulator: WindowAccumulator) -> dict:
     }
 
 
-def restore_accumulator(accumulator: WindowAccumulator, state: dict) -> None:
+def _at(path: str | Path | None) -> str:
+    """`` at <path>`` when a file is known — every resume-validation
+    error names its offending file (diagnosable from stderr alone)."""
+    return "" if path is None else f" at {path}"
+
+
+def restore_accumulator(
+    accumulator: WindowAccumulator, state: dict, path: str | Path | None = None
+) -> None:
     """Restore :func:`accumulator_state` output onto a fresh accumulator.
 
     The accumulator must be configured as the snapshot was (window size,
     pricing) — a mismatch means the resume got different CLI flags than
-    the original run, which would silently corrupt the series.
+    the original run, which would silently corrupt the series.  ``path``
+    (when known) names the checkpoint file in mismatch errors.
     """
     if accumulator.window_s != state["window_s"]:
-        raise WorkloadError(
-            f"checkpoint used window_s={state['window_s']}, "
+        raise CheckpointError(
+            f"checkpoint{_at(path)} used window_s={state['window_s']}, "
             f"accumulator has {accumulator.window_s}"
         )
     pricing = PricingModel(**state["pricing"])
     if accumulator.pricing != pricing:
-        raise WorkloadError(
-            f"checkpoint used pricing {pricing}, accumulator has "
+        raise CheckpointError(
+            f"checkpoint{_at(path)} used pricing {pricing}, accumulator has "
             f"{accumulator.pricing}"
         )
     accumulator._windows.clear()
@@ -326,6 +339,15 @@ def restore_accumulator(accumulator: WindowAccumulator, state: dict) -> None:
         window.queue.counts = list(data["queue_counts"])
         window.queue.total = data["queue_total"]
         window.queue_sums = dict(data["queue_sums"])
+        window.source_counts = {
+            source: list(counts)
+            for source, counts in data.get("source_counts", {}).items()
+        }
+        if window.source_counts:
+            # A counted snapshot came from a journaled run: keep counting
+            # after the resume, whatever this run's own flags say, so the
+            # cumulative counters never silently go stale mid-series.
+            accumulator.enable_source_counts()
         window.gb_sums = dict(data["gb_sums"])
         window.qos_counts = {
             name: list(counters)
@@ -440,8 +462,9 @@ def load_checkpoint(path: str | Path) -> dict:
             "checkpoint — resume it with the original --workers count"
         )
     if data.get("format") != CHECKPOINT_FORMAT:
-        raise WorkloadError(
-            f"unsupported checkpoint format {data.get('format')!r} in {path}"
+        raise CheckpointError(
+            f"unsupported checkpoint format {data.get('format')!r} in {path} "
+            f"(this build reads format {CHECKPOINT_FORMAT})"
         )
     return data
 
@@ -512,6 +535,8 @@ def run_stream_checkpointed(
     flush_at: float | None = None,
     keep: bool = False,
     fingerprint: dict | None = None,
+    journal=None,
+    profiler=None,
 ) -> WindowedSummary:
     """:meth:`ClusterPlatform.run_stream` with durable window checkpoints.
 
@@ -529,6 +554,17 @@ def run_stream_checkpointed(
 
     An interrupted run (crash, KeyboardInterrupt) leaves the newest
     checkpoint on disk; rerunning the same command continues it.
+
+    ``journal`` (a not-yet-opened :class:`repro.obs.journal.JournalWriter`)
+    journals the run: the driver opens it — truncating to the restored
+    boundary on resume — installs it as the platform's observability
+    sink, flushes it *before* every checkpoint write (so the journal's
+    boundary marker is always at least as durable as the checkpoint that
+    references it), and seals it when the stream completes.  Its window
+    size must equal the checkpoint period, or marker and checkpoint
+    boundaries would drift apart.  ``profiler``
+    (:class:`repro.obs.profile.PhaseProfiler`) accumulates
+    checkpoint-write wall time under the ``"checkpoint-write"`` phase.
     """
     path = Path(path)
     reject_stale_scratch(path)
@@ -541,7 +577,7 @@ def run_stream_checkpointed(
                 f"platform has {platform.app_names()}"
             )
         if data.get("fingerprint") != fingerprint:
-            raise WorkloadError(
+            raise CheckpointError(
                 f"checkpoint {path} was written by a differently-configured "
                 f"replay (checkpoint fingerprint {data.get('fingerprint')!r}, "
                 f"this run {fingerprint!r}); resuming would blend two "
@@ -549,12 +585,20 @@ def run_stream_checkpointed(
                 "original flags"
             )
         restore_platform(platform, data["platform"])
-        restore_accumulator(accumulator, data["accumulator"])
+        restore_accumulator(accumulator, data["accumulator"], path=path)
         consumed = data["consumed"]
     every = accumulator.window_s if every_s is None else every_s
     if every <= 0:
         raise WorkloadError(f"checkpoint period must be positive: {every}")
-    platform.stream_begin(accumulator, on_record)
+    if journal is not None:
+        if journal.window_s != every:
+            raise WorkloadError(
+                f"journal window_s={journal.window_s} must equal the "
+                f"checkpoint period {every}: their boundaries are one "
+                "protocol"
+            )
+        journal.resume(consumed)
+    platform.stream_begin(accumulator, on_record, obs=journal)
     feed = platform.stream_feed
     boundary: int | None = None
     try:
@@ -566,10 +610,25 @@ def run_stream_checkpointed(
             index = int(at // every)
             if boundary is None:
                 boundary = index
+                # Anchor the journal's boundary too (no flush on the
+                # first arrival — or on the resumed crossing arrival,
+                # whose marker is already on disk).
+                if journal is not None:
+                    journal.flush_boundary(at, consumed)
             elif index > boundary:
-                write_checkpoint(
-                    path, platform, accumulator, consumed, fingerprint
-                )
+                # Journal first: its boundary marker must be durable
+                # before the checkpoint that will look for it on resume.
+                if journal is not None:
+                    journal.flush_boundary(at, consumed)
+                if profiler is None:
+                    write_checkpoint(
+                        path, platform, accumulator, consumed, fingerprint
+                    )
+                else:
+                    with profiler.phase("checkpoint-write"):
+                        write_checkpoint(
+                            path, platform, accumulator, consumed, fingerprint
+                        )
                 boundary = index
             if len(item) == 3:
                 feed(at, item[1], item[2])
@@ -578,10 +637,15 @@ def run_stream_checkpointed(
             consumed += 1
     except BaseException:
         # Keep the newest on-disk checkpoint for resume, but leave the
-        # platform out of streaming mode so state stays inspectable.
+        # platform out of streaming mode so state stays inspectable; the
+        # journal likewise stays at its last durable boundary.
         platform.stream_abort()
+        if journal is not None:
+            journal.abort()
         raise
     summary = platform.stream_end(flush_at)
+    if journal is not None:
+        journal.close()
     if not keep:
         path.unlink(missing_ok=True)
     return summary

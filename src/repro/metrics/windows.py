@@ -32,7 +32,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field
-from typing import Iterable, Sequence
+from typing import Iterable, Iterator, Sequence
 
 from repro.metrics.stats import DEFAULT_PRICING, CostSummary, PricingModel
 
@@ -108,6 +108,20 @@ class _LatencyHistogram:
     def quantile(self, q: float) -> float:
         """Latency at quantile ``q`` in [0, 1] (geometric bucket midpoint)."""
         return _histogram_quantile(self.counts, self.total, q)
+
+
+def population_rate(numerator: float, population: int, undefined: bool) -> float:
+    """``numerator / population``, honouring the :data:`UNDEFINED_RATE` rule.
+
+    The one definition of a per-window rate shared by
+    :func:`_window_stats` and the journal's per-app window rows
+    (:mod:`repro.obs.journal`): a window with activity but no completion
+    population reports :data:`UNDEFINED_RATE` (there is nothing to
+    rate), a truly idle one reports the neutral 0.0.
+    """
+    if population:
+        return numerator / population
+    return UNDEFINED_RATE if undefined else 0.0
 
 
 def _sum_by_source(sums: dict[str, float]) -> float:
@@ -345,6 +359,7 @@ class _Window:
         "boots",
         "queue",
         "queue_sums",
+        "source_counts",
         "gb_sums",
         "qos_counts",
         "qos_sums",
@@ -361,6 +376,15 @@ class _Window:
         #: ``""`` for unlabeled producers).  Kept separate per source so
         #: accumulators over disjoint source sets merge losslessly.
         self.queue_sums: dict[str, float] = {}
+        #: Per-source ``[completed, shed, cold_starts, queue_ms_sum]``,
+        #: maintained *instead of* ``queue_sums`` when
+        #: :meth:`WindowAccumulator.enable_source_counts` switched the
+        #: observe paths over (the run journal derives its per-app window
+        #: delta rows from these cumulative counters at flush time).  The
+        #: float sum lives in slot 3 with the identical add sequence
+        #: ``queue_sums`` would have seen, so every derived statistic is
+        #: bit-for-bit the same either way.
+        self.source_counts: dict[str, list] = {}
         self.gb_sums: dict[str, float] = {}
         #: Per-QoS-class integer counters ``[completed, violations,
         #: dropped]`` — integers merge by addition, so these need no
@@ -376,7 +400,19 @@ def _window_stats(
 ) -> WindowStats:
     """Derive one window's public stats from its accumulation state."""
     gb_seconds = _sum_by_source(window.gb_sums)
-    queue_sum = _sum_by_source(window.queue_sums)
+    # A source-counting window (journaled run) keeps its per-source queue
+    # sums in source_counts slot 3; entries exist for shed-only sources
+    # too, so mirror queue_sums' contract (an entry iff >= 1 completion)
+    # to keep the derived stats bit-identical to a non-journaled run.
+    if window.source_counts:
+        queue_by_source = {
+            source: counts[3]
+            for source, counts in window.source_counts.items()
+            if counts[0] > 0
+        }
+    else:
+        queue_by_source = window.queue_sums
+    queue_sum = _sum_by_source(queue_by_source)
     qos_classes = sorted(window.qos_counts.keys() | window.qos_sums.keys())
     qos = tuple(
         QoSWindowStats(
@@ -404,17 +440,9 @@ def _window_stats(
         completed=window.completed,
         shed=window.shed,
         cold_starts=window.cold,
-        cold_start_rate=(
-            window.cold / window.completed
-            if window.completed
-            else (UNDEFINED_RATE if undefined else 0.0)
-        ),
+        cold_start_rate=population_rate(window.cold, window.completed, undefined),
         shed_rate=(window.shed / window.arrivals if window.arrivals else 0.0),
-        queue_mean_ms=(
-            queue_sum / window.completed
-            if window.completed
-            else (UNDEFINED_RATE if undefined else 0.0)
-        ),
+        queue_mean_ms=population_rate(queue_sum, window.completed, undefined),
         queue_p95_ms=(
             UNDEFINED_RATE if undefined else window.queue.quantile(0.95)
         ),
@@ -424,7 +452,7 @@ def _window_stats(
             gb_seconds, window.completed, window.boots, pricing
         ),
         queue_histogram=tuple(window.queue.counts),
-        queue_sum_ms_by_source=tuple(sorted(window.queue_sums.items())),
+        queue_sum_ms_by_source=tuple(sorted(queue_by_source.items())),
         gb_seconds_by_source=tuple(sorted(window.gb_sums.items())),
         qos=qos,
     )
@@ -599,6 +627,102 @@ class WindowAccumulator:
                 qsums[source] -= penalty
             else:
                 qsums[source] = -penalty
+
+    # -- per-source counting (the run journal's substrate) -----------------
+
+    def enable_source_counts(self) -> None:
+        """Switch the completion/shed paths over to per-source counting.
+
+        Called once by the observability layer before any event flows
+        (see ``_StreamSinks.into``; :func:`restore_accumulator` re-enables
+        it when a restored checkpoint carries counts).  The counted
+        bodies maintain ``_Window.source_counts`` — ``{source:
+        [completed, shed, cold_starts, queue_ms_sum]}`` — *in place of*
+        the float-only ``queue_sums`` entry, so a journaled run pays a
+        few list updates on the per-source dict probe the plain path was
+        already doing, never a second probe or a second per-request call.
+        The run journal diffs these cumulative counters at window
+        boundaries to produce its per-app delta rows.  Idempotent, and
+        every derived statistic is bit-identical either way.
+        """
+        self.observe_completion = self._observe_completion_counted  # type: ignore[method-assign]
+        self.observe_shed = self._observe_shed_counted  # type: ignore[method-assign]
+
+    def _observe_completion_counted(
+        self,
+        arrival_s: float,
+        cold: bool,
+        queue_ms: float,
+        source: str = "",
+        qos: str | None = None,
+        violated: bool = False,
+        utility: float = 0.0,
+    ) -> None:
+        """:meth:`observe_completion`, tallying per-source counts too."""
+        window = self._window(arrival_s)
+        window.completed += 1
+        window.queue.observe(queue_ms)
+        counts = window.source_counts
+        if source in counts:
+            tally = counts[source]
+        else:
+            tally = counts[source] = [0, 0, 0, 0.0]
+        tally[0] += 1
+        tally[3] += queue_ms
+        if cold:
+            window.cold += 1
+            tally[2] += 1
+        if qos is not None:
+            counters = window.qos_counts.get(qos)
+            if counters is None:
+                counters = window.qos_counts[qos] = [0, 0, 0]
+            counters[0] += 1
+            if violated:
+                counters[1] += 1
+            qsums = window.qos_sums.setdefault(qos, {})
+            if source in qsums:
+                qsums[source] += utility
+            else:
+                qsums[source] = utility
+
+    def _observe_shed_counted(
+        self,
+        at_s: float,
+        source: str = "",
+        qos: str | None = None,
+        penalty: float = 0.0,
+    ) -> None:
+        """:meth:`observe_shed`, tallying per-source counts too."""
+        window = self._window(at_s)
+        window.shed += 1
+        counts = window.source_counts
+        if source in counts:
+            counts[source][1] += 1
+        else:
+            counts[source] = [0, 1, 0, 0.0]
+        if qos is not None:
+            counters = window.qos_counts.get(qos)
+            if counters is None:
+                counters = window.qos_counts[qos] = [0, 0, 0]
+            counters[2] += 1
+            qsums = window.qos_sums.setdefault(qos, {})
+            if source in qsums:
+                qsums[source] -= penalty
+            else:
+                qsums[source] = -penalty
+
+    def source_counters(self) -> Iterator[tuple[int, dict[str, list]]]:
+        """Cumulative per-source counters per window, in index order.
+
+        The run journal's read surface: yields ``(window_index, {source:
+        [completed, shed, cold_starts, queue_ms_sum]})`` for every window
+        with counted activity.  The lists are live accumulation state —
+        callers snapshot what they need and must not mutate.
+        """
+        for index in sorted(self._windows):
+            counts = self._windows[index].source_counts
+            if counts:
+                yield index, counts
 
     def observe_provision(
         self, start_s: float, end_s: float, memory_mb: float, source: str = ""

@@ -1,0 +1,554 @@
+"""Append-only JSONL run journal: the durable telemetry behind a replay.
+
+A streamed replay deliberately forgets — the accumulator folds millions
+of requests into O(windows) state and :meth:`finalize` returns one
+summary object.  The journal is the part that *remembers*: an
+append-only JSONL file written at window boundaries recording per-app
+window rows, shed/provision (retirement) events, structured
+scaling-decision records, and (optionally) sampled per-request trace
+spans.  ``slimstart obs`` (see :mod:`repro.obs.query`) stream-scans the
+result at O(1) memory.
+
+Design constraints, in order:
+
+* **Determinism.**  A journaled replay must produce byte-identical
+  journals whether or not it was killed and resumed, and a sharded
+  journaled replay must merge to the same rows as a 1-worker one.  All
+  buffering is flushed at deterministic stream positions (the window
+  boundaries the checkpoint protocol already uses), window rows are
+  *delta* rows (counts since the previous flush, summed by the query
+  surface), and span sampling keys off the platform's submission token —
+  the stream position, which the checkpoint restores exactly.
+* **Durability.**  Each flush ends with ``flush()`` + ``fsync`` and a
+  ``boundary`` marker row carrying the arrivals-consumed count, written
+  *before* the matching checkpoint (see
+  :func:`repro.faas.snapshot.run_stream_checkpointed`) — so on resume
+  the journal's marker for the restored boundary is always on disk and
+  :meth:`JournalWriter.resume` can truncate everything after it.  A torn
+  trailing line from a mid-flush kill is detected and discarded by the
+  same scan.
+* **Zero cost when off.**  No journal code runs inside the event loop's
+  fast paths (``_on_arrival`` / ``_on_ready``); the platforms consult the
+  sink only through pre-built closures installed at ``stream_begin``
+  time, identical to the non-journaled ones when no sink is given.
+
+Row kinds (every row is one JSON object per line, with a ``kind`` key):
+
+``journal``
+    Header (first line): format, window size, fingerprint, sampling rate.
+``window``
+    Per-(window, app) **delta** counters flushed at a boundary:
+    arrivals/completed/shed/cold_starts plus the exact queue-wait sum and
+    the derived ``cold_start_rate`` / ``queue_mean_ms`` (via
+    :func:`repro.metrics.windows.population_rate`).  An app active across
+    a boundary yields several delta rows for one window; ``obs
+    summarize`` sums them.
+``scale``
+    One scaling decision that booted (or wanted to boot) containers —
+    the policy's own :meth:`~repro.faas.autoscale.ScalingPolicy.decision`
+    record (policy name, queued/in-flight/live, want, booted, plus
+    policy-specific fields such as a forecast value or panic rates).
+``shed`` / ``provision``
+    Individual rejection events and container provisioned lifetimes
+    (provision rows double as retirement records: they are emitted when
+    the container retires or the run flushes).
+``span``
+    One sampled request trace: trace id (= stream position), app, entry,
+    and the phase breakdown (queue wait, cold boot, execute, cross-region
+    hop).
+``boundary`` / ``end``
+    Control rows: flush markers (window boundary + consumed count) and
+    the final end-of-run marker.  Dropped by queries and merges.
+"""
+
+from __future__ import annotations
+
+import heapq
+import json
+import math
+import os
+from pathlib import Path
+from typing import Any, Iterable, Iterator
+
+from repro.common.errors import CheckpointError
+from repro.metrics.windows import population_rate
+
+#: Bump when a row's schema changes incompatibly.
+JOURNAL_FORMAT = 1
+
+__all__ = [
+    "JOURNAL_FORMAT",
+    "JournalWriter",
+    "merge_journals",
+    "shard_journal_path",
+]
+
+
+def shard_journal_path(path: str | Path, shard: int, shards: int) -> Path:
+    """Where shard ``shard`` of ``shards`` writes its private journal.
+
+    Mirrors :func:`repro.faas.snapshot.shard_checkpoint_path` so a
+    journaled checkpointed sharded run keeps all its scratch files next
+    to the final artifacts.
+    """
+    path = Path(path)
+    return path.with_name(f"{path.name}.shard-{shard}-of-{shards}.jsonl")
+
+
+class JournalWriter:
+    """Writes one run's telemetry to an append-only JSONL file.
+
+    Doubles as the ``ObsSink`` the platforms feed: the ``shed`` /
+    ``provision`` / ``scaling_decision`` / ``span`` methods accumulate in
+    memory and everything is written (and fsynced) at window boundaries.
+    Flushing is *driver-screened*: the stream loop compares each arrival
+    time against :attr:`next_flush_s` (one float compare per request) and
+    calls :meth:`flush_boundary` only at window edges — the checkpoint
+    driver makes the same call just *before* writing a checkpoint, so the
+    journal is never behind the checkpoint.
+
+    Lifecycle: construct, then :meth:`begin` (fresh file) or
+    :meth:`resume` (truncate to a restored checkpoint's boundary), feed,
+    then :meth:`close` (flush the tail and write the ``end`` row) — or
+    :meth:`abort` on failure, which closes without flushing so the file
+    stays exactly at its last durable boundary.
+    """
+
+    def __init__(
+        self,
+        path: str | Path,
+        window_s: float,
+        fingerprint: Any = None,
+        trace_sample: float = 0.0,
+    ) -> None:
+        if window_s <= 0:
+            raise ValueError(f"journal window must be positive: {window_s}")
+        if not 0.0 <= trace_sample <= 1.0:
+            raise ValueError(f"trace sample rate out of [0, 1]: {trace_sample}")
+        self.path = Path(path)
+        self.window_s = float(window_s)
+        self.fingerprint = fingerprint
+        self.trace_sample = float(trace_sample)
+        #: Every ``interval``-th submission token gets a span (0 = none).
+        #: The *caller* applies this modulo (see ``_StreamSinks``) so a
+        #: non-sampled request costs one integer test, not a call.
+        self.span_interval = (
+            max(1, round(1.0 / trace_sample)) if trace_sample > 0.0 else 0
+        )
+        #: The arrival time at which the stream driver must call
+        #: :meth:`flush_boundary` next.  The driver screens each arrival
+        #: with one float compare (``at >= next_flush_s``) — the journal's
+        #: only per-request footprint.
+        self.next_flush_s = -math.inf
+        self._file = None
+        self._boundary: int | None = None
+        self._consumed = 0
+        #: Buffered event rows (scale/shed/provision/span) in emission
+        #: order, written verbatim at the next flush.
+        self._events: list[dict] = []
+        #: The run's window accumulator, installed by :meth:`attach` at
+        #: stream-begin time.  Window delta rows are *derived* from its
+        #: cumulative per-source counters at each flush — the journal
+        #: itself runs no code per completion.
+        self._accumulator = None
+        #: Cumulative ``(completed, shed, cold, queue_ms_sum)`` per
+        #: ``(window_index, app)`` as of the last flush; the next flush
+        #: emits the difference.  Seeded by :meth:`attach` from the
+        #: accumulator's current state, which on a resumed run is exactly
+        #: the restored checkpoint's counters — so resumed delta rows
+        #: match the uninterrupted run's byte for byte.
+        self._flushed: dict[tuple[int, str], tuple] = {}
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def _header(self) -> dict:
+        return {
+            "kind": "journal",
+            "format": JOURNAL_FORMAT,
+            "window_s": self.window_s,
+            "fingerprint": self.fingerprint,
+            "trace_sample": self.trace_sample,
+        }
+
+    def begin(self) -> "JournalWriter":
+        """Open a fresh journal (truncating any previous file)."""
+        self._file = open(self.path, "w", encoding="utf-8")
+        self._file.write(json.dumps(self._header(), sort_keys=True) + "\n")
+        self._file.flush()
+        self.next_flush_s = -math.inf
+        return self
+
+    def resume(self, consumed: int) -> "JournalWriter":
+        """Re-open after a restored checkpoint that had fed ``consumed``.
+
+        Scans the existing journal, validates its header against this
+        writer's configuration, finds the ``boundary`` marker whose
+        consumed count matches the checkpoint's, and truncates everything
+        after it — rows for arrivals the resumed run will replay again.
+        A torn trailing line (mid-flush kill) simply ends the scan.
+        ``consumed == 0`` (or no journal on disk) starts fresh.
+        """
+        if consumed == 0 or not self.path.exists():
+            return self.begin()
+        marker_end: int | None = None
+        marker_row: dict | None = None
+        offset = 0
+        with open(self.path, "rb") as handle:
+            for index, line in enumerate(handle):
+                offset += len(line)
+                if not line.endswith(b"\n"):
+                    break  # torn tail from a mid-flush kill
+                try:
+                    row = json.loads(line)
+                except json.JSONDecodeError:
+                    break
+                if index == 0:
+                    self._check_header(row)
+                    continue
+                if row.get("kind") == "boundary" and row.get("consumed") == consumed:
+                    marker_end = offset
+                    marker_row = row
+                    break
+        if marker_end is None:
+            raise CheckpointError(
+                f"journal {self.path} has no boundary marker for "
+                f"consumed={consumed}; it does not belong to the checkpoint "
+                f"being resumed"
+            )
+        self._file = open(self.path, "r+", encoding="utf-8")
+        self._file.truncate(marker_end)
+        self._file.seek(0, os.SEEK_END)
+        self._boundary = int(marker_row["boundary"])
+        self._consumed = consumed
+        self.next_flush_s = (self._boundary + 1) * self.window_s
+        return self
+
+    def _check_header(self, row: dict) -> None:
+        if row.get("kind") != "journal":
+            raise CheckpointError(
+                f"{self.path} is not a run journal (first row kind "
+                f"{row.get('kind')!r}, expected 'journal')"
+            )
+        if row.get("format") != JOURNAL_FORMAT:
+            raise CheckpointError(
+                f"unsupported journal format {row.get('format')!r} in "
+                f"{self.path} (this build writes format {JOURNAL_FORMAT})"
+            )
+        for key, expected in (
+            ("window_s", self.window_s),
+            ("fingerprint", self.fingerprint),
+            ("trace_sample", self.trace_sample),
+        ):
+            if row.get(key) != expected:
+                raise CheckpointError(
+                    f"journal {self.path} was written by a "
+                    f"differently-configured run: {key} is {row.get(key)!r}, "
+                    f"this run uses {expected!r}"
+                )
+
+    def close(self) -> None:
+        """Flush the tail (post-boundary deltas) and seal the journal."""
+        if self._file is None:
+            return
+        self._write_pending()
+        self._write_row({"kind": "end"})
+        self._file.flush()
+        os.fsync(self._file.fileno())
+        self._file.close()
+        self._file = None
+
+    def abort(self) -> None:
+        """Close without flushing: the file stays at its last boundary."""
+        if self._file is None:
+            return
+        self._file.close()
+        self._file = None
+        self._events.clear()
+
+    def __enter__(self) -> "JournalWriter":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        if exc_type is None:
+            self.close()
+        else:
+            self.abort()
+
+    # -- flush protocol ----------------------------------------------------
+
+    def attach(self, accumulator) -> None:
+        """Install the run's accumulator as the window-row source.
+
+        Called by the platforms' sink construction at stream-begin time,
+        right after :meth:`~repro.metrics.windows.WindowAccumulator.\
+enable_source_counts` switched the accumulator over to per-source
+        counting.  The accumulator's current cumulative counters are
+        snapshotted as the already-flushed base: zero for a fresh run,
+        the restored checkpoint's exact state for a resumed one — either
+        way the next flush emits only what this run's stream added, and
+        resumed delta rows match the uninterrupted run's byte for byte.
+        """
+        self._accumulator = accumulator
+        self._flushed = {
+            (index, app): (tally[0], tally[1], tally[2], tally[3])
+            for index, counts in accumulator.source_counters()
+            for app, tally in counts.items()
+        }
+
+    def flush_boundary(self, at_s: float, consumed: int) -> None:
+        """Advance to the window holding arrival time ``at_s``, flushing.
+
+        The stream driver calls this whenever an arrival passes the
+        ``next_flush_s`` screen, *before* feeding it, with ``consumed``
+        the count of arrivals already fed — the same position the
+        checkpoint protocol records, so the boundary marker written here
+        lands just ahead of the matching checkpoint.  The first call of a
+        run only anchors the boundary; later calls whose window index
+        advanced flush the pending block.  Either way ``next_flush_s``
+        moves to the next window edge, re-arming the screen.
+        """
+        self._consumed = consumed
+        index = int(at_s // self.window_s)
+        if self._boundary is None:
+            self._boundary = index
+        elif index > self._boundary:
+            self._flush(index)
+        self.next_flush_s = (index + 1) * self.window_s
+
+    def _flush(self, new_boundary: int) -> None:
+        self._write_pending()
+        self._write_row(
+            {
+                "kind": "boundary",
+                "boundary": new_boundary,
+                "consumed": self._consumed,
+            }
+        )
+        self._file.flush()
+        os.fsync(self._file.fileno())
+        self._boundary = new_boundary
+
+    def _write_pending(self) -> None:
+        for row in self._events:
+            self._write_row(row)
+        self._events.clear()
+        acc = self._accumulator
+        if acc is None:
+            return
+        flushed = self._flushed
+        for index, counts in acc.source_counters():
+            for app in sorted(counts):
+                tally = counts[app]
+                cur = (tally[0], tally[1], tally[2], tally[3])
+                key = (index, app)
+                prev = flushed.get(key)
+                if prev == cur:
+                    continue
+                if prev is None:
+                    completed, shed, cold, queue_ms = cur
+                else:
+                    completed = cur[0] - prev[0]
+                    shed = cur[1] - prev[1]
+                    cold = cur[2] - prev[2]
+                    queue_ms = cur[3] - prev[3]
+                flushed[key] = cur
+                undefined = completed == 0
+                self._write_row(
+                    {
+                        "kind": "window",
+                        "window": index,
+                        "start_s": index * self.window_s,
+                        "app": app,
+                        "arrivals": completed + shed,
+                        "completed": completed,
+                        "shed": shed,
+                        "cold_starts": cold,
+                        "queue_ms_sum": queue_ms,
+                        "cold_start_rate": population_rate(
+                            cold, completed, undefined
+                        ),
+                        "queue_mean_ms": population_rate(
+                            queue_ms, completed, undefined
+                        ),
+                    }
+                )
+
+    def _write_row(self, row: dict) -> None:
+        self._file.write(json.dumps(row, sort_keys=True) + "\n")
+
+    # -- ObsSink surface (fed by the platforms) ----------------------------
+    #
+    # There is deliberately no per-arrival or per-completion method: the
+    # stream drivers screen arrivals against ``next_flush_s`` themselves
+    # and only call :meth:`flush_boundary` at window edges, and window
+    # rows are derived at flush time by diffing the accumulator's
+    # cumulative per-source counters (see :meth:`attach`) — a journaled
+    # completion runs the exact same code a plain one does.
+
+    def shed(self, at_s: float, app: str) -> None:
+        """One rejected request's event row.
+
+        The per-app window tally comes from the accumulator's counted
+        shed path; this only records the individual event.
+        """
+        self._events.append({"kind": "shed", "at_s": at_s, "app": app})
+
+    def provision(
+        self, start_s: float, app: str, end_s: float, memory_mb: float
+    ) -> None:
+        """One container's provisioned lifetime (emitted at retirement)."""
+        self._events.append(
+            {
+                "kind": "provision",
+                "app": app,
+                "start_s": start_s,
+                "end_s": end_s,
+                "memory_mb": memory_mb,
+            }
+        )
+
+    def scaling_decision(self, at_s: float, app: str, record: dict) -> None:
+        """One policy decision (see ``ScalingPolicy.decision``)."""
+        row = {"kind": "scale", "at_s": at_s, "app": app}
+        row.update(record)
+        self._events.append(row)
+
+    def samples_spans(self) -> bool:
+        """Whether any span will ever be recorded (installs the hook)."""
+        return self.span_interval > 0
+
+    def span(
+        self,
+        token: int,
+        app: str,
+        entry: str,
+        arrival_s: float,
+        queue_ms: float,
+        cold: bool,
+        cold_boot_ms: float,
+        exec_ms: float,
+        hop_ms: float,
+    ) -> None:
+        """One sampled request's phase breakdown.
+
+        The caller has already applied the ``span_interval`` modulo to
+        ``token`` — the platform's submission counter, i.e. the stream
+        position, restored exactly by the checkpoint protocol — so the
+        sampled set is identical across kill/resume.
+        """
+        self._events.append(
+            {
+                "kind": "span",
+                "trace_id": token,
+                "app": app,
+                "entry": entry,
+                "arrival_s": arrival_s,
+                "cold": cold,
+                "queue_ms": queue_ms,
+                "cold_boot_ms": cold_boot_ms,
+                "execute_ms": exec_ms,
+                "hop_ms": hop_ms,
+            }
+        )
+
+
+# -- merging -----------------------------------------------------------------
+
+#: Each data row's position on the replay clock, for the time-ordered merge.
+_TIME_KEYS = {
+    "window": "start_s",
+    "scale": "at_s",
+    "shed": "at_s",
+    "provision": "start_s",
+    "span": "arrival_s",
+}
+
+
+def row_time(row: dict) -> float | None:
+    """A data row's replay-clock time; ``None`` for control rows."""
+    key = _TIME_KEYS.get(row.get("kind"))
+    return None if key is None else row[key]
+
+
+def _shard_blocks(
+    path: Path, shard: int
+) -> Iterator[tuple[float, int, int, dict]]:
+    """Yield merge keys + rows for one shard journal, block by block.
+
+    A shard journal is a sequence of *flush blocks* — the rows written
+    between consecutive ``boundary`` markers, each block belonging to the
+    marker that follows it — and block boundaries are strictly
+    increasing, so keying every row by ``(block_boundary, shard, seq)``
+    gives :func:`heapq.merge` the sorted inputs it requires (rows
+    *within* a block are in emission order, not time order: a provision
+    row carries a ``start_s`` long before the retirement that emitted
+    it).  The tail block sealed by :meth:`JournalWriter.close` sorts
+    after every marked block.  Control rows are dropped; the header is
+    validated.
+    """
+    pending: list[tuple[int, dict]] = []
+    with open(path, "r", encoding="utf-8") as handle:
+        for seq, line in enumerate(handle):
+            row = json.loads(line)
+            if seq == 0:
+                if row.get("kind") != "journal" or row.get("format") != JOURNAL_FORMAT:
+                    raise CheckpointError(
+                        f"{path} is not a format-{JOURNAL_FORMAT} run journal "
+                        f"(kind {row.get('kind')!r}, format {row.get('format')!r})"
+                    )
+                continue
+            kind = row.get("kind")
+            if kind == "boundary":
+                block = float(row["boundary"])
+                for item_seq, item in pending:
+                    yield (block, shard, item_seq, item)
+                pending.clear()
+            elif kind == "end":
+                for item_seq, item in pending:
+                    yield (math.inf, shard, item_seq, item)
+                pending.clear()
+            else:
+                pending.append((seq, row))
+    for item_seq, item in pending:  # no end marker: aborted tail
+        yield (math.inf, shard, item_seq, item)
+
+
+def merge_journals(
+    shard_paths: Iterable[str | Path],
+    out_path: str | Path,
+    window_s: float,
+    fingerprint: Any = None,
+    trace_sample: float = 0.0,
+) -> Path:
+    """Merge per-shard journals into one window-ordered run journal.
+
+    The journal analogue of :meth:`WindowedSummary.merge`: flush blocks
+    from all shards interleave by their window boundary (ties broken by
+    shard index, rows within a block staying in emission order — all
+    deterministic), per-shard control markers are dropped, and a fresh
+    header describing the *merged* run is written first.  Merging the
+    per-shard journals of a killed-and-resumed run therefore reproduces
+    the uninterrupted run's merged journal row for row — the per-shard
+    files are byte-identical, and the merge is a pure function of them.
+    Streaming block by block: peak memory is O(one window's events per
+    shard), never O(journal).
+    """
+    out_path = Path(out_path)
+    header = {
+        "kind": "journal",
+        "format": JOURNAL_FORMAT,
+        "window_s": float(window_s),
+        "fingerprint": fingerprint,
+        "trace_sample": float(trace_sample),
+    }
+    streams = [
+        _shard_blocks(Path(path), shard)
+        for shard, path in enumerate(shard_paths)
+    ]
+    with open(out_path, "w", encoding="utf-8") as out:
+        out.write(json.dumps(header, sort_keys=True) + "\n")
+        for _, _, _, row in heapq.merge(*streams):
+            out.write(json.dumps(row, sort_keys=True) + "\n")
+        out.flush()
+        os.fsync(out.fileno())
+    return out_path

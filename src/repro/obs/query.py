@@ -1,0 +1,166 @@
+"""Stream-scanning queries over run journals — O(1) memory, any size.
+
+The read side of :mod:`repro.obs.journal`: every function here consumes
+the journal as a line stream and retains only fixed-size state (a
+running aggregate, or a bounded tail deque), so querying a multi-week
+soak run's journal costs the same memory as querying a toy one.
+``slimstart obs query|tail|summarize`` are thin CLI wrappers over these.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import deque
+from pathlib import Path
+from typing import Iterator
+
+from repro.common.errors import WorkloadError
+from repro.metrics.windows import population_rate
+from repro.obs.journal import JOURNAL_FORMAT, row_time
+
+__all__ = ["query_rows", "read_rows", "summarize_journal", "tail_rows"]
+
+
+def read_rows(path: str | Path, control: bool = False) -> Iterator[dict]:
+    """Yield a journal's rows one at a time (header validated, skipped).
+
+    ``control`` includes the ``boundary``/``end`` bookkeeping rows, which
+    queries normally ignore.  A torn trailing line (journaled run killed
+    mid-flush) ends the stream instead of raising — everything before it
+    is durable by construction.
+    """
+    path = Path(path)
+    if not path.exists():
+        raise WorkloadError(f"journal not found: {path}")
+    with open(path, "r", encoding="utf-8") as handle:
+        for index, line in enumerate(handle):
+            try:
+                row = json.loads(line)
+            except json.JSONDecodeError:
+                if index == 0:
+                    raise WorkloadError(f"{path} is not a JSONL run journal")
+                return  # torn tail from a mid-flush kill
+            if index == 0:
+                if row.get("kind") != "journal":
+                    raise WorkloadError(
+                        f"{path} is not a run journal (first row kind "
+                        f"{row.get('kind')!r}, expected 'journal')"
+                    )
+                if row.get("format") != JOURNAL_FORMAT:
+                    raise WorkloadError(
+                        f"unsupported journal format {row.get('format')!r} "
+                        f"in {path} (this build reads format {JOURNAL_FORMAT})"
+                    )
+                continue
+            if not control and row.get("kind") in ("boundary", "end"):
+                continue
+            yield row
+
+
+def query_rows(
+    path: str | Path,
+    kind: str | None = None,
+    app: str | None = None,
+    since: float | None = None,
+    until: float | None = None,
+) -> Iterator[dict]:
+    """Filtered journal rows, streamed.
+
+    Filters compose conjunctively; each is independent, so
+    ``query(A and B)`` is always a subset of ``query(A)`` (the property
+    the test suite pins).  ``since``/``until`` bound the row's
+    replay-clock time (inclusive / exclusive); rows without a time (none
+    today) never match a time filter.
+    """
+    for row in read_rows(path):
+        if kind is not None and row.get("kind") != kind:
+            continue
+        if app is not None and row.get("app") != app:
+            continue
+        if since is not None or until is not None:
+            at = row_time(row)
+            if at is None:
+                continue
+            if since is not None and at < since:
+                continue
+            if until is not None and at >= until:
+                continue
+        yield row
+
+
+def tail_rows(path: str | Path, count: int) -> list[dict]:
+    """The journal's last ``count`` data rows (O(count) memory)."""
+    return list(deque(read_rows(path), maxlen=max(0, count)))
+
+
+def summarize_journal(path: str | Path) -> dict:
+    """One pass over the journal → run- and per-app totals.
+
+    Window *delta* rows are summed here (an app active across several
+    flushes writes several rows per window — see the journal's flush
+    protocol), which is what makes the totals identical between a
+    straight run and a killed-and-resumed one.
+    """
+    per_app: dict[str, list] = {}
+    counts = {"scale": 0, "span": 0, "shed_events": 0, "provisions": 0}
+    windows: set[int] = set()
+    gb_seconds = 0.0
+    booted = 0
+    start: float | None = None
+    end: float | None = None
+    for row in read_rows(path):
+        kind = row["kind"]
+        at = row_time(row)
+        if at is not None:
+            start = at if start is None else min(start, at)
+            end = at if end is None else max(end, at)
+        if kind == "window":
+            windows.add(row["window"])
+            tally = per_app.get(row["app"])
+            if tally is None:
+                tally = per_app[row["app"]] = [0, 0, 0, 0, 0.0]
+            tally[0] += row["arrivals"]
+            tally[1] += row["completed"]
+            tally[2] += row["shed"]
+            tally[3] += row["cold_starts"]
+            tally[4] += row["queue_ms_sum"]
+        elif kind == "scale":
+            counts["scale"] += 1
+            booted += row.get("booted", 0)
+        elif kind == "span":
+            counts["span"] += 1
+        elif kind == "shed":
+            counts["shed_events"] += 1
+        elif kind == "provision":
+            counts["provisions"] += 1
+            gb_seconds += (
+                (row["end_s"] - row["start_s"]) * row["memory_mb"] / 1024.0
+            )
+    apps = {}
+    for name in sorted(per_app):
+        arrivals, completed, shed, cold, queue_ms = per_app[name]
+        undefined = arrivals > 0 and completed == 0
+        apps[name] = {
+            "arrivals": arrivals,
+            "completed": completed,
+            "shed": shed,
+            "cold_starts": cold,
+            "cold_start_rate": population_rate(cold, completed, undefined),
+            "queue_mean_ms": population_rate(queue_ms, completed, undefined),
+        }
+    return {
+        "apps": apps,
+        "windows": len(windows),
+        "arrivals": sum(a["arrivals"] for a in apps.values()),
+        "completed": sum(a["completed"] for a in apps.values()),
+        "shed": sum(a["shed"] for a in apps.values()),
+        "cold_starts": sum(a["cold_starts"] for a in apps.values()),
+        "scaling_decisions": counts["scale"],
+        "containers_booted": booted,
+        "spans": counts["span"],
+        "shed_events": counts["shed_events"],
+        "provisions": counts["provisions"],
+        "gb_seconds": round(gb_seconds, 6),
+        "start_s": start,
+        "end_s": end,
+    }

@@ -46,6 +46,8 @@ streams event-for-event.
 from __future__ import annotations
 
 import math
+import sys
+import time
 from dataclasses import dataclass
 from typing import Iterable, Iterator, Mapping, Protocol, runtime_checkable
 
@@ -435,3 +437,46 @@ def assign_qos(
                 break
         else:  # float-edge: draw == total
             yield (at, app, entry, names[-1])
+
+
+def progress_stream(
+    stream: Iterable[tuple],
+    window_s: float,
+    label: str = "",
+    out=None,
+) -> Iterator[tuple]:
+    """Pass a replay stream through, heartbeating to stderr at boundaries.
+
+    An opt-in diagnostic for long replays (``slimstart replay
+    --progress``): every time an arrival crosses a ``window_s`` boundary
+    one line — windows flushed so far, events fed, cumulative events/s of
+    wall clock — is written to ``out`` (default ``sys.stderr``) and
+    flushed.  The events themselves pass through untouched, in order, so
+    wrapping a stream can never change a replay result; wall-clock
+    timing stays out of the virtual-time event loop entirely.
+    """
+    if window_s <= 0:
+        raise WorkloadError(f"progress window must be positive: {window_s}")
+    sink = sys.stderr if out is None else out
+    prefix = f"{label}: " if label else ""
+    started = time.perf_counter()
+    boundary: int | None = None
+    windows = 0
+    count = 0
+    for item in stream:
+        index = int(item[0] // window_s)
+        if boundary is None:
+            boundary = index
+        elif index > boundary:
+            windows += index - boundary
+            boundary = index
+            elapsed = time.perf_counter() - started
+            rate = count / elapsed if elapsed > 0 else 0.0
+            print(
+                f"{prefix}{windows} window(s) flushed, "
+                f"{count} events, {rate:.0f} events/s",
+                file=sink,
+                flush=True,
+            )
+        count += 1
+        yield item

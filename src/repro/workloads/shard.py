@@ -62,7 +62,13 @@ from repro.faas.snapshot import (
     write_manifest,
 )
 from repro.metrics import PricingModel, QoSClass, WindowAccumulator, WindowedSummary
-from repro.workloads.replay import ArrivalModel, assign_qos, compile_trace
+from repro.obs.journal import JournalWriter, merge_journals, shard_journal_path
+from repro.workloads.replay import (
+    ArrivalModel,
+    assign_qos,
+    compile_trace,
+    progress_stream,
+)
 from repro.workloads.trace import ProductionTrace
 
 
@@ -118,6 +124,10 @@ class ShardReplaySpec:
             the stream untagged.  Tagging is per-app-seeded, so it is
             partition-independent and the merge stays bit-identical.
         qos_seed: Seed for the per-app QoS assignment draws.
+        progress: Emit a per-shard heartbeat line to stderr at every
+            window boundary (:func:`~repro.workloads.replay.progress_stream`).
+            Diagnostics only — never affects the replay result, so it is
+            deliberately *not* part of the replay fingerprint.
     """
 
     platform: SimPlatformConfig = SimPlatformConfig(record_traces=False)
@@ -133,6 +143,7 @@ class ShardReplaySpec:
     base_memory_mb: float = 96.0
     qos: tuple[QoSClass, ...] | None = None
     qos_seed: int = 0
+    progress: bool = False
 
 
 def build_shard_replay(
@@ -173,6 +184,8 @@ def replay_shard(spec: ShardReplaySpec, trace: ProductionTrace) -> WindowedSumma
     Flushes provisioned tails at natural expiry (see module docstring).
     """
     platform, stream, accumulator = build_shard_replay(spec, trace)
+    if spec.progress:
+        stream = progress_stream(stream, spec.window_s)
     return platform.run_stream(stream, accumulator, flush_at=math.inf)
 
 
@@ -221,6 +234,8 @@ def checkpointed_shard(
     trace: ProductionTrace,
     path: str,
     fingerprint: dict,
+    journal_path: str | None = None,
+    trace_sample: float = 0.0,
 ) -> WindowedSummary:
     """The checkpointed shard worker body (module-level: pool-picklable).
 
@@ -231,8 +246,23 @@ def checkpointed_shard(
     boundary, and *keeps* its final checkpoint — only the coordinator
     deletes shard files, after the merge, so a kill between one shard
     finishing and the run completing stays resumable everywhere.
+
+    ``journal_path`` additionally journals this shard's telemetry (a
+    :class:`~repro.obs.journal.JournalWriter` at the spec's window size,
+    stamped with the shard fingerprint); the coordinator later merges the
+    per-shard files exactly like the summaries.
     """
     platform, stream, accumulator = build_shard_replay(spec, trace)
+    if spec.progress:
+        stream = progress_stream(stream, spec.window_s, label=Path(path).name)
+    journal = None
+    if journal_path is not None:
+        journal = JournalWriter(
+            journal_path,
+            window_s=spec.window_s,
+            fingerprint=fingerprint,
+            trace_sample=trace_sample,
+        )
     return run_stream_checkpointed(
         platform,
         stream,
@@ -241,6 +271,7 @@ def checkpointed_shard(
         flush_at=math.inf,
         keep=True,
         fingerprint=fingerprint,
+        journal=journal,
     )
 
 
@@ -330,6 +361,8 @@ def run_sharded_checkpointed(
     workers: int = 1,
     fingerprint: dict | None = None,
     keep: bool = False,
+    journal: str | Path | None = None,
+    trace_sample: float = 0.0,
 ) -> WindowedSummary:
     """:func:`replay_sharded` with per-shard durable checkpoints.
 
@@ -344,15 +377,40 @@ def run_sharded_checkpointed(
     to the unsharded :func:`replay_shard` (tails flush at natural
     expiry, exactly like :func:`replay_sharded`).  On success every
     checkpoint file is removed unless ``keep``.
+
+    ``journal`` makes the run journaled: every worker writes its own
+    ``<journal>.shard-K-of-N.jsonl`` (resumed and truncated in lockstep
+    with its checkpoint), and after the summary merge the coordinator
+    merges them into one window-ordered journal at ``journal`` —
+    row-identical to the journal of an uninterrupted run at the same
+    worker count.  (Window/shed/scale/provision rows are
+    partition-independent like the summary itself; sampled *span* rows
+    key off each shard's own stream position, so the sampled subset —
+    not any sampled row's content — varies with the partition.)
+    ``trace_sample`` is the span sampling rate.
     """
     spec = spec if spec is not None else ShardReplaySpec()
     path = Path(path)
     shards, shard_paths, fingerprints, _ = prepare_sharded_checkpoint(
         trace, path, spec, workers, fingerprint
     )
+    journal_paths: list[str | None] = [None] * workers
+    if journal is not None:
+        journal = Path(journal)
+        journal_paths = [
+            str(shard_journal_path(journal, shard, workers))
+            for shard in range(workers)
+        ]
     if workers == 1:
         summaries = [
-            checkpointed_shard(spec, shards[0], str(shard_paths[0]), fingerprints[0])
+            checkpointed_shard(
+                spec,
+                shards[0],
+                str(shard_paths[0]),
+                fingerprints[0],
+                journal_paths[0],
+                trace_sample,
+            )
         ]
     else:
         with ProcessPoolExecutor(max_workers=workers) as pool:
@@ -363,11 +421,24 @@ def run_sharded_checkpointed(
                     shards,
                     [str(shard_path) for shard_path in shard_paths],
                     fingerprints,
+                    journal_paths,
+                    [trace_sample] * workers,
                 )
             )
     summary = WindowedSummary.merge(summaries)
+    if journal is not None:
+        merge_journals(
+            journal_paths,
+            journal,
+            window_s=spec.window_s,
+            fingerprint=fingerprint,
+            trace_sample=trace_sample,
+        )
     if not keep:
         for shard_path in shard_paths:
             shard_path.unlink(missing_ok=True)
+        if journal is not None:
+            for journal_path in journal_paths:
+                Path(journal_path).unlink(missing_ok=True)
         path.unlink(missing_ok=True)
     return summary

@@ -353,6 +353,19 @@ class TestStateSerialization:
         with pytest.raises(WorkloadError):
             restore_accumulator(priced, state)
 
+    def test_accumulator_mismatch_names_path_and_both_values(self):
+        # Every CheckpointError names the offending file (when known) and
+        # shows expected-vs-found, so a failed resume is diagnosable from
+        # the message alone.
+        state = accumulator_state(WindowAccumulator(60.0))
+        with pytest.raises(CheckpointError) as err:
+            restore_accumulator(
+                WindowAccumulator(30.0), state, path="runs/replay.ckpt"
+            )
+        message = str(err.value)
+        assert "runs/replay.ckpt" in message
+        assert "60.0" in message and "30.0" in message
+
     def test_snapshot_rejects_batch_history(self):
         platform, _ = build_platform()
         app = platform.app_names()[0]

@@ -1,0 +1,81 @@
+"""PhaseProfiler: the arithmetic behind ``slimstart replay --profile``."""
+
+from repro.obs.profile import PhaseProfiler
+
+
+class TestPhaseProfiler:
+    def test_add_accumulates(self):
+        profiler = PhaseProfiler()
+        profiler.add("compile", 1.5)
+        profiler.add("compile", 0.5)
+        assert profiler.seconds("compile") == 2.0
+
+    def test_unknown_phase_is_zero(self):
+        assert PhaseProfiler().seconds("nothing") == 0.0
+
+    def test_phase_context_times_the_block(self):
+        profiler = PhaseProfiler()
+        with profiler.phase("work"):
+            sum(range(1000))
+        assert profiler.seconds("work") > 0.0
+
+    def test_phase_records_on_exception(self):
+        profiler = PhaseProfiler()
+        try:
+            with profiler.phase("doomed"):
+                raise RuntimeError
+        except RuntimeError:
+            pass
+        assert profiler.seconds("doomed") > 0.0
+
+    def test_wrap_iter_passes_items_through(self):
+        profiler = PhaseProfiler()
+        assert list(profiler.wrap_iter(iter(range(5)), "compile")) == [
+            0, 1, 2, 3, 4,
+        ]
+        assert profiler.seconds("compile") > 0.0
+
+    def test_wrap_iter_counts_producer_time_only(self):
+        import time
+
+        def slow_producer():
+            time.sleep(0.02)
+            yield 1
+
+        profiler = PhaseProfiler()
+        for _ in profiler.wrap_iter(slow_producer(), "compile"):
+            time.sleep(0.05)  # consumer time must NOT be credited
+        assert 0.01 < profiler.seconds("compile") < 0.05
+
+    def test_derive_is_total_minus_parts(self):
+        profiler = PhaseProfiler()
+        profiler.add("total", 10.0)
+        profiler.add("compile", 3.0)
+        profiler.add("checkpoint-write", 2.0)
+        profiler.derive("event-loop", "total", "compile", "checkpoint-write")
+        assert profiler.seconds("event-loop") == 5.0
+
+    def test_derive_floors_at_zero(self):
+        profiler = PhaseProfiler()
+        profiler.add("total", 1.0)
+        profiler.add("compile", 2.0)
+        profiler.derive("event-loop", "total", "compile")
+        assert profiler.seconds("event-loop") == 0.0
+
+    def test_report_is_sorted_with_rates(self):
+        profiler = PhaseProfiler()
+        profiler.add("merge", 2.0)
+        profiler.add("compile", 4.0)
+        report = profiler.report(requests=1000)
+        assert list(report) == ["compile", "merge"]
+        assert report["compile"] == {"seconds": 4.0, "requests_per_s": 250.0}
+
+    def test_report_omits_rates_without_requests(self):
+        profiler = PhaseProfiler()
+        profiler.add("merge", 2.0)
+        assert profiler.report() == {"merge": {"seconds": 2.0}}
+
+    def test_report_skips_rate_for_zero_second_phase(self):
+        profiler = PhaseProfiler()
+        profiler.add("idle", 0.0)
+        assert profiler.report(requests=10) == {"idle": {"seconds": 0.0}}

@@ -1,0 +1,179 @@
+"""The read side: stream queries, tails, and run summaries.
+
+``slimstart obs`` must answer questions about a journal without loading
+it — these tests pin the filters' conjunctive semantics (including the
+hypothesis property that adding a filter never adds rows), the bounded
+tail, and the summary totals' agreement with the run's own report.
+"""
+
+import json
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.common.errors import WorkloadError
+from repro.obs.journal import row_time
+from repro.obs.query import query_rows, read_rows, summarize_journal, tail_rows
+
+from tests.obs.conftest import SPEC, TRACE, journaled_run
+from repro.workloads.shard import build_shard_replay
+
+import math
+
+
+class TestReadRows:
+    def test_skips_header_and_control_rows(self, journal_path):
+        rows = list(read_rows(journal_path))
+        assert rows
+        assert not [
+            r for r in rows if r["kind"] in ("journal", "boundary", "end")
+        ]
+
+    def test_control_flag_includes_markers(self, journal_path):
+        kinds = {r["kind"] for r in read_rows(journal_path, control=True)}
+        assert "boundary" in kinds and "end" in kinds
+
+    def test_missing_journal_raises(self, tmp_path):
+        with pytest.raises(WorkloadError, match="not found"):
+            list(read_rows(tmp_path / "absent.jsonl"))
+
+    def test_non_journal_file_raises(self, tmp_path):
+        path = tmp_path / "other.jsonl"
+        path.write_text('{"kind": "checkpoint"}\n')
+        with pytest.raises(WorkloadError, match="not a run journal"):
+            list(read_rows(path))
+
+    def test_torn_tail_ends_the_stream(self, journal_path, tmp_path):
+        torn = tmp_path / "torn.jsonl"
+        torn.write_bytes(journal_path.read_bytes() + b'{"kind": "win')
+        assert list(read_rows(torn)) == list(read_rows(journal_path))
+
+
+class TestQueryRows:
+    def test_kind_filter(self, journal_path):
+        rows = list(query_rows(journal_path, kind="scale"))
+        assert rows
+        assert all(r["kind"] == "scale" for r in rows)
+
+    def test_app_filter(self, journal_path):
+        apps = {r["app"] for r in read_rows(journal_path) if "app" in r}
+        target = sorted(apps)[0]
+        rows = list(query_rows(journal_path, app=target))
+        assert rows
+        assert all(r["app"] == target for r in rows)
+
+    def test_time_window_is_inclusive_exclusive(self, journal_path):
+        times = sorted(row_time(r) for r in read_rows(journal_path))
+        lo, hi = times[len(times) // 4], times[3 * len(times) // 4]
+        rows = list(query_rows(journal_path, since=lo, until=hi))
+        assert rows
+        assert all(lo <= row_time(r) < hi for r in rows)
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        kind=st.sampled_from(
+            [None, "window", "scale", "shed", "provision", "span"]
+        ),
+        app=st.sampled_from([None, "app000", "app001", "app002", "ghost"]),
+        since=st.one_of(st.none(), st.floats(0.0, 48 * 3600.0)),
+        until=st.one_of(st.none(), st.floats(0.0, 48 * 3600.0)),
+    )
+    def test_filters_compose_conjunctively(
+        self, journal_path, kind, app, since, until
+    ):
+        """query(A ∧ B) ⊆ query(A): adding a filter never adds rows."""
+
+        def keyed(rows):
+            return [json.dumps(r, sort_keys=True) for r in rows]
+
+        both = set(
+            keyed(
+                query_rows(
+                    journal_path, kind=kind, app=app, since=since, until=until
+                )
+            )
+        )
+        for loosened in (
+            query_rows(journal_path, kind=kind, app=app),
+            query_rows(journal_path, kind=kind, since=since, until=until),
+            query_rows(journal_path, app=app, since=since, until=until),
+        ):
+            assert both <= set(keyed(loosened))
+
+
+class TestTailRows:
+    def test_returns_last_n_data_rows(self, journal_path):
+        everything = list(read_rows(journal_path))
+        assert tail_rows(journal_path, 5) == everything[-5:]
+
+    def test_count_larger_than_journal_returns_all(self, journal_path):
+        everything = list(read_rows(journal_path))
+        assert tail_rows(journal_path, 10**6) == everything
+
+    def test_nonpositive_count_is_empty(self, journal_path):
+        assert tail_rows(journal_path, 0) == []
+        assert tail_rows(journal_path, -3) == []
+
+
+class TestSummarize:
+    def test_totals_match_the_run_report(self, journal_path):
+        platform, stream, accumulator = build_shard_replay(SPEC, TRACE)
+        report = platform.run_stream(stream, accumulator, flush_at=math.inf)
+        summary = summarize_journal(journal_path)
+        assert summary["arrivals"] == report.arrivals
+        assert summary["completed"] == report.completed
+        assert summary["shed"] == report.shed
+        assert summary["windows"] >= 1
+        assert summary["start_s"] is not None
+        assert summary["end_s"] >= summary["start_s"]
+
+    def test_per_app_rates_are_population_rates(self, journal_path):
+        summary = summarize_journal(journal_path)
+        assert summary["apps"]
+        for app in summary["apps"].values():
+            assert app["arrivals"] == app["completed"] + app["shed"]
+            if app["completed"]:
+                assert (
+                    app["cold_start_rate"]
+                    == app["cold_starts"] / app["completed"]
+                )
+
+    def test_counts_follow_the_event_rows(self, journal_path):
+        rows = list(read_rows(journal_path))
+        summary = summarize_journal(journal_path)
+        by_kind = {}
+        for row in rows:
+            by_kind[row["kind"]] = by_kind.get(row["kind"], 0) + 1
+        assert summary["scaling_decisions"] == by_kind.get("scale", 0)
+        assert summary["spans"] == by_kind.get("span", 0)
+        assert summary["provisions"] == by_kind.get("provision", 0)
+        assert summary["containers_booted"] == sum(
+            r["booted"] for r in rows if r["kind"] == "scale"
+        )
+
+    def test_summary_survives_kill_and_resume_decomposition(self, tmp_path):
+        # Two delta rows for one (window, app) must sum exactly like one.
+        journaled_run(tmp_path / "run.jsonl")
+        reference = summarize_journal(tmp_path / "run.jsonl")
+        # Rewrite the journal with every window row split into two deltas.
+        split = tmp_path / "split.jsonl"
+        with open(split, "w", encoding="utf-8") as out:
+            for line in (tmp_path / "run.jsonl").read_text().splitlines():
+                row = json.loads(line)
+                if row.get("kind") == "window" and row["completed"] >= 2:
+                    half = dict(row)
+                    half["completed"] = row["completed"] // 2
+                    half["arrivals"] = half["completed"] + half["shed"]
+                    rest = dict(row)
+                    rest["completed"] = row["completed"] - half["completed"]
+                    rest["arrivals"] = rest["completed"] + rest["shed"]
+                    rest["cold_starts"] = 0
+                    half["queue_ms_sum"] = 0.0
+                    out.write(json.dumps(half, sort_keys=True) + "\n")
+                    out.write(json.dumps(rest, sort_keys=True) + "\n")
+                else:
+                    out.write(line + "\n")
+        recomposed = summarize_journal(split)
+        for field in ("arrivals", "completed", "shed", "cold_starts"):
+            assert recomposed[field] == reference[field]
