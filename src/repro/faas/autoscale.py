@@ -175,6 +175,45 @@ class ScalingPolicy:
         """
         return False
 
+    def fast_path_tier(self) -> int:
+        """How much of the warm-hit arrival path this policy may skip.
+
+        The cluster serves the overwhelmingly common replay arrival — a
+        warm container free, nothing queued — on a fast path whose
+        legality is policy-dependent, graded in tiers:
+
+        * ``2`` — unconditional: the policy is never consulted on a
+          warm hit (:meth:`reactive_only` policies; the original fast
+          path).
+        * ``1`` — conditional: the cluster asks :meth:`warm_hit_ok`
+          (an O(1) counter comparison) per warm hit; a ``True`` answer
+          certifies ``scale_out`` would return 0 and mutate nothing, so
+          the full consultation is skipped.  Observation-window counters
+          (:meth:`observe_window`) are still fed.
+        * ``0`` — never: every admitted arrival runs the full path
+          (stateful policies: sliding windows, forecast histories).
+
+        The default derives the tier from :meth:`reactive_only`, so
+        existing policies keep their exact behaviour.
+        """
+        return 2 if self.reactive_only() else 0
+
+    def warm_hit_ok(
+        self, in_flight: int, live_containers: int, max_concurrency: int
+    ) -> bool:
+        """Whether a warm-hit arrival may skip ``scale_out`` right now.
+
+        Consulted only at :meth:`fast_path_tier` ``1``, for an arrival
+        that found a free slot on a ready container with nothing queued.
+        ``in_flight`` counts the arrival itself (the post-dispatch
+        concurrency).  Return ``True`` only when ``scale_out`` on the
+        post-dispatch view would provably return 0 without mutating
+        state — the implementation must evaluate the *same* float
+        expressions ``scale_out`` would, so the answer is exact, not
+        approximate.
+        """
+        return True
+
     def observe_arrival(self, state, now: float) -> None:
         """Feed one *admitted* arrival into the policy's traffic estimate."""
 
@@ -319,6 +358,26 @@ class TargetUtilization(ScalingPolicy):
     def scale_out(self, state, view: FleetView) -> int:
         return max(0, self._desired(view, view.in_flight) - view.live_containers)
 
+    def fast_path_tier(self) -> int:
+        # Stateless and queue-independent enough for the conditional
+        # fast path: warm_hit_ok below evaluates exactly what scale_out
+        # would, so a True answer skips nothing observable.
+        return 1
+
+    def warm_hit_ok(
+        self, in_flight: int, live_containers: int, max_concurrency: int
+    ) -> bool:
+        # Mirror _desired exactly on the post-dispatch view (queued=0,
+        # demand=in_flight): same integer-ceil for the backlog term, same
+        # float divide + math.ceil for the headroom term — any algebraic
+        # "simplification" could round differently and break the
+        # bit-identity proof.
+        desired = max(
+            -(-in_flight // max_concurrency),
+            math.ceil(in_flight / (self.target * max_concurrency)),
+        )
+        return desired <= live_containers
+
     def decision(self, state, view: FleetView, want: int, booted: int) -> dict:
         record = super().decision(state, view, want, booted)
         record["target"] = self.target
@@ -405,6 +464,12 @@ class PanicWindow(TargetUtilization):
             )
         if self.panic_threshold <= 1.0:
             raise SpecError(f"panic threshold must exceed 1: {self.panic_threshold}")
+
+    def fast_path_tier(self) -> int:
+        # The sliding arrival history must see every admitted arrival
+        # (observe_arrival is stateful), so no warm hit may skip the
+        # policy — the TargetUtilization tier-1 shortcut does not apply.
+        return 0
 
     def new_state(self) -> _PanicState:
         return _PanicState()

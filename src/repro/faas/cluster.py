@@ -257,9 +257,12 @@ class _StreamSinks:
     + queued requests) no matter how long the replay runs.
 
     ``complete`` receives the completion facts the accumulator needs
-    ``(app, arrival_s, cold, queue_ms)`` — plus, for QoS-tagged requests,
-    the trailing ``(qos, violated, utility)`` facts the per-class series
-    need; the full :class:`InvocationRecord` is only constructed when
+    ``(arrival_s, cold, queue_ms, app)`` — the accumulator's own
+    ``observe_completion`` parameter order, so :meth:`into` binds the
+    bound method directly with no adapter call on the hot path — plus,
+    for QoS-tagged requests, the trailing ``(qos, violated, utility)``
+    facts the per-class series need; the full
+    :class:`InvocationRecord` is only constructed when
     ``record`` is non-``None`` (an ``on_record`` tap was installed) —
     skipping the record object on the no-tap path is one of the hot-path
     wins, and is safe because the record is a pure function of the same
@@ -312,26 +315,11 @@ class _StreamSinks:
             # flushed (exactly the restored state on a resumed run).
             accumulator.enable_source_counts()
             obs.attach(accumulator)
-        observe_completion = accumulator.observe_completion
-
-        def complete(
-            app: str,
-            arrival_s: float,
-            cold: bool,
-            queue_ms: float,
-            qos: str | None = None,
-            violated: bool = False,
-            utility: float = 0.0,
-        ) -> None:
-            observe_completion(
-                arrival_s,
-                cold,
-                queue_ms,
-                source=app,
-                qos=qos,
-                violated=violated,
-                utility=utility,
-            )
+        # The completion sink IS the accumulator's bound method: the sink
+        # signature was chosen to match observe_completion's parameter
+        # order (arrival_s, cold, queue_ms, source, qos, violated,
+        # utility), so no adapter closure sits on the hot path.
+        complete = accumulator.observe_completion
 
         def provision(app: str, start_s: float, end_s: float, memory_mb: float) -> None:
             accumulator.observe_provision(start_s, end_s, memory_mb, source=app)
@@ -381,10 +369,13 @@ class _Fleet:
         "plan",
         "fleet_config",
         "compiled",
+        "entries",
         "policy",
         "policy_state",
         "wants_last",
         "fast_path",
+        "in_flight",
+        "booting",
         "obs_window_s",
         "window_index",
         "window_arrivals",
@@ -421,14 +412,28 @@ class _Fleet:
         self.plan = plan
         self.fleet_config = fleet_config
         self.compiled: CompiledApp = compiled_app(config, plan)
+        #: Hot-path cache of ``compiled.entries`` (refreshed on
+        #: redeploy): saves one attribute hop per served request.
+        self.entries = self.compiled.entries
         self.policy: ScalingPolicy = fleet_config.policy
         self.policy_state = self.policy.new_state()
         #: Whether idle-expiry decisions need the (O(n)) last-of-fleet
         #: flag; policies that don't read it keep the hot path O(1).
         self.wants_last = self.policy.uses_last_of_fleet()
-        #: Whether the warm-and-free arrival fast path may skip the
-        #: policy consultation entirely (see ScalingPolicy.reactive_only).
-        self.fast_path = self.policy.reactive_only()
+        #: How much of the warm-hit arrival path the policy may skip
+        #: (see ScalingPolicy.fast_path_tier): 2 = unconditional,
+        #: 1 = per-hit warm_hit_ok() check, 0 = never.
+        self.fast_path = self.policy.fast_path_tier()
+        #: Incremental fleet counters (the O(1) FleetView refresh).
+        #: ``in_flight`` is the fleet-wide sum of container.active;
+        #: ``booting`` counts containers with ready_at still in the
+        #: future.  Invariant: a booting container always has
+        #: ``active == 0`` (dispatch never selects one, and redeploy —
+        #: the only retirement path for booting containers — requires an
+        #: idle fleet), so these two integers determine every dynamic
+        #: FleetView field; see ClusterPlatform._view.
+        self.in_flight = 0
+        self.booting = 0
         #: Observation-window feed (ScalingPolicy.observe_window): None
         #: disables the bookkeeping wholesale, so reactive policies pay
         #: nothing for the hook's existence.
@@ -535,6 +540,8 @@ class ClusterPlatform:
         #: only consulted off the fast path, at scaling decisions).
         self._obs = None
         self._jitter_sigma = self.config.jitter_sigma
+        # Hot-path cache: warm_platform_ms is read per served request.
+        self._warm_ms = self.config.warm_platform_ms
 
     # -- deployment --------------------------------------------------------
 
@@ -568,9 +575,14 @@ class ClusterPlatform:
             self._retire(fleet, container, now)
         fleet.containers.clear()
         fleet.by_seq.clear()
+        # The guard above proved nothing is in flight; any still-booting
+        # container was just retired, so both incremental counters reset.
+        fleet.in_flight = 0
+        fleet.booting = 0
         fleet.reap_until = -math.inf
         fleet.plan = plan
         fleet.compiled = compiled_app(fleet.config, plan)
+        fleet.entries = fleet.compiled.entries
 
     def app_names(self) -> list[str]:
         return sorted(self._fleets)
@@ -680,7 +692,8 @@ class ClusterPlatform:
         on_record: Callable[[InvocationRecord], None] | None = None,
         flush_at: float | None = None,
         obs=None,
-    ) -> WindowedSummary:
+        finalize: bool = True,
+    ) -> WindowedSummary | None:
         """Consume an arrival stream incrementally at bounded memory.
 
         ``arrivals`` yields ``(arrival_s, app, entry)`` — or QoS-tagged
@@ -715,14 +728,38 @@ class ClusterPlatform:
         :mod:`repro.workloads.shard`).
 
         ``obs`` installs an observability sink (journal) for the run —
-        see :meth:`stream_begin`.
+        see :meth:`stream_begin`.  ``finalize=False`` skips the final
+        summarization and returns ``None`` — for shard workers that ship
+        the accumulator's raw state instead (see
+        :meth:`repro.metrics.WindowAccumulator.to_wire`).
         """
         self.stream_begin(accumulator, on_record, obs=obs)
+        token = self._next_token
+        last = self._last_arrival
         try:
+            fleets = self._fleets
             events = self._events
-            step = self._step
+            clock = self.clock
+            advance_to = clock.advance_to
+            # Time-keeping fast path: ClusterPlatform's clock is a
+            # VirtualClock (constructor contract), and the replay never
+            # schedules clock callbacks — so while the callback queue is
+            # empty, advancing time is one attribute store.  The list
+            # identity is stable (VirtualClock mutates it in place), so
+            # hoisting it keeps the emptiness probe a local truth test;
+            # any scheduled callback falls back to the full advance_to.
+            clock_events = clock._events
+            drain = self._drain_until
+            # Profiling swaps a probed _drain_until onto the instance;
+            # the inline drain below would bypass it, so a profiled
+            # stream keeps the delegate call (accuracy over the last
+            # sliver of call overhead, exactly while measuring).
+            probed = "_drain_until" in self.__dict__
+            on_ready = self._on_ready
+            dispatch = self._dispatch
+            arrive = self._arrive
+            qos_classes = self.qos_classes
             observe_arrival = accumulator.observe_arrival
-            submit = self.submit
             # Journal flushing is driver-screened: one float compare per
             # arrival against the journal's next window edge, with the
             # flush call (and consumed-count bookkeeping) paid only at
@@ -735,30 +772,124 @@ class ClusterPlatform:
                 # QoS-tagged streams carry the class name at index 3.
                 if len(item) == 3:
                     at, name, entry = item
-                    if at >= obs_flush:
-                        obs.flush_boundary(at, fed)
-                        obs_flush = obs.next_flush_s
-                    fed += 1
-                    observe_arrival(at)
-                    submit(name, entry, at=at)
+                    qos = None
                 else:
                     at, name, entry, qos = item
-                    if at >= obs_flush:
-                        obs.flush_boundary(at, fed)
-                        obs_flush = obs.next_flush_s
-                    fed += 1
-                    observe_arrival(at)
-                    submit(name, entry, at=at, qos=qos)
-                while events and events[0][0] <= at:
-                    step()
+                if at >= obs_flush:
+                    obs.flush_boundary(at, fed)
+                    obs_flush = obs.next_flush_s
+                fed += 1
+                observe_arrival(at)
+                # Streamed arrivals bypass the event heap: the submit()
+                # validations run inline, every pending event at or
+                # before the arrival is drained (all such events precede
+                # an arrival at the same instant in heap order — READY
+                # and COMPLETE kinds sort first), and the arrival handler
+                # is called directly.  The post-arrival drain keeps
+                # zero-service completions at the same timestamp
+                # processed before the next arrival is pulled, exactly
+                # as the heap path interleaved them.
+                fleet = fleets.get(name)
+                if fleet is None:
+                    raise DeploymentError(f"unknown app: {name!r}")
+                if entry not in fleet.entries:
+                    raise DeploymentError(f"app {name!r} has no entry {entry!r}")
+                if qos is not None and qos not in qos_classes:
+                    raise SpecError(
+                        f"unknown QoS class {qos!r} "
+                        f"(platform knows {sorted(qos_classes)})"
+                    )
+                if at < last:
+                    raise DeploymentError(
+                        f"arrival {at} is in the past (last={last})"
+                    )
+                last = at
+                if events and events[0][0] <= at:
+                    if probed:
+                        drain(at)
+                    else:
+                        # _drain_until inlined (the call per arrival is
+                        # measurable at replay rates), with _on_complete
+                        # — the overwhelming event kind — flattened into
+                        # the COMPLETE arm.  Behaviour is identical to
+                        # those two methods: same pops, same ordering
+                        # (the golden regression pins it).
+                        while events and events[0][0] <= at:
+                            e_at, kind, _, payload = heappop(events)
+                            if e_at > clock._now:
+                                if clock_events:
+                                    advance_to(e_at)
+                                else:
+                                    clock._now = e_at
+                            if kind == _COMPLETE:
+                                c_fleet = fleets[payload[0]]
+                                container = c_fleet.by_seq.get(payload[1])
+                                if container is not None:
+                                    c_fleet.in_flight -= 1
+                                    active = container.active - 1
+                                    container.active = active
+                                    container.last_release = e_at
+                                    if active == 0:
+                                        container.idle_since = e_at
+                                    if c_fleet.queue:
+                                        dispatch(c_fleet, e_at)
+                            elif kind == _READY:
+                                on_ready(e_at, *payload)
+                            else:
+                                self._on_arrival(e_at, *payload)
+                if at > clock._now:
+                    if clock_events:
+                        advance_to(at)
+                    else:
+                        clock._now = at
+                arrive(fleet, at, entry, token, qos)
+                token += 1
+                if events and events[0][0] <= at:
+                    if probed:
+                        drain(at)
+                    else:
+                        # Same inline drain as above (see that comment);
+                        # the post-arrival copy keeps zero-service
+                        # completions at == at ahead of the next arrival.
+                        while events and events[0][0] <= at:
+                            e_at, kind, _, payload = heappop(events)
+                            if e_at > clock._now:
+                                if clock_events:
+                                    advance_to(e_at)
+                                else:
+                                    clock._now = e_at
+                            if kind == _COMPLETE:
+                                c_fleet = fleets[payload[0]]
+                                container = c_fleet.by_seq.get(payload[1])
+                                if container is not None:
+                                    c_fleet.in_flight -= 1
+                                    active = container.active - 1
+                                    container.active = active
+                                    container.last_release = e_at
+                                    if active == 0:
+                                        container.idle_since = e_at
+                                    if c_fleet.queue:
+                                        dispatch(c_fleet, e_at)
+                            elif kind == _READY:
+                                on_ready(e_at, *payload)
+                            else:
+                                self._on_arrival(e_at, *payload)
+            step = self._step
             while events:
                 step()
             self._flush_provisioned(flush_at)
         finally:
+            self._next_token = token
+            self._last_arrival = last
             self._stream = None
             self._stream_accumulator = None
             self._obs = None
-        return accumulator.finalize()
+            self._unprofile_loop()
+        # ``finalize=False`` leaves summarization to the caller: shard
+        # workers ship the accumulator's raw state over the pool wire
+        # (WindowAccumulator.to_wire) and the coordinator summarizes the
+        # merged state exactly once (repro.metrics.windows.merge_wire).
+        return accumulator.finalize() if finalize else None
 
     # -- incremental streaming surface ------------------------------------
     #
@@ -799,11 +930,34 @@ class ClusterPlatform:
         count, so no obs code runs here.
         """
         self._stream_accumulator.observe_arrival(at)
-        self.submit(name, entry, at=at, qos=qos)
+        # Same heap bypass as run_stream: inline submit() validation,
+        # drain-to-at, direct arrival handling, post-arrival drain.
+        fleet = self._fleets.get(name)
+        if fleet is None:
+            raise DeploymentError(f"unknown app: {name!r}")
+        if entry not in fleet.entries:
+            raise DeploymentError(f"app {name!r} has no entry {entry!r}")
+        if qos is not None and qos not in self.qos_classes:
+            raise SpecError(
+                f"unknown QoS class {qos!r} "
+                f"(platform knows {sorted(self.qos_classes)})"
+            )
+        if at < self._last_arrival:
+            raise DeploymentError(
+                f"arrival {at} is in the past (last={self._last_arrival})"
+            )
+        self._last_arrival = at
+        token = self._next_token
+        self._next_token = token + 1
         events = self._events
-        step = self._step
-        while events and events[0][0] <= at:
-            step()
+        if events and events[0][0] <= at:
+            self._drain_until(at)
+        clock = self.clock
+        if at > clock.now():
+            clock.advance_to(at)
+        self._arrive(fleet, at, entry, token, qos)
+        if events and events[0][0] <= at:
+            self._drain_until(at)
 
     def stream_end(self, flush_at: float | None = None) -> WindowedSummary:
         """Drain remaining events, flush tails, finalize the summary."""
@@ -817,6 +971,7 @@ class ClusterPlatform:
             self._stream = None
             self._stream_accumulator = None
             self._obs = None
+            self._unprofile_loop()
         return accumulator.finalize()
 
     def stream_abort(self) -> None:
@@ -830,6 +985,30 @@ class ClusterPlatform:
         self._stream = None
         self._stream_accumulator = None
         self._obs = None
+        self._unprofile_loop()
+
+    def profile_loop(self, profiler) -> None:
+        """Split the event loop into profiler sub-phases for one stream.
+
+        Installs :meth:`repro.obs.profile.PhaseProfiler.probe` wrappers
+        over the two hot delegates the streaming loop re-reads from the
+        instance — ``_drain_until`` (event-heap drains: READY/COMPLETE
+        processing) and ``_scale`` (policy consultation + spawns) — by
+        shadowing the class methods with instance attributes.  The
+        remainder of the loop's wall time (arrival handling + dispatch)
+        is then derivable as ``event-loop`` minus the two sub-phases
+        (see the bench's ``event-loop-dispatch`` derived phase).  The
+        wrappers are removed when the stream ends or aborts, so probes
+        never outlive the run they measured.
+        """
+        self._unprofile_loop()
+        self._drain_until = profiler.probe("event-loop-drain", self._drain_until)
+        self._scale = profiler.probe("event-loop-scale", self._scale)
+
+    def _unprofile_loop(self) -> None:
+        """Drop any installed sub-phase probes (restore class methods)."""
+        self.__dict__.pop("_drain_until", None)
+        self.__dict__.pop("_scale", None)
 
     def _flush_provisioned(self, flush_at: float | None = None) -> None:
         """Report still-live containers' provisioned time to the stream.
@@ -871,10 +1050,7 @@ class ClusterPlatform:
         it tracks pressure even while containers are still booting.
         """
         fleets = [self._fleet(name)] if name is not None else list(self._fleets.values())
-        return sum(
-            len(fleet.queue) + sum(c.active for c in fleet.containers)
-            for fleet in fleets
-        )
+        return sum(len(fleet.queue) + fleet.in_flight for fleet in fleets)
 
     def accepts(self, name: str, at: float | None = None, extra: int = 0) -> bool:
         """Whether one more arrival at ``at`` would escape the load-shedder.
@@ -1024,6 +1200,31 @@ class ClusterPlatform:
             self._on_complete(at, *payload)
         return True
 
+    def _drain_until(self, at: float) -> None:
+        """Process every heap event at or before ``at``.
+
+        The :meth:`_step` loop with the per-event function call and
+        emptiness re-test inlined — the streaming replay's drain is hot
+        enough that the call overhead alone is measurable.  Behaviour is
+        exactly ``while events and events[0][0] <= at: self._step()``.
+        """
+        events = self._events
+        clock = self.clock
+        clock_now = clock.now
+        advance_to = clock.advance_to
+        on_ready = self._on_ready
+        on_complete = self._on_complete
+        while events and events[0][0] <= at:
+            e_at, kind, _, payload = heappop(events)
+            if e_at > clock_now():
+                advance_to(e_at)
+            if kind == _READY:
+                on_ready(e_at, *payload)
+            elif kind == _COMPLETE:
+                on_complete(e_at, *payload)
+            else:
+                self._on_arrival(e_at, *payload)
+
     def _on_arrival(
         self,
         at: float,
@@ -1033,7 +1234,17 @@ class ClusterPlatform:
         qos: str | None = None,
         wire_ms: float = 0.0,
     ) -> None:
-        fleet = self._fleets[name]
+        self._arrive(self._fleets[name], at, entry, token, qos, wire_ms)
+
+    def _arrive(
+        self,
+        fleet: _Fleet,
+        at: float,
+        entry: str,
+        token: int,
+        qos: str | None = None,
+        wire_ms: float = 0.0,
+    ) -> None:
         fleet.arrivals += 1
         if fleet.first_arrival is None:
             fleet.first_arrival = at
@@ -1042,12 +1253,17 @@ class ClusterPlatform:
             self._reap(fleet, at)
         # Fast path for the overwhelmingly common replay arrival: nothing
         # queued and a warm container has a free slot.  The request can
-        # never be shed (the queue stays empty), and a reactive-only
-        # policy provably neither boots nor mutates state for it, so the
-        # queue/admission/scaling machinery is skipped wholesale.  The
-        # reap above (or the hint that made it unnecessary) guarantees no
-        # candidate below is expired.
-        if fleet.fast_path and not fleet.queue:
+        # never be shed (the queue stays empty), and the policy tier
+        # certifies the consultation may be skipped: tier 2
+        # (reactive-only) policies provably neither boot nor mutate
+        # state for a warm hit; tier 1 policies are asked per hit via
+        # warm_hit_ok — an O(1) replica of the scale_out arithmetic on
+        # the incremental counters — and observation-window counters are
+        # still fed after service starts, exactly where the slow path
+        # feeds them.  The reap above (or the hint that made it
+        # unnecessary) guarantees no candidate below is expired.
+        tier = fleet.fast_path
+        if tier and not fleet.queue:
             best = None
             mc = fleet.max_concurrency
             for container in fleet.containers:
@@ -1059,8 +1275,15 @@ class ClusterPlatform:
                     container.seq,
                 ) > (best.active, best.last_release, best.seq):
                     best = container
-            if best is not None:
+            if best is not None and (
+                tier == 2
+                or fleet.policy.warm_hit_ok(
+                    fleet.in_flight + 1, len(fleet.containers), mc
+                )
+            ):
                 self._start_service(fleet, best, entry, at, at, token, qos, wire_ms)
+                if fleet.obs_window_s is not None:
+                    self._feed_window(fleet, at)
                 return
         fleet.queue.append(
             _PendingRequest(
@@ -1112,7 +1335,8 @@ class ClusterPlatform:
         fleet = self._fleets[name]
         container = fleet.by_seq.get(container_seq)
         if container is None:
-            return  # retired by a redeploy while booting
+            return  # retired by a redeploy while booting (counter already reset)
+        fleet.booting -= 1
         container.idle_since = at
         container.last_release = at
         if fleet.queue:
@@ -1124,6 +1348,7 @@ class ClusterPlatform:
         fleet = self._fleets[name]
         container = fleet.by_seq.get(container_seq)
         if container is not None:
+            fleet.in_flight -= 1
             active = container.active - 1
             container.active = active
             container.last_release = at
@@ -1267,19 +1492,22 @@ class ClusterPlatform:
         Only called from :meth:`_scale`, immediately after arrival
         processing reaped (or proved reap-free via the hint), so every
         container in the list is live — no expiry probe needed here.
-        The returned view is the fleet's single reused instance; it is
-        only valid until the next scale decision.
+        The refresh is O(1): the incremental counters
+        (``fleet.in_flight``, ``fleet.booting``) plus the container-list
+        length determine every dynamic field, because a booting
+        container always has ``active == 0`` (see the invariant note in
+        :class:`_Fleet`) — so all in-flight work sits on ready
+        containers and each booting container contributes exactly
+        ``max_concurrency`` free booting slots.  The returned view is
+        the fleet's single reused instance; it is only valid until the
+        next scale decision.
         """
         mc = fleet.max_concurrency
-        live = booting = in_flight = booting_slots = ready_slots = 0
-        for container in fleet.containers:
-            live += 1
-            if container.ready_at > now:
-                booting += 1
-                booting_slots += mc - container.active
-            else:
-                in_flight += container.active
-                ready_slots += mc - container.active
+        live = len(fleet.containers)
+        booting = fleet.booting
+        in_flight = fleet.in_flight
+        booting_slots = booting * mc
+        ready_slots = (live - booting) * mc - in_flight
         view = fleet.view
         write = object.__setattr__
         write(view, "now", now)
@@ -1314,10 +1542,12 @@ class ClusterPlatform:
     def _spawn(self, fleet: _Fleet, now: float) -> None:
         compiled = fleet.compiled
         scale = fleet.cost_scale
-        jitter = self._fleet_jitter(fleet)
-        init_ms = (
-            compiled.eager_init_cost_ms * scale + self.config.runtime_init_ms
-        ) * jitter
+        init_ms = compiled.eager_init_cost_ms * scale + self.config.runtime_init_ms
+        if self._jitter_sigma > 0.0:
+            # Multiplying by the disabled-jitter factor (exactly 1.0)
+            # is a bit-exact no-op, so the jitter-off path skips the
+            # call; bit-identity pinned by the golden regression.
+            init_ms *= self._fleet_jitter(fleet)
         boot_s = (self.config.cold_platform_ms + init_ms) / 1000.0
         seq = self._next_container_seq
         self._next_container_seq = seq + 1
@@ -1333,6 +1563,7 @@ class ClusterPlatform:
         )
         fleet.containers.append(container)
         fleet.by_seq[seq] = container
+        fleet.booting += 1
         fleet.spawned += 1
         fleet.peak_containers = max(fleet.peak_containers, len(fleet.containers))
         self._push(container.ready_at, _READY, (fleet.name, seq))
@@ -1386,9 +1617,10 @@ class ClusterPlatform:
         qos: str | None = None,
         wire_ms: float = 0.0,
     ) -> None:
-        compiled_entry = fleet.compiled.entries[entry]
+        compiled_entry = fleet.entries[entry]
         cold = container.virgin
         container.active += 1
+        fleet.in_flight += 1
 
         lazy_ms = 0.0
         if cold:
@@ -1400,10 +1632,11 @@ class ClusterPlatform:
             lazy_ms = fleet.compiled.charge_first_use(compiled_entry, container, False)
             container.seen_entries.add(entry)
 
-        exec_ms = (
-            compiled_entry.total_self_ms * fleet.cost_scale + lazy_ms
-        ) * self._fleet_jitter(fleet)
-        service_ms = self.config.warm_platform_ms + exec_ms
+        exec_ms = compiled_entry.total_self_ms * fleet.cost_scale + lazy_ms
+        if self._jitter_sigma > 0.0:
+            # *1.0 is bit-exact, so the jitter-off replay skips the call.
+            exec_ms *= self._fleet_jitter(fleet)
+        service_ms = self._warm_ms + exec_ms
         finish = now + service_ms / 1000.0
         queue_ms = (now - arrival) * 1000.0
         stream = self._stream
@@ -1415,13 +1648,13 @@ class ClusterPlatform:
             # run_stream exists to fix.  The deadline is end-to-end:
             # forwarding wire time + queueing + service.
             if qos is None:
-                stream.complete(fleet.name, arrival, cold, queue_ms)
+                stream.complete(arrival, cold, queue_ms, fleet.name)
             else:
                 violated, utility = self.qos_classes[qos].completion_value(
                     wire_ms + queue_ms + service_ms
                 )
                 stream.complete(
-                    fleet.name, arrival, cold, queue_ms, qos, violated, utility
+                    arrival, cold, queue_ms, fleet.name, qos, violated, utility
                 )
             if stream.record is not None:
                 stream.record(

@@ -252,6 +252,14 @@ def restore_platform(platform: ClusterPlatform, state: dict) -> None:
             for item in data["containers"]
         ]
         fleet.by_seq = {container.seq: container for container in fleet.containers}
+        # Recompute the incremental counters the O(1) FleetView refresh
+        # reads (see ClusterPlatform._view).  Exact: every pending heap
+        # event has time > clock_s (the stream drained to the last
+        # arrival before the checkpoint), so a container is booting iff
+        # its ready_at is still in the future at the restored clock.
+        clock_s = state["clock_s"]
+        fleet.in_flight = sum(c.active for c in fleet.containers)
+        fleet.booting = sum(1 for c in fleet.containers if c.ready_at > clock_s)
         fleet.policy_state = fleet.policy.restore_state(data["policy_state"])
         fleet.window_index = data["window_index"]
         fleet.window_arrivals = data["window_arrivals"]
@@ -599,6 +607,10 @@ def run_stream_checkpointed(
             )
         journal.resume(consumed)
     platform.stream_begin(accumulator, on_record, obs=journal)
+    if profiler is not None:
+        # Event-loop sub-phases (drain vs scale vs the arrival/dispatch
+        # remainder); the probes uninstall at stream end/abort.
+        platform.profile_loop(profiler)
     feed = platform.stream_feed
     boundary: int | None = None
     try:

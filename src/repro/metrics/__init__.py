@@ -34,6 +34,8 @@ from repro.metrics.windows import (
     WindowAccumulator,
     WindowedSummary,
     WindowStats,
+    from_wire,
+    merge_wire,
 )
 
 __all__ = [
@@ -54,7 +56,9 @@ __all__ = [
     "WindowAccumulator",
     "WindowedSummary",
     "WindowStats",
+    "from_wire",
     "mean",
+    "merge_wire",
     "percentile",
     "speedup",
     "parse_qos_mix",

@@ -31,6 +31,7 @@ whole run as a :class:`WindowedSummary` time series.
 from __future__ import annotations
 
 import math
+from array import array
 from dataclasses import dataclass, field
 from typing import Iterable, Iterator, Sequence
 
@@ -548,6 +549,9 @@ class WindowAccumulator:
         index = int(at_s // self.window_s)
         if index == self._cached_index:
             return self._cached_window
+        return self._window_miss(index)
+
+    def _window_miss(self, index: int) -> _Window:
         window = self._windows.get(index)
         if window is None:
             window = self._windows[index] = _Window()
@@ -556,10 +560,20 @@ class WindowAccumulator:
         return window
 
     # -- streaming surface -------------------------------------------------
+    #
+    # The hot observers repeat _window's cache-hit test inline: replay
+    # streams observe the same window thousands of times in a row, and at
+    # those rates the delegate call costs more than the test it guards.
 
     def observe_arrival(self, at_s: float) -> None:
         """One request arrived at ``at_s`` (before admission control)."""
-        self._window(at_s).arrivals += 1
+        index = int(at_s // self.window_s)
+        window = (
+            self._cached_window
+            if index == self._cached_index
+            else self._window_miss(index)
+        )
+        window.arrivals += 1
 
     def observe_completion(
         self,
@@ -580,11 +594,24 @@ class WindowAccumulator:
         loop, which knows the class spec and the end-to-end latency)
         evaluates the deadline; the accumulator only tallies.
         """
-        window = self._window(arrival_s)
+        index = int(arrival_s // self.window_s)
+        window = (
+            self._cached_window
+            if index == self._cached_index
+            else self._window_miss(index)
+        )
         window.completed += 1
         if cold:
             window.cold += 1
-        window.queue.observe(queue_ms)
+        queue = window.queue
+        if 0.0 <= queue_ms <= _HIST_FLOOR_MS:
+            # The warm-hit replay common case (zero queueing) lands in
+            # bucket 0; folding it here skips the observe() call and its
+            # log-bucket arithmetic.  Same counts as queue.observe().
+            queue.counts[0] += 1
+            queue.total += 1
+        else:
+            queue.observe(queue_ms)
         sums = window.queue_sums
         if source in sums:
             sums[source] += queue_ms
@@ -659,9 +686,19 @@ class WindowAccumulator:
         utility: float = 0.0,
     ) -> None:
         """:meth:`observe_completion`, tallying per-source counts too."""
-        window = self._window(arrival_s)
+        index = int(arrival_s // self.window_s)
+        window = (
+            self._cached_window
+            if index == self._cached_index
+            else self._window_miss(index)
+        )
         window.completed += 1
-        window.queue.observe(queue_ms)
+        queue = window.queue
+        if 0.0 <= queue_ms <= _HIST_FLOOR_MS:
+            queue.counts[0] += 1
+            queue.total += 1
+        else:
+            queue.observe(queue_ms)
         counts = window.source_counts
         if source in counts:
             tally = counts[source]
@@ -754,3 +791,232 @@ class WindowAccumulator:
     def finalize(self) -> WindowedSummary:
         """Snapshot everything accumulated as a :class:`WindowedSummary`."""
         return _summarize(self._windows, self.window_s, self.pricing)
+
+    def to_wire(self) -> tuple:
+        """Pack the raw accumulation state into a compact wire form.
+
+        The shard workers' return format: columnar ``array`` buffers
+        (which pickle as flat bytes) instead of a finalized
+        :class:`WindowedSummary`'s tree of dataclasses and per-window
+        tuples — the coordinator then folds any number of wires straight
+        back into accumulation state with :func:`merge_wire`, touching
+        one dict probe per (window, source) instead of re-hashing every
+        derived stat object.  Lossless: the wire carries exactly the
+        ``_Window`` fields, including the per-source float partials the
+        sharded-merge exactness argument rests on and the per-source
+        counters of a journaled (source-counting) run, which a finalized
+        summary only retains in derived form.
+
+        Layout (all positions index into ``indices``):
+        ``(version, window_s, pricing, indices, counts[5/window],
+        sparse histogram cols (pos, bucket, count), queue_sums cols,
+        source_counts cols, gb_sums cols, qos_counts cols, qos_sums
+        cols)``.  Histograms ship sparse — replay latencies cluster into
+        a handful of the 64 log buckets, so (position, bucket, count)
+        triplets beat a dense 64-wide row by an order of magnitude.
+        """
+        indices = array("q")
+        counts = array("q")
+        hist_pos = array("q")
+        hist_bucket = array("B")
+        hist_count = array("q")
+        qs_pos = array("q")
+        qs_source: list[str] = []
+        qs_value = array("d")
+        sc_pos = array("q")
+        sc_source: list[str] = []
+        sc_ints = array("q")
+        sc_sum = array("d")
+        gb_pos = array("q")
+        gb_source: list[str] = []
+        gb_value = array("d")
+        qc_pos = array("q")
+        qc_class: list[str] = []
+        qc_ints = array("q")
+        qu_pos = array("q")
+        qu_class: list[str] = []
+        qu_source: list[str] = []
+        qu_value = array("d")
+        for pos, index in enumerate(sorted(self._windows)):
+            window = self._windows[index]
+            indices.append(index)
+            counts.extend(
+                (window.arrivals, window.completed, window.shed, window.cold, window.boots)
+            )
+            for bucket, count in enumerate(window.queue.counts):
+                if count:
+                    hist_pos.append(pos)
+                    hist_bucket.append(bucket)
+                    hist_count.append(count)
+            for source, value in window.queue_sums.items():
+                qs_pos.append(pos)
+                qs_source.append(source)
+                qs_value.append(value)
+            for source, tally in window.source_counts.items():
+                sc_pos.append(pos)
+                sc_source.append(source)
+                sc_ints.extend((tally[0], tally[1], tally[2]))
+                sc_sum.append(tally[3])
+            for source, value in window.gb_sums.items():
+                gb_pos.append(pos)
+                gb_source.append(source)
+                gb_value.append(value)
+            for name, counters in window.qos_counts.items():
+                qc_pos.append(pos)
+                qc_class.append(name)
+                qc_ints.extend(counters)
+            for name, sums in window.qos_sums.items():
+                for source, value in sums.items():
+                    qu_pos.append(pos)
+                    qu_class.append(name)
+                    qu_source.append(source)
+                    qu_value.append(value)
+        return (
+            _WIRE_VERSION,
+            self.window_s,
+            self.pricing,
+            indices,
+            counts,
+            (hist_pos, hist_bucket, hist_count),
+            (qs_pos, qs_source, qs_value),
+            (sc_pos, sc_source, sc_ints, sc_sum),
+            (gb_pos, gb_source, gb_value),
+            (qc_pos, qc_class, qc_ints),
+            (qu_pos, qu_class, qu_source, qu_value),
+        )
+
+
+#: Wire-format version guard: a coordinator refuses wires from a worker
+#: running a different layout (mixed-version pools fail loudly, not by
+#: silently misreading columns).
+_WIRE_VERSION = 1
+
+
+def _absorb_wire(merged: dict[int, _Window], wire: tuple) -> None:
+    """Fold one wire's columns into ``merged`` accumulation state.
+
+    The exact ``+=`` ops :meth:`WindowedSummary.merge` performs, applied
+    straight from the columnar buffers — integer counters and histogram
+    buckets add, per-source float partials add per source (or insert),
+    so absorbing wires in worker order leaves state identical to one
+    accumulator having observed every shard's events.
+    """
+    version = wire[0]
+    if version != _WIRE_VERSION:
+        raise ValueError(
+            f"wire version mismatch: {version} != {_WIRE_VERSION}"
+        )
+    (_, _, _, indices, counts, hist, qs, sc, gb, qc, qu) = wire
+    windows: list[_Window] = []
+    for pos, index in enumerate(indices):
+        window = merged.get(index)
+        if window is None:
+            window = merged[index] = _Window()
+        base = pos * 5
+        window.arrivals += counts[base]
+        window.completed += counts[base + 1]
+        window.shed += counts[base + 2]
+        window.cold += counts[base + 3]
+        window.boots += counts[base + 4]
+        windows.append(window)
+    hist_pos, hist_bucket, hist_count = hist
+    for pos, bucket, count in zip(hist_pos, hist_bucket, hist_count):
+        queue = windows[pos].queue
+        queue.counts[bucket] += count
+        queue.total += count
+    qs_pos, qs_source, qs_value = qs
+    for pos, source, value in zip(qs_pos, qs_source, qs_value):
+        sums = windows[pos].queue_sums
+        if source in sums:
+            sums[source] += value
+        else:
+            sums[source] = value
+    sc_pos, sc_source, sc_ints, sc_sum = sc
+    for entry, (pos, source, queue_sum) in enumerate(zip(sc_pos, sc_source, sc_sum)):
+        counters = windows[pos].source_counts
+        base = entry * 3
+        if source in counters:
+            tally = counters[source]
+            tally[0] += sc_ints[base]
+            tally[1] += sc_ints[base + 1]
+            tally[2] += sc_ints[base + 2]
+            tally[3] += queue_sum
+        else:
+            counters[source] = [
+                sc_ints[base],
+                sc_ints[base + 1],
+                sc_ints[base + 2],
+                queue_sum,
+            ]
+    gb_pos, gb_source, gb_value = gb
+    for pos, source, value in zip(gb_pos, gb_source, gb_value):
+        sums = windows[pos].gb_sums
+        if source in sums:
+            sums[source] += value
+        else:
+            sums[source] = value
+    qc_pos, qc_class, qc_ints = qc
+    for entry, (pos, name) in enumerate(zip(qc_pos, qc_class)):
+        qos_counts = windows[pos].qos_counts
+        base = entry * 3
+        counters = qos_counts.get(name)
+        if counters is None:
+            qos_counts[name] = [
+                qc_ints[base],
+                qc_ints[base + 1],
+                qc_ints[base + 2],
+            ]
+        else:
+            counters[0] += qc_ints[base]
+            counters[1] += qc_ints[base + 1]
+            counters[2] += qc_ints[base + 2]
+    qu_pos, qu_class, qu_source, qu_value = qu
+    for pos, name, source, value in zip(qu_pos, qu_class, qu_source, qu_value):
+        sums = windows[pos].qos_sums.setdefault(name, {})
+        if source in sums:
+            sums[source] += value
+        else:
+            sums[source] = value
+
+
+def from_wire(wire: tuple) -> WindowAccumulator:
+    """Reconstruct an accumulator from one :meth:`~WindowAccumulator.to_wire`.
+
+    The round-trip inverse (state, not identity): the result holds the
+    same windows, counters, histograms, and per-source partials, so
+    ``from_wire(acc.to_wire()).finalize() == acc.finalize()`` bit for
+    bit.  A wire carrying per-source counters re-enables source-counting
+    mode, so continued observation keeps feeding them.
+    """
+    accumulator = WindowAccumulator(window_s=wire[1], pricing=wire[2])
+    if wire[7][1]:  # any source_counts column entries
+        accumulator.enable_source_counts()
+    _absorb_wire(accumulator._windows, wire)
+    return accumulator
+
+
+def merge_wire(wires: Sequence[tuple]) -> WindowedSummary:
+    """Merge shard wires into one summary; the coordinator-side merge.
+
+    Equivalent to ``WindowedSummary.merge([finalized shard summaries])``
+    — bit-identical output for disjoint-source shards (and identical
+    per-source partials in general, since both apply the same adds in
+    the same worker order) — without ever materializing the per-shard
+    summaries: the columns fold straight into merged accumulation state,
+    which is summarized once.
+    """
+    if not wires:
+        raise ValueError("cannot merge zero wires")
+    first = wires[0]
+    window_s, pricing = first[1], first[2]
+    for other in wires[1:]:
+        if other[1] != window_s:
+            raise ValueError(
+                f"window size mismatch: {other[1]} != {window_s}"
+            )
+        if other[2] != pricing:
+            raise ValueError("cannot merge wires priced differently")
+    merged: dict[int, _Window] = {}
+    for wire in wires:
+        _absorb_wire(merged, wire)
+    return _summarize(merged, window_s, pricing)

@@ -46,10 +46,12 @@ streams event-for-event.
 from __future__ import annotations
 
 import math
+import os
 import sys
 import time
 from dataclasses import dataclass
-from typing import Iterable, Iterator, Mapping, Protocol, runtime_checkable
+from itertools import accumulate
+from typing import ClassVar, Iterable, Iterator, Mapping, Protocol, runtime_checkable
 
 from repro.common.errors import WorkloadError
 from repro.common.rng import SeededRNG, derive_seed
@@ -60,6 +62,88 @@ from repro.workloads.trace import ProductionTrace
 ReplayEvent = tuple[float, str, str]
 #: A region-tagged arrival: ``(arrival_s, app, entry, origin_region)``.
 TaggedReplayEvent = tuple[float, str, str, str]
+
+
+# -- the optional-numpy seam -------------------------------------------------
+#
+# numpy is an *optional* accelerator (install as ``repro[fast]``): every
+# arrival model keeps a pure-python ``_times_python`` body that is the
+# semantic definition, and a ``_times_numpy`` body that batches the same
+# draws through numpy — producing bit-identical timestamps in identical
+# order (pinned by ``tests/workloads/test_compile_vectorized.py``).  The
+# single seam below resolves the dependency: absent numpy (or with
+# ``SLIMSTART_NO_NUMPY`` set, the CI escape hatch for exercising the
+# fallback on machines that do have numpy), compilation silently runs
+# the pure-python path — no error, no warning, same stream.
+
+#: Below a per-(app, window, handler) count each model's ``vector_min``
+#: the pure-python path is used even when numpy is available: re-keying
+#: the shared RandomState plus the array round-trips cost a few dozen
+#: draws' worth of time, and both paths are bit-identical anyway, so
+#: tiny windows stay on the allocation-free python body.  The default
+#: here is overridden per model at its measured crossover — diurnal
+#: wins almost immediately (two draws plus a weighted bisect per
+#: arrival in python), uniform and poisson only past ~200 draws.
+_VECTOR_MIN = 192
+
+_UNSET = object()
+_numpy_module = _UNSET
+
+
+def _load_numpy():
+    """Resolve the optional numpy dependency (``None`` when unavailable).
+
+    The import result is cached for the process; the ``SLIMSTART_NO_NUMPY``
+    environment check is per call, so tests can flip the fallback on
+    without re-importing the module.
+    """
+    if os.environ.get("SLIMSTART_NO_NUMPY"):
+        return None
+    global _numpy_module
+    if _numpy_module is _UNSET:
+        try:
+            import numpy
+        except ImportError:
+            numpy = None
+        _numpy_module = numpy
+    return _numpy_module
+
+
+_np_state = None
+
+
+def _np_rng(np, rng: SeededRNG):
+    """A numpy ``RandomState`` emitting ``rng``'s exact double stream.
+
+    Both CPython's ``random.Random`` and numpy's legacy ``RandomState``
+    are MT19937 generators whose ``random()``/``random_sample()`` derive
+    doubles with the same 53-bit recipe, and both key-schedule an int
+    seed through the reference ``init_by_array`` — CPython splits the
+    seed into 32-bit little-endian words internally, numpy takes the
+    word list verbatim (a Python *list*, never an ndarray or scalar:
+    those route through numpy's other seeding paths, which do NOT
+    match).  Re-keying one shared ``RandomState`` this way is ~6x
+    cheaper than transplanting the 624-word internal state per call,
+    which is what keeps the vectorized bodies profitable at the small
+    per-(app, window, handler) counts real traces produce.
+
+    The equivalence holds because arrival models receive *freshly
+    seeded* generators (the pure-function contract on
+    :class:`ArrivalModel`, upheld by :func:`compile_trace`); a generator
+    that had already been drawn from would no longer be a pure function
+    of its seed.
+    """
+    global _np_state
+    state = _np_state
+    if state is None:
+        state = _np_state = np.random.RandomState(0)
+    seed = abs(rng.seed)
+    words = []
+    while seed:
+        words.append(seed & 0xFFFFFFFF)
+        seed >>= 32
+    state.seed(words or [0])
+    return state
 
 
 # -- intra-window arrival models -------------------------------------------
@@ -98,8 +182,17 @@ class UniformArrivals:
     """
 
     name: str = "uniform"
+    vector_min: ClassVar[int] = _VECTOR_MIN
 
     def times(
+        self, rng: SeededRNG, start_s: float, window_s: float, count: int
+    ) -> list[float]:
+        np = _load_numpy()
+        if np is not None and count >= self.vector_min:
+            return self._times_numpy(np, rng, start_s, window_s, count)
+        return self._times_python(rng, start_s, window_s, count)
+
+    def _times_python(
         self, rng: SeededRNG, start_s: float, window_s: float, count: int
     ) -> list[float]:
         # Bit-identical to sorting per-draw _clip()ed values, cheaper: a
@@ -117,6 +210,21 @@ class UniformArrivals:
                 break
         return values
 
+    def _times_numpy(
+        self, np, rng: SeededRNG, start_s: float, window_s: float, count: int
+    ) -> list[float]:
+        # CPython's uniform(a, b) is ``a + (b - a) * random()``; the
+        # elementwise form below evaluates the identical IEEE expression
+        # on the identical doubles (see _np_rng), so each value — and
+        # after sorting, the whole list — matches _times_python bit for
+        # bit.  The tail clip commutes with np.minimum on a sorted array
+        # because every over-limit value sits in the contiguous tail.
+        end = start_s + window_s
+        values = start_s + (end - start_s) * _np_rng(np, rng).random_sample(count)
+        values.sort()
+        limit = math.nextafter(end, start_s)
+        return np.minimum(values, limit).tolist()
+
 
 @dataclass(frozen=True)
 class PoissonArrivals:
@@ -128,8 +236,19 @@ class PoissonArrivals:
     """
 
     name: str = "poisson"
+    # The exponential map stays per-element python (see _times_numpy),
+    # so only the uniform draws vectorize — the crossover sits later.
+    vector_min: ClassVar[int] = 224
 
     def times(
+        self, rng: SeededRNG, start_s: float, window_s: float, count: int
+    ) -> list[float]:
+        np = _load_numpy()
+        if np is not None and count >= self.vector_min:
+            return self._times_numpy(np, rng, start_s, window_s, count)
+        return self._times_python(rng, start_s, window_s, count)
+
+    def _times_python(
         self, rng: SeededRNG, start_s: float, window_s: float, count: int
     ) -> list[float]:
         if count <= 0:
@@ -142,6 +261,35 @@ class PoissonArrivals:
             if now >= start_s + window_s:
                 return times
             times.append(now)
+
+    def _times_numpy(
+        self, np, rng: SeededRNG, start_s: float, window_s: float, count: int
+    ) -> list[float]:
+        if count <= 0:
+            return []
+        # Uniform draws batch through numpy, but the exponential map
+        # stays per-element in Python: numpy's vectorized log differs
+        # from math.log in the last ulp on some inputs (SIMD codepaths),
+        # and the running sum must accumulate in CPython evaluation
+        # order anyway.  CPython's expovariate(lambd) is
+        # ``-log(1.0 - random()) / lambd`` — replicated verbatim below.
+        rate = count / window_s
+        end = start_s + window_s
+        state = _np_rng(np, rng)
+        log = math.log
+        times: list[float] = []
+        append = times.append
+        now = start_s
+        # Expected draws ≈ count (rate * window_s); the refill chunk
+        # covers the overwhelmingly common case in one batch.
+        chunk = count + 16
+        while True:
+            for u in state.random_sample(chunk).tolist():
+                now += -log(1.0 - u) / rate
+                if now >= end:
+                    return times
+                append(now)
+            chunk = max(16, count >> 3)
 
 
 @dataclass(frozen=True)
@@ -162,6 +310,9 @@ class DiurnalArrivals:
     peak_hour: float = 14.0  # intensity peaks at 14:00 trace time
     sub_bins: int = 24
     name: str = "diurnal"
+    # Each python-path arrival costs a weighted bisect plus two draws,
+    # so the batched body wins from the first handful of arrivals.
+    vector_min: ClassVar[int] = 16
 
     def __post_init__(self) -> None:
         if not 0.0 <= self.amplitude <= 1.0:
@@ -179,6 +330,14 @@ class DiurnalArrivals:
     def times(
         self, rng: SeededRNG, start_s: float, window_s: float, count: int
     ) -> list[float]:
+        np = _load_numpy()
+        if np is not None and count >= self.vector_min:
+            return self._times_numpy(np, rng, start_s, window_s, count)
+        return self._times_python(rng, start_s, window_s, count)
+
+    def _times_python(
+        self, rng: SeededRNG, start_s: float, window_s: float, count: int
+    ) -> list[float]:
         if count <= 0:
             return []
         bin_s = window_s / self.sub_bins
@@ -192,6 +351,39 @@ class DiurnalArrivals:
             times.append(_clip(rng.uniform(low, low + bin_s), start_s, window_s))
         times.sort()
         return times
+
+    def _times_numpy(
+        self, np, rng: SeededRNG, start_s: float, window_s: float, count: int
+    ) -> list[float]:
+        if count <= 0:
+            return []
+        bin_s = window_s / self.sub_bins
+        centers = [start_s + (index + 0.5) * bin_s for index in range(self.sub_bins)]
+        weights = [self._intensity(center) for center in centers]
+        # The python path draws two doubles per arrival — one for the
+        # weighted bin choice, one for the uniform placement — so one
+        # batch of 2*count doubles splits into the even (choice) and odd
+        # (placement) subsequences.  Each step replicates a CPython
+        # internal exactly: random.choices builds cumulative weights and
+        # bisects ``random() * total`` with hi = n - 1 (np.searchsorted
+        # side='right' is bisect.bisect, capped to the same hi), and
+        # uniform(low, high) is ``low + (high - low) * random()`` — note
+        # ``(low + bin_s) - low`` is NOT necessarily bin_s in floats, so
+        # the subtraction is kept, not simplified away.
+        cum_weights = list(accumulate(weights))
+        total = cum_weights[-1] + 0.0
+        draws = _np_rng(np, rng).random_sample(2 * count)
+        index = np.minimum(
+            np.searchsorted(np.asarray(cum_weights), draws[0::2] * total, side="right"),
+            self.sub_bins - 1,
+        )
+        low = start_s + index * bin_s
+        high = low + bin_s
+        values = low + (high - low) * draws[1::2]
+        limit = math.nextafter(start_s + window_s, start_s)
+        values = np.minimum(np.maximum(values, start_s), limit)
+        values.sort()
+        return values.tolist()
 
 
 #: CLI-facing arrival-model registry (see ``slimstart replay``).

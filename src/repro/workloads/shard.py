@@ -17,7 +17,11 @@ because:
   relative order within a fleet is preserved under sharding;
 * every float the summary reports is accumulated **per app** inside the
   :class:`~repro.metrics.WindowAccumulator` and recombined in one
-  canonical order by :meth:`~repro.metrics.WindowedSummary.merge`;
+  canonical order — workers ship the accumulator's columnar raw state
+  (:meth:`~repro.metrics.WindowAccumulator.to_wire`), the coordinator
+  folds it with :func:`repro.metrics.merge_wire`, and the equivalent
+  summary-level :meth:`~repro.metrics.WindowedSummary.merge` remains
+  for merging already-finalized results;
 * provisioned tails are flushed at the container's natural keep-alive
   expiry (``flush_at=math.inf``) rather than at the shard's last event
   time, which would differ between shards and the full run.
@@ -61,7 +65,13 @@ from repro.faas.snapshot import (
     write_checkpoint,
     write_manifest,
 )
-from repro.metrics import PricingModel, QoSClass, WindowAccumulator, WindowedSummary
+from repro.metrics import (
+    PricingModel,
+    QoSClass,
+    WindowAccumulator,
+    WindowedSummary,
+    merge_wire,
+)
 from repro.obs.journal import JournalWriter, merge_journals, shard_journal_path
 from repro.workloads.replay import (
     ArrivalModel,
@@ -189,6 +199,27 @@ def replay_shard(spec: ShardReplaySpec, trace: ProductionTrace) -> WindowedSumma
     return platform.run_stream(stream, accumulator, flush_at=math.inf)
 
 
+def replay_shard_wire(spec: ShardReplaySpec, trace: ProductionTrace) -> tuple:
+    """:func:`replay_shard`, returning the accumulator's wire form.
+
+    The pool worker body of :func:`replay_sharded`: instead of
+    finalizing a :class:`~repro.metrics.WindowedSummary` (a tree of
+    per-window stat dataclasses that is expensive to pickle and must be
+    re-expanded to merge), the worker ships the accumulator's columnar
+    raw state (:meth:`~repro.metrics.WindowAccumulator.to_wire`) and the
+    coordinator folds the wires together with
+    :func:`repro.metrics.merge_wire` — summarizing exactly once, after
+    the merge.  ``merge_wire([replay_shard_wire(spec, t)])`` is
+    bit-identical to ``replay_shard(spec, t)`` re-merged, which the
+    shard suite pins.
+    """
+    platform, stream, accumulator = build_shard_replay(spec, trace)
+    if spec.progress:
+        stream = progress_stream(stream, spec.window_s)
+    platform.run_stream(stream, accumulator, flush_at=math.inf, finalize=False)
+    return accumulator.to_wire()
+
+
 def replay_sharded(
     trace: ProductionTrace,
     spec: ShardReplaySpec | None = None,
@@ -206,11 +237,11 @@ def replay_sharded(
     if not shards:
         shards = [ProductionTrace(window_hours=trace.window_hours)]
     if workers == 1 or len(shards) == 1:
-        summaries = [replay_shard(spec, shard) for shard in shards]
+        wires = [replay_shard_wire(spec, shard) for shard in shards]
     else:
         with ProcessPoolExecutor(max_workers=len(shards)) as pool:
-            summaries = list(pool.map(replay_shard, [spec] * len(shards), shards))
-    return WindowedSummary.merge(summaries)
+            wires = list(pool.map(replay_shard_wire, [spec] * len(shards), shards))
+    return merge_wire(wires)
 
 
 # -- checkpointed sharded replay ---------------------------------------------

@@ -61,6 +61,45 @@ class TestBehaviourIdentity:
         plain = platform.run_stream(stream, accumulator, flush_at=math.inf)
         assert journaled_run(tmp_path / "run.jsonl") == plain
 
+    def test_forced_slow_path_journal_is_byte_identical(self, tmp_path):
+        """The tier-1 warm-hit fast path is invisible to observability:
+        a TargetUtilization replay journals byte-for-byte the same rows
+        (scaling decisions, windows, spans) whether the fast path is on
+        or forced off — the skipped consultations are exactly the ones
+        that journal nothing."""
+        import dataclasses
+
+        def tu_spec():
+            return dataclasses.replace(
+                SPEC,
+                fleet=FleetConfig(
+                    max_containers=3,
+                    keep_alive_s=60.0,
+                    queue_capacity=2,
+                    policy=make_scaling_policy("target-utilization"),
+                ),
+            )
+
+        fast_summary = journaled_run(tmp_path / "fast.jsonl", spec=tu_spec())
+        platform, stream, accumulator = build_shard_replay(tu_spec(), TRACE)
+        for fleet in platform._fleets.values():
+            assert fleet.fast_path == 1
+            fleet.fast_path = 0
+        journal = JournalWriter(
+            tmp_path / "slow.jsonl",
+            window_s=SPEC.window_s,
+            fingerprint=FINGERPRINT,
+            trace_sample=TRACE_SAMPLE,
+        )
+        with journal.begin():
+            slow_summary = platform.run_stream(
+                stream, accumulator, flush_at=math.inf, obs=journal
+            )
+        assert slow_summary == fast_summary
+        assert (tmp_path / "slow.jsonl").read_bytes() == (
+            tmp_path / "fast.jsonl"
+        ).read_bytes()
+
     def test_checkpointed_journal_is_byte_identical_to_plain(self, tmp_path):
         journaled_run(tmp_path / "plain.jsonl")
         platform, stream, accumulator = build_shard_replay(SPEC, TRACE)

@@ -18,10 +18,17 @@ from repro.common.errors import WorkloadError
 from repro.faas.autoscale import PanicWindow
 from repro.faas.cluster import FleetConfig
 from repro.faas.sim import SimPlatformConfig
-from repro.metrics import QOS_PRESETS, PricingModel, WindowedSummary
+from repro.metrics import (
+    QOS_PRESETS,
+    PricingModel,
+    WindowedSummary,
+    from_wire,
+    merge_wire,
+)
 from repro.workloads.shard import (
     ShardReplaySpec,
     replay_shard,
+    replay_shard_wire,
     replay_sharded,
     shard_index,
     shard_trace,
@@ -178,6 +185,65 @@ def test_process_pool_path_matches_inline():
     # workers > 1 actually crosses process boundaries (pickled spec and
     # sub-traces, pickled summaries back); must equal the inline result.
     assert replay_sharded(TRACE, SPEC, workers=2) == REFERENCE
+
+
+class TestWireTransfer:
+    """The array-packed wire format workers ship instead of pickled
+    summaries: loss-free, merge-equivalent, and strictly smaller."""
+
+    def test_single_wire_roundtrips_to_reference(self):
+        wire = replay_shard_wire(SPEC, TRACE)
+        assert merge_wire([wire]) == REFERENCE
+        assert from_wire(wire).finalize() == REFERENCE
+
+    @given(
+        st.lists(
+            st.integers(min_value=0, max_value=3),
+            min_size=len(TRACE.apps),
+            max_size=len(TRACE.apps),
+        )
+    )
+    @settings(max_examples=5, deadline=None)
+    def test_any_partition_merges_bit_identical_over_the_wire(self, assignment):
+        shards = partition(assignment)
+        wires = [replay_shard_wire(SPEC, shard) for shard in shards]
+        assert merge_wire(wires) == REFERENCE
+
+    def test_qos_series_survive_the_wire(self):
+        shards = shard_trace(TRACE, 3)
+        wires = [replay_shard_wire(QOS_SPEC, shard) for shard in shards]
+        assert merge_wire(wires) == QOS_REFERENCE
+
+    def test_wire_is_smaller_than_pickled_summary(self):
+        # The point of the format: less bytes through the process pool
+        # than pickling the finalized per-shard summaries.
+        import pickle
+
+        wire = replay_shard_wire(SPEC, TRACE)
+        assert len(pickle.dumps(wire)) < len(pickle.dumps(REFERENCE))
+
+    def test_version_mismatch_fails_loudly(self):
+        wire = replay_shard_wire(SPEC, TRACE)
+        with pytest.raises(ValueError):
+            merge_wire([(99,) + wire[1:]])
+
+    def test_merge_rejects_window_mismatch(self):
+        other_spec = ShardReplaySpec(
+            platform=SPEC.platform,
+            fleet=SPEC.fleet,
+            seed=SPEC.seed,
+            replay_seed=SPEC.replay_seed,
+            scale=SPEC.scale,
+            window_s=7200.0,
+        )
+        with pytest.raises(ValueError):
+            merge_wire(
+                [replay_shard_wire(SPEC, TRACE), replay_shard_wire(other_spec, TRACE)]
+            )
+
+    def test_merge_rejects_empty(self):
+        with pytest.raises(ValueError):
+            merge_wire([])
 
 
 class TestMergeValidation:

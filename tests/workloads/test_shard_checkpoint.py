@@ -73,7 +73,7 @@ def interrupt_after(stream, count):
         yield item
 
 
-def kill_all_shards(tmp, workers, kill_at, fingerprint=FINGERPRINT):
+def kill_all_shards(tmp, workers, kill_at, fingerprint=FINGERPRINT, spec=SPEC):
     """Set up a checkpointed sharded run and kill every shard mid-trace.
 
     Runs each shard in-process through the same
@@ -84,11 +84,11 @@ def kill_all_shards(tmp, workers, kill_at, fingerprint=FINGERPRINT):
     """
     path = Path(tmp) / "ckpt.json"
     shards, shard_paths, fingerprints, resumed = prepare_sharded_checkpoint(
-        TRACE, path, SPEC, workers, fingerprint
+        TRACE, path, spec, workers, fingerprint
     )
     assert not resumed
     for shard, shard_path, shard_fp in zip(shards, shard_paths, fingerprints):
-        platform, stream, accumulator = build_shard_replay(SPEC, shard)
+        platform, stream, accumulator = build_shard_replay(spec, shard)
         try:
             run_stream_checkpointed(
                 platform,
@@ -149,6 +149,30 @@ def test_kill_and_resume_is_bit_identical(tmp_path, workers):
     )
     assert summary == REFERENCE
     assert list(tmp_path.iterdir()) == []
+
+
+def test_fast_path_policy_kill_and_resume_is_bit_identical(tmp_path):
+    """TargetUtilization — the tier-1 warm-hit fast-path policy — killed
+    mid-trace resumes to the exact uncheckpointed summary: the fast path
+    leaves nothing out of the snapshots that a resume would need."""
+    import dataclasses
+
+    from repro.faas.autoscale import TargetUtilization
+
+    spec = dataclasses.replace(
+        SPEC,
+        fleet=FleetConfig(
+            max_containers=3,
+            keep_alive_s=60.0,
+            policy=TargetUtilization(target=0.6, scale_to_zero_grace_s=30.0),
+        ),
+    )
+    reference = replay_shard(spec, TRACE)
+    path = kill_all_shards(tmp_path, 2, kill_at=200, spec=spec)
+    summary = run_sharded_checkpointed(
+        TRACE, path, spec, workers=2, fingerprint=FINGERPRINT
+    )
+    assert summary == reference
 
 
 def test_resume_skips_consumed_prefix(tmp_path):
